@@ -1,0 +1,71 @@
+"""Benchmark: design-choice ablations from DESIGN.md.
+
+Not part of the paper's evaluation, but they answer the questions its design
+raises: how much does modelling cluster-size heterogeneity matter, and how
+much does the Draper-Ghosh variance approximation contribute near saturation.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import heterogeneity_ablation, variance_ablation
+from repro.experiments.configs import table1_system
+from repro.experiments.report import ablation_to_table
+from repro.model import MultiClusterLatencyModel, saturation_point
+from repro.model.parameters import MessageSpec
+
+MESSAGE = MessageSpec(32, 256)
+
+
+def _steady_state_grid(total_nodes: int, points: int = 6) -> np.ndarray:
+    model = MultiClusterLatencyModel(table1_system(total_nodes), MESSAGE)
+    upper = saturation_point(model, upper_bound=2e-3) * 0.9
+    return np.linspace(0.0, upper, points + 1)[1:]
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("total_nodes", [1120, 544], ids=["N1120", "N544"])
+def test_heterogeneity_ablation(benchmark, total_nodes):
+    """Equal-cluster-size approximation versus the heterogeneity-aware model."""
+    spec = table1_system(total_nodes)
+    offered = _steady_state_grid(total_nodes)
+
+    result = benchmark(lambda: heterogeneity_ablation(spec, MESSAGE, offered))
+    print()
+    print(ablation_to_table(result).to_text())
+
+    # Ignoring the size mix visibly changes the prediction for both Table 1
+    # organisations (they are strongly heterogeneous).
+    assert result.max_relative_difference() > 0.01
+    # And the difference is not an artefact of saturation: at least half of
+    # the grid compares finite values.
+    finite = [p for p in result.points if not math.isnan(p.relative_difference)]
+    assert len(finite) >= len(result.points) // 2
+
+
+@pytest.mark.benchmark(group="ablation")
+@pytest.mark.parametrize("total_nodes", [1120, 544], ids=["N1120", "N544"])
+def test_variance_approximation_ablation(benchmark, total_nodes):
+    """Draper-Ghosh service-time variance versus deterministic service."""
+    spec = table1_system(total_nodes)
+    offered = _steady_state_grid(total_nodes)
+
+    result = benchmark(lambda: variance_ablation(spec, MESSAGE, offered))
+    print()
+    print(ablation_to_table(result).to_text())
+
+    differences = [
+        abs(p.relative_difference)
+        for p in result.points
+        if not math.isnan(p.relative_difference)
+    ]
+    # The variance term only matters as queues fill up: negligible at low
+    # load, visible near saturation.
+    assert differences[0] < 0.05
+    assert differences[-1] > differences[0]
+    # Zero variance can only lower the predicted latency.
+    for point in result.points:
+        if math.isfinite(point.reference) and math.isfinite(point.variant):
+            assert point.variant <= point.reference + 1e-9

@@ -1,0 +1,77 @@
+"""Benchmark: raw performance of the library's building blocks.
+
+Not a paper table — these benchmarks track the cost of the pieces users call
+in tight loops (model evaluation for design-space sweeps, route computation,
+simulator event throughput) so regressions show up in CI.
+"""
+
+import pytest
+
+from benchmarks.conftest import bench_simulation_config
+from repro.experiments.configs import table1_system
+from repro.model import MessageSpec, MultiClusterLatencyModel
+from repro.routing import UpDownRouter
+from repro.sim import MultiClusterSimulator, SimulationConfig
+from repro.topology import MPortNTree
+
+MESSAGE = MessageSpec(32, 256)
+
+
+@pytest.mark.benchmark(group="components")
+@pytest.mark.parametrize("total_nodes", [1120, 544], ids=["N1120", "N544"])
+def test_model_evaluation_speed(benchmark, total_nodes):
+    """One analytical evaluation of a Table 1 organisation."""
+    model = MultiClusterLatencyModel(table1_system(total_nodes), MESSAGE)
+    latency = benchmark(model.mean_latency, 1e-4)
+    assert latency > 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_model_curve_speed(benchmark):
+    """A ten-point design-space curve (what the exploration example runs in loops)."""
+    model = MultiClusterLatencyModel(table1_system(544), MESSAGE)
+    lambdas = [i * 5e-5 for i in range(1, 11)]
+    curve = benchmark(model.latency_curve, lambdas)
+    assert len(curve) == 10
+
+
+@pytest.mark.benchmark(group="components")
+def test_routing_speed(benchmark):
+    """Route computation over a 128-node tree (the largest per-cluster network)."""
+    tree = MPortNTree(8, 3)
+    router = UpDownRouter(tree)
+
+    def route_many():
+        total = 0
+        for source in range(0, tree.num_nodes, 8):
+            for dest in range(tree.num_nodes):
+                if source != dest:
+                    total += router.route(source, dest).num_links
+        return total
+
+    total_links = benchmark(route_many)
+    assert total_links > 0
+
+
+@pytest.mark.benchmark(group="components")
+def test_simulator_throughput(benchmark):
+    """End-to-end simulation of a small organisation (events per second proxy)."""
+    simulator = MultiClusterSimulator(
+        table1_system(544),
+        MESSAGE,
+        config=SimulationConfig(
+            measured_messages=800, warmup_messages=80, drain_messages=80, seed=0
+        ),
+    )
+    result = benchmark.pedantic(lambda: simulator.run(1e-4), rounds=1, iterations=1)
+    assert result.measured_messages == 800
+
+
+@pytest.mark.benchmark(group="components")
+def test_full_table1_simulation_point(benchmark):
+    """One simulated operating point of the N=1120 organisation at the bench budget."""
+    simulator = MultiClusterSimulator(
+        table1_system(1120), MESSAGE, config=bench_simulation_config()
+    )
+    result = benchmark.pedantic(lambda: simulator.run(1e-4), rounds=1, iterations=1)
+    assert not result.saturated

@@ -1,0 +1,89 @@
+"""Benchmark: regenerate Fig. 3 (N=1120) — latency versus offered traffic.
+
+The paper's Fig. 3 has two panels (M = 32 and 64 flits), each with an
+analysis and a simulation curve for flit sizes 256 and 512 bytes.  Each
+benchmark below regenerates one series (model curve plus simulation points),
+prints it, and asserts the qualitative findings of the paper:
+
+* analysis tracks simulation in the steady-state region;
+* latency rises (and eventually diverges) with offered traffic;
+* larger flits (Lm=512) are uniformly slower and saturate earlier.
+"""
+
+import math
+
+import pytest
+
+from benchmarks.conftest import bench_points, bench_simulation_config
+from repro.experiments.compare import compare_model_and_simulation, curves_match_in_shape
+from repro.experiments.configs import FIGURE_SPECS
+from repro.experiments.report import agreement_to_text, sweep_to_table
+from repro.experiments.sweep import latency_sweep
+from repro.model.parameters import MessageSpec
+
+PANELS = [
+    pytest.param("fig3-M32", 256, id="M32-Lm256"),
+    pytest.param("fig3-M32", 512, id="M32-Lm512"),
+    pytest.param("fig3-M64", 256, id="M64-Lm256"),
+    pytest.param("fig3-M64", 512, id="M64-Lm512"),
+]
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("panel_name,flit_bytes", PANELS)
+def test_fig3_series(benchmark, panel_name, flit_bytes):
+    panel = FIGURE_SPECS[panel_name]
+    message = MessageSpec(panel.message_length, flit_bytes)
+    offered = panel.offered_traffic(bench_points())
+
+    def run():
+        return latency_sweep(
+            panel.system,
+            message,
+            offered,
+            run_simulation=True,
+            simulation_config=bench_simulation_config(),
+        )
+
+    sweep = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(sweep_to_table(sweep).to_text())
+    report = compare_model_and_simulation(sweep)
+    print(agreement_to_text(report))
+
+    # Shape assertions (paper findings), not absolute numbers.  The Lm=512
+    # curves saturate within the first half of the figure's traffic axis, so
+    # they may contribute a single steady-state point at the bench grid.
+    if len(sweep.steady_state_points()) >= 2:
+        ok, reason = curves_match_in_shape(sweep, tolerance=0.35)
+        assert ok, reason
+    assert report.compared_points >= 1
+    assert report.max_relative_error < 0.35
+    finite_sim = [
+        point.simulated.mean_latency
+        for point in sweep.points
+        if point.simulated is not None and math.isfinite(point.simulated.mean_latency)
+    ]
+    assert finite_sim[-1] > finite_sim[0], "latency must rise with offered traffic"
+
+
+@pytest.mark.benchmark(group="fig3")
+@pytest.mark.parametrize("message_length", [32, 64], ids=["M32", "M64"])
+def test_fig3_larger_flits_saturate_earlier(benchmark, message_length):
+    """Within one panel the Lm=512 curve sits above and saturates before Lm=256."""
+    panel = FIGURE_SPECS[f"fig3-M{message_length}"]
+    offered = panel.offered_traffic(bench_points())
+
+    def run():
+        return {
+            flit: latency_sweep(panel.system, MessageSpec(message_length, flit), offered,
+                                run_simulation=False)
+            for flit in (256, 512)
+        }
+
+    sweeps = benchmark(run)
+    small, large = sweeps[256], sweeps[512]
+    assert large.model_saturation_point() <= small.model_saturation_point()
+    for point_small, point_large in zip(small.points, large.points):
+        if math.isfinite(point_small.model_latency) and math.isfinite(point_large.model_latency):
+            assert point_large.model_latency > point_small.model_latency

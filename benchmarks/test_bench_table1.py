@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Table 1 (the validation system organisations).
+
+Table 1 is structural, so this benchmark measures how long it takes to build
+the two complete system objects (topologies, ICN2, concentrators) and checks
+that every derived quantity matches the paper's row contents.
+"""
+
+import pytest
+
+from repro.experiments.report import table1_to_table
+from repro.experiments.table1 import table1_rows
+from repro.topology.multicluster import MultiClusterSystem
+from repro.experiments.configs import table1_specs
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_rows(benchmark):
+    rows = benchmark(table1_rows)
+    print()
+    print(table1_to_table(rows).to_text())
+
+    assert [row.as_cells()[:3] for row in rows] == [(1120, 32, 8), (544, 16, 4)]
+    large, small = rows
+    assert large.organisation == "ni=1 i in [0,11]; ni=2 i in [12,27]; ni=3 i in [28,31]"
+    assert small.organisation == "ni=3 i in [0,7]; ni=4 i in [8,10]; ni=5 i in [11,15]"
+    assert sum(large.cluster_sizes) == 1120
+    assert sum(small.cluster_sizes) == 544
+
+
+@pytest.mark.benchmark(group="table1")
+def test_table1_system_construction(benchmark):
+    """Building both organisations end to end (all trees and concentrators)."""
+
+    def build():
+        return [MultiClusterSystem(spec) for spec in table1_specs()]
+
+    systems = benchmark(build)
+    assert [system.total_nodes for system in systems] == [1120, 544]
+    assert [system.icn2.num_nodes for system in systems] == [32, 16]

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""How much does cluster-size heterogeneity matter? (the paper's core question)
+
+The paper's contribution over prior single-cluster / homogeneous models is
+that it tracks each cluster's size individually.  This example quantifies
+what that buys:
+
+1. for both Table 1 organisations, compare the heterogeneity-aware model
+   against the *equal-cluster-size approximation* (same C, same m, sizes
+   replaced by the closest uniform size) across the load range;
+2. show the per-cluster latency spread that a homogeneous model cannot even
+   express — small clusters send almost all their traffic off-cluster and
+   therefore see distinctly higher latency;
+3. show how the error of the homogeneous approximation grows as the size mix
+   becomes more skewed, on a family of synthetic 256-node organisations.
+
+Run it with::
+
+    python examples/heterogeneity_impact.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import MessageSpec, MultiClusterLatencyModel, MultiClusterSpec, table1_system
+from repro.experiments.ablation import heterogeneity_ablation
+from repro.experiments.report import ablation_to_table
+from repro.model import saturation_point
+from repro.model.homogeneous import EqualSizeApproximationModel
+from repro.utils.tables import ResultTable
+
+MESSAGE = MessageSpec(32, 256)
+
+
+def table1_ablation() -> None:
+    for total_nodes in (1120, 544):
+        spec = table1_system(total_nodes)
+        model = MultiClusterLatencyModel(spec, MESSAGE)
+        upper = saturation_point(model, upper_bound=2e-3) * 0.9
+        offered = np.linspace(0.0, upper, 6)[1:]
+        result = heterogeneity_ablation(spec, MESSAGE, offered)
+        print(ablation_to_table(result).to_text())
+        print(
+            f"  -> worst-case error of the equal-size approximation: "
+            f"{result.max_relative_difference():+.1%}\n"
+        )
+
+
+def per_cluster_spread() -> None:
+    spec = table1_system(1120)
+    model = MultiClusterLatencyModel(spec, MESSAGE)
+    prediction = model.evaluate(1e-4)
+    table = ResultTable(
+        headers=["cluster group", "nodes per cluster", "P(outgoing)", "mean latency"],
+        title="Per-cluster latency at lambda_g = 1e-4 (N=1120)",
+    )
+    for representative, label in ((0, "small (n=1)"), (12, "medium (n=2)"), (28, "large (n=3)")):
+        cluster = prediction.clusters[representative]
+        table.add_row(
+            label,
+            spec.cluster_size(representative),
+            f"{cluster.outgoing_probability:.3f}",
+            f"{cluster.mean:.1f}",
+        )
+    print(table.to_text())
+    print("  -> a homogeneous model predicts a single number for all three groups.\n")
+
+
+def skew_sensitivity() -> None:
+    """Error of the equal-size approximation versus how skewed the mix is."""
+    mixes = {
+        "uniform 8 x 32": (4,) * 8,
+        "mild  2x64 + 2x32 + 4x16": (5, 5, 4, 4, 3, 3, 3, 3),
+        "strong 1x128 + 2x32 + 5x(16/8)": (6, 4, 4, 3, 3, 3, 2, 2),
+    }
+    table = ResultTable(
+        headers=["256-node mix", "latency error @ 70% of saturation"],
+        title="Equal-size approximation error versus heterogeneity skew (m=4)",
+    )
+    for label, heights in mixes.items():
+        spec = MultiClusterSpec(m=4, cluster_heights=heights, name=label)
+        if spec.total_nodes != 256:
+            raise SystemExit(f"mix {label} totals {spec.total_nodes}, expected 256")
+        exact = MultiClusterLatencyModel(spec, MESSAGE)
+        approx = EqualSizeApproximationModel(spec, MESSAGE)
+        probe = saturation_point(exact, upper_bound=2e-3) * 0.7
+        error = approx.heterogeneity_error(exact, probe)
+        table.add_row(label, "n/a" if math.isnan(error) else f"{error:+.1%}")
+    print(table.to_text())
+    print("  -> once the sizes differ the homogeneous shortcut drifts by several")
+    print("     percent, and the sign/magnitude depend on the particular mix —")
+    print("     there is no safe uniform substitute, which is why the paper")
+    print("     models the cluster sizes explicitly.")
+
+
+def main() -> None:
+    table1_ablation()
+    per_cluster_spread()
+    skew_sensitivity()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,142 @@
+#!/usr/bin/env python
+"""Capacity planning with an I/O hot-spot cluster (non-uniform traffic).
+
+A common multi-cluster deployment dedicates one cluster to storage / I/O
+gateways: a sizeable fraction of every compute node's messages goes to that
+cluster instead of a uniformly chosen peer.  The paper's published model
+assumes uniform traffic; its conclusion lists non-uniform traffic as future
+work, and this example exercises exactly that extension:
+
+1. the analytical hot-spot extension (:class:`repro.model.HotspotTrafficModel`)
+   predicts how the sustainable load shrinks as the hot-spot fraction grows;
+2. the wormhole simulator, driven by the matching
+   :class:`repro.workloads.HotspotTraffic` pattern, confirms the trend and
+   shows where the uniform-traffic model becomes optimistic;
+3. a small what-if compares hosting the I/O gateways in a large cluster
+   versus a small one.
+
+Run it with::
+
+    python examples/io_hotspot_capacity.py [--skip-simulation]
+"""
+
+import argparse
+import math
+
+from repro import MessageSpec, MultiClusterSimulator, SimulationConfig, table1_system
+from repro.model import HotspotTrafficModel, MultiClusterLatencyModel
+from repro.utils.tables import ResultTable
+from repro.workloads import HotspotTraffic
+
+SPEC = table1_system(544)              # Table 1, N=544, C=16, m=4
+MESSAGE = MessageSpec(32, 256)
+LARGE_CLUSTER = 15                      # 64 nodes (cluster group n=5)
+SMALL_CLUSTER = 0                       # 16 nodes (cluster group n=3)
+
+
+def hotspot_saturation(model: HotspotTrafficModel, upper: float = 2e-3) -> float:
+    """Bisection on the hot-spot model's mean latency (same idea as the core helper)."""
+    low, high = 0.0, upper
+    for _ in range(40):
+        if math.isinf(model.mean_latency(high)):
+            break
+        low, high = high, high * 2
+    for _ in range(60):
+        midpoint = 0.5 * (low + high)
+        if math.isinf(model.mean_latency(midpoint)):
+            high = midpoint
+        else:
+            low = midpoint
+    return high
+
+
+def sweep_hotspot_fraction() -> None:
+    print(f"System: {SPEC.describe()}")
+    print(f"I/O gateway cluster: #{LARGE_CLUSTER} "
+          f"({SPEC.cluster_size(LARGE_CLUSTER)} nodes), {MESSAGE.describe()}\n")
+    uniform = MultiClusterLatencyModel(SPEC, MESSAGE)
+    table = ResultTable(
+        headers=["hot-spot fraction", "latency @ 1.5e-4", "sustainable load (model)"],
+        title="Impact of the I/O hot-spot share (analytical extension)",
+    )
+    probe = 1.5e-4
+    for fraction in (0.0, 0.1, 0.2, 0.3, 0.5):
+        if fraction == 0.0:
+            latency = uniform.mean_latency(probe)
+            from repro.model import saturation_point
+
+            sustainable = saturation_point(uniform, upper_bound=2e-3)
+        else:
+            model = HotspotTrafficModel(
+                SPEC, hot_cluster=LARGE_CLUSTER, hotspot_fraction=fraction, message=MESSAGE
+            )
+            latency = model.mean_latency(probe)
+            sustainable = hotspot_saturation(model)
+        table.add_row(
+            f"{fraction:.0%}",
+            f"{latency:.1f}" if math.isfinite(latency) else "saturated",
+            f"{sustainable:.6f}",
+        )
+    print(table.to_text())
+    print()
+
+
+def placement_what_if() -> None:
+    table = ResultTable(
+        headers=["gateway placement", "sustainable load (model)"],
+        title="Where should the I/O gateways live? (30% hot-spot share)",
+    )
+    for label, cluster in (("large cluster (64 nodes)", LARGE_CLUSTER),
+                           ("small cluster (16 nodes)", SMALL_CLUSTER)):
+        model = HotspotTrafficModel(
+            SPEC, hot_cluster=cluster, hotspot_fraction=0.3, message=MESSAGE
+        )
+        table.add_row(label, f"{hotspot_saturation(model):.6f}")
+    print(table.to_text())
+    print("\nThe bigger cluster absorbs the hot-spot better: its ECN1 has more")
+    print("internal bandwidth and its dispatcher represents a smaller share of")
+    print("its total traffic.\n")
+
+
+def simulation_check() -> None:
+    print("Simulation cross-check at lambda_g = 1.5e-4 (quick budget):")
+    config = SimulationConfig(
+        measured_messages=2_000, warmup_messages=200, drain_messages=200, seed=11
+    )
+    uniform_model = MultiClusterLatencyModel(SPEC, MESSAGE)
+    rows = ResultTable(headers=["workload", "model", "simulation"])
+    for label, pattern, model_latency in (
+        ("uniform", None, uniform_model.mean_latency(1.5e-4)),
+        (
+            "30% hot-spot",
+            HotspotTraffic(hot_cluster=LARGE_CLUSTER, fraction=0.3),
+            HotspotTrafficModel(
+                SPEC, hot_cluster=LARGE_CLUSTER, hotspot_fraction=0.3, message=MESSAGE
+            ).mean_latency(1.5e-4),
+        ),
+    ):
+        simulator = MultiClusterSimulator(SPEC, MESSAGE, config=config, pattern=pattern)
+        result = simulator.run(1.5e-4)
+        rows.add_row(
+            label,
+            f"{model_latency:.1f}" if math.isfinite(model_latency) else "saturated",
+            f"{result.mean_latency:.1f}",
+        )
+    print(rows.to_text())
+    print("\nThe uniform-traffic model underestimates the hot-spot latency, while")
+    print("the hot-spot extension tracks it — the gap is what the paper's future-")
+    print("work item is about.")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--skip-simulation", action="store_true")
+    args = parser.parse_args()
+    sweep_hotspot_fraction()
+    placement_what_if()
+    if not args.skip_simulation:
+        simulation_check()
+
+
+if __name__ == "__main__":
+    main()

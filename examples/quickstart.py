@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Quickstart: predict and measure message latency of a Table 1 system.
+
+This is the five-minute tour of the library:
+
+1. build one of the paper's validation organisations (N=544, Table 1),
+2. evaluate the analytical latency model at a few offered-traffic levels,
+3. cross-check two of those points with the discrete-event wormhole
+   simulator,
+4. locate the saturation point.
+
+Run it with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    MessageSpec,
+    MultiClusterLatencyModel,
+    MultiClusterSimulator,
+    SimulationConfig,
+    table1_system,
+)
+from repro.model import saturation_point
+from repro.utils.tables import ResultTable
+
+
+def main() -> None:
+    # ------------------------------------------------------------------ setup
+    spec = table1_system(544)                 # C=16 clusters, m=4-port switches
+    message = MessageSpec(length_flits=32, flit_bytes=256)
+    print(spec.describe())
+    print(f"message: {message.describe()}")
+    print()
+
+    # ------------------------------------------------- analytical predictions
+    model = MultiClusterLatencyModel(spec, message)
+    offered_traffic = [5e-5, 1e-4, 2e-4, 3e-4, 4e-4]
+    table = ResultTable(
+        headers=["offered traffic", "model latency", "simulated latency"],
+        title="Mean message latency (time units)",
+    )
+
+    # --------------------------------------------------- simulation spot-check
+    simulator = MultiClusterSimulator(
+        spec, message, config=SimulationConfig.quick(seed=42)
+    )
+    simulate_at = {1e-4, 3e-4}
+    for lambda_g in offered_traffic:
+        predicted = model.mean_latency(lambda_g)
+        if lambda_g in simulate_at:
+            simulated = f"{simulator.run(lambda_g).mean_latency:.1f}"
+        else:
+            simulated = "-"
+        table.add_row(f"{lambda_g:g}", f"{predicted:.1f}", simulated)
+    print(table.to_text())
+    print()
+
+    # -------------------------------------------------------------- saturation
+    saturation = saturation_point(model, upper_bound=1e-3)
+    print(f"zero-load latency : {model.zero_load_latency:.1f} time units")
+    print(f"saturation point  : {saturation:.6f} messages/node/time-unit (model)")
+    print()
+    print("Next steps: examples/model_vs_simulation.py reproduces the paper's")
+    print("figures; examples/design_space_exploration.py uses the model to size")
+    print("a new system; see README.md for the full API tour.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The metadata lives in ``pyproject.toml``; this file exists so that the
+package can also be installed in environments whose pip/setuptools cannot do
+PEP 517 editable installs (e.g. offline machines without the ``wheel``
+package): ``pip install -e . --no-build-isolation --no-use-pep517``.
+"""
+
+from setuptools import setup
+
+setup()

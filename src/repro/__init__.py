@@ -1,0 +1,46 @@
+"""Reproduction of "Analysis of Interconnection Networks in Heterogeneous
+Multi-Cluster Systems" (Javadi, Abawajy, Akbari, Nahavandi — ICPP Workshops
+2006).
+
+The package provides, as importable building blocks:
+
+* the **analytical latency model** that is the paper's contribution
+  (:class:`repro.model.MultiClusterLatencyModel` and friends),
+* every **substrate** it stands on — the m-port n-tree topology
+  (:mod:`repro.topology`), deterministic Up*/Down* routing
+  (:mod:`repro.routing`), a discrete-event kernel (:mod:`repro.des`) and the
+  flit-level wormhole **simulator** used for validation (:mod:`repro.sim`),
+* **workloads** (:mod:`repro.workloads`) and the **experiment harness**
+  (:mod:`repro.experiments`) that regenerates Table 1 and Figures 3-4,
+* a command line, ``repro-multicluster`` (:mod:`repro.cli`).
+
+Quick start::
+
+    from repro import MessageSpec, MultiClusterLatencyModel, table1_system
+
+    model = MultiClusterLatencyModel(table1_system(544), MessageSpec(32, 256))
+    print(model.mean_latency(2e-4))
+"""
+
+from repro.experiments.configs import table1_system
+from repro.model.latency import MultiClusterLatencyModel
+from repro.model.parameters import MessageSpec, ModelParameters, TimingParameters
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import MultiClusterSimulator
+from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "ClusterSpec",
+    "MessageSpec",
+    "ModelParameters",
+    "MultiClusterLatencyModel",
+    "MultiClusterSimulator",
+    "MultiClusterSpec",
+    "MultiClusterSystem",
+    "SimulationConfig",
+    "TimingParameters",
+    "table1_system",
+]

@@ -1,0 +1,282 @@
+"""Command-line interface: ``repro-multicluster`` (or ``python -m repro``).
+
+Sub-commands mirror the experiment harness:
+
+* ``table1``     — print the Table 1 system organisations;
+* ``fig3`` / ``fig4`` — regenerate the validation figures (analysis and,
+  unless ``--no-sim``, simulation), print the series and optionally write
+  CSV files;
+* ``sweep``      — a custom latency-versus-traffic sweep for any organisation
+  expressed as ``m`` plus per-cluster tree heights;
+* ``saturation`` — locate the saturation point of an organisation;
+* ``ablation``   — run the heterogeneity and variance ablations;
+* ``report``     — regenerate the full EXPERIMENTS.md content.
+
+Every command is pure text output (tables / CSV); nothing requires a plotting
+stack.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.experiments.ablation import heterogeneity_ablation, variance_ablation
+from repro.experiments.compare import compare_model_and_simulation
+from repro.experiments.configs import FIGURE_SPECS, table1_specs, table1_system
+from repro.experiments.figures import run_figure
+from repro.experiments.report import (
+    ablation_to_table,
+    agreement_to_text,
+    experiments_markdown,
+    figure_to_table,
+    save_figure_csvs,
+    sweep_to_table,
+    table1_to_table,
+)
+from repro.experiments.sweep import latency_sweep
+from repro.experiments.table1 import table1_rows
+from repro.model.latency import MultiClusterLatencyModel
+from repro.model.parameters import MessageSpec
+from repro.model.saturation import saturation_point
+from repro.sim.config import SimulationConfig
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The top-level argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-multicluster",
+        description=(
+            "Analytical and simulation models of interconnection networks in "
+            "heterogeneous multi-cluster systems (ICPP Workshops 2006 reproduction)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("table1", help="print the Table 1 system organisations")
+
+    for figure in ("fig3", "fig4"):
+        figure_parser = subparsers.add_parser(
+            figure, help=f"regenerate {figure} (latency vs offered traffic)"
+        )
+        _add_simulation_options(figure_parser)
+        figure_parser.add_argument(
+            "--points", type=int, default=8, help="operating points per curve (default 8)"
+        )
+        figure_parser.add_argument(
+            "--csv-dir", type=Path, default=None, help="write one CSV per series here"
+        )
+
+    sweep_parser = subparsers.add_parser(
+        "sweep", help="latency sweep for a custom organisation"
+    )
+    sweep_parser.add_argument("--ports", "-m", type=int, required=True, help="switch ports m")
+    sweep_parser.add_argument(
+        "--heights",
+        type=int,
+        nargs="+",
+        required=True,
+        help="per-cluster tree heights n_i (one value per cluster)",
+    )
+    sweep_parser.add_argument("--message-flits", type=int, default=32)
+    sweep_parser.add_argument("--flit-bytes", type=int, default=256)
+    sweep_parser.add_argument(
+        "--max-traffic", type=float, required=True, help="largest offered traffic to evaluate"
+    )
+    sweep_parser.add_argument("--points", type=int, default=8)
+    sweep_parser.add_argument("--csv", type=Path, default=None, help="write the sweep to CSV")
+    _add_simulation_options(sweep_parser)
+
+    saturation_parser = subparsers.add_parser(
+        "saturation", help="locate the saturation offered traffic of a Table 1 organisation"
+    )
+    saturation_parser.add_argument("--nodes", type=int, choices=(1120, 544), default=544)
+    saturation_parser.add_argument("--message-flits", type=int, default=32)
+    saturation_parser.add_argument("--flit-bytes", type=int, default=256)
+
+    ablation_parser = subparsers.add_parser(
+        "ablation", help="run the heterogeneity and variance ablations"
+    )
+    ablation_parser.add_argument("--nodes", type=int, choices=(1120, 544), default=1120)
+    ablation_parser.add_argument("--message-flits", type=int, default=32)
+    ablation_parser.add_argument("--flit-bytes", type=int, default=256)
+    ablation_parser.add_argument("--points", type=int, default=6)
+
+    report_parser = subparsers.add_parser(
+        "report", help="regenerate the EXPERIMENTS.md content"
+    )
+    _add_simulation_options(report_parser)
+    report_parser.add_argument("--points", type=int, default=6)
+    report_parser.add_argument(
+        "--output", type=Path, default=None, help="write the Markdown report to this file"
+    )
+
+    return parser
+
+
+def _add_simulation_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--no-sim", action="store_true", help="analytical model only (much faster)"
+    )
+    parser.add_argument(
+        "--budget",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="simulation message budget (quick=1.5k, default=10k, paper=100k measured)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="simulation random seed")
+
+
+def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
+    if args.budget == "paper":
+        return SimulationConfig.paper(seed=args.seed)
+    if args.budget == "default":
+        return SimulationConfig(seed=args.seed)
+    return SimulationConfig.quick(seed=args.seed)
+
+
+def _message(args: argparse.Namespace) -> MessageSpec:
+    return MessageSpec(length_flits=args.message_flits, flit_bytes=args.flit_bytes)
+
+
+# --------------------------------------------------------------------------- #
+# Command implementations
+# --------------------------------------------------------------------------- #
+def _cmd_table1(_: argparse.Namespace) -> int:
+    print(table1_to_table(table1_rows()).to_text())
+    for spec in table1_specs():
+        print()
+        print(spec.describe())
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace, figure: str) -> int:
+    config = _simulation_config(args)
+    result = run_figure(
+        figure,
+        num_points=args.points,
+        run_simulation=not args.no_sim,
+        simulation_config=config,
+    )
+    for table in figure_to_table(result):
+        print(table.to_text())
+        print()
+    if not args.no_sim:
+        for key, sweep in sorted(result.sweeps.items()):
+            print(agreement_to_text(compare_model_and_simulation(sweep)))
+            print()
+    if args.csv_dir is not None:
+        paths = save_figure_csvs(result, args.csv_dir)
+        print("wrote:", ", ".join(str(path) for path in paths))
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = MultiClusterSpec(m=args.ports, cluster_heights=tuple(args.heights))
+    offered = np.linspace(0.0, args.max_traffic, args.points + 1)[1:]
+    sweep = latency_sweep(
+        spec,
+        _message(args),
+        offered,
+        run_simulation=not args.no_sim,
+        simulation_config=_simulation_config(args),
+    )
+    table = sweep_to_table(sweep)
+    print(table.to_text())
+    if args.csv is not None:
+        path = table.save_csv(args.csv)
+        print(f"wrote: {path}")
+    return 0
+
+
+def _cmd_saturation(args: argparse.Namespace) -> int:
+    spec = table1_system(args.nodes)
+    model = MultiClusterLatencyModel(spec, _message(args))
+    upper = 2e-3 if args.nodes == 544 else 1e-3
+    point = saturation_point(model, upper_bound=upper)
+    print(f"{spec.name}, {_message(args).describe()}")
+    print(f"zero-load latency      : {model.zero_load_latency:.1f} time units")
+    print(f"saturation offered traffic (model): {point:.6g} messages/node/time-unit")
+    return 0
+
+
+def _cmd_ablation(args: argparse.Namespace) -> int:
+    spec = table1_system(args.nodes)
+    message = _message(args)
+    model = MultiClusterLatencyModel(spec, message)
+    upper = saturation_point(model, upper_bound=2e-3) * 0.9
+    offered = np.linspace(0.0, upper, args.points + 1)[1:]
+    for result in (
+        heterogeneity_ablation(spec, message, offered),
+        variance_ablation(spec, message, offered),
+    ):
+        print(ablation_to_table(result).to_text())
+        print()
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = _simulation_config(args)
+    figures = {
+        "Figure 3 (N=1120)": run_figure(
+            "fig3",
+            num_points=args.points,
+            run_simulation=not args.no_sim,
+            simulation_config=config,
+        ),
+        "Figure 4 (N=544)": run_figure(
+            "fig4",
+            num_points=args.points,
+            run_simulation=not args.no_sim,
+            simulation_config=config,
+        ),
+    }
+    agreements = {}
+    if not args.no_sim:
+        for name, figure in figures.items():
+            # Report agreement for the first series of every figure.
+            first_key = sorted(figure.sweeps)[0]
+            agreements[name] = compare_model_and_simulation(figure.sweeps[first_key])
+    markdown = experiments_markdown(
+        table1=table1_rows(), figures=figures, agreements=agreements or None
+    )
+    if args.output is not None:
+        args.output.write_text(markdown, encoding="utf-8")
+        print(f"wrote: {args.output}")
+    else:
+        print(markdown)
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by the ``repro-multicluster`` console script."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    try:
+        if args.command == "table1":
+            return _cmd_table1(args)
+        if args.command in ("fig3", "fig4"):
+            return _cmd_figure(args, args.command)
+        if args.command == "sweep":
+            return _cmd_sweep(args)
+        if args.command == "saturation":
+            return _cmd_saturation(args)
+        if args.command == "ablation":
+            return _cmd_ablation(args)
+        if args.command == "report":
+            return _cmd_report(args)
+        parser.error(f"unknown command {args.command!r}")  # pragma: no cover
+    except ValidationError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

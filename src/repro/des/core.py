@@ -1,0 +1,164 @@
+"""The simulation :class:`Environment`: clock, event queue and run loop."""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import Any, Generator, List, Optional, Tuple
+
+from repro.des.events import (
+    AllOf,
+    AnyOf,
+    Environment_NORMAL,
+    Environment_URGENT,
+    Event,
+    Process,
+    Timeout,
+)
+from repro.des.exceptions import SimulationError, StopSimulation
+
+
+class Environment:
+    """Execution environment of a discrete-event simulation.
+
+    The environment keeps the current simulation time (:attr:`now`), the
+    pending event queue and offers factory helpers for the common event
+    types.  Time is a float in the paper's abstract "time units".
+    """
+
+    #: scheduling priority constants (smaller fires first at equal times)
+    URGENT = Environment_URGENT
+    NORMAL = Environment_NORMAL
+
+    def __init__(self, initial_time: float = 0.0) -> None:
+        self._now = float(initial_time)
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._eid = count()
+        self._active_process: Optional[Process] = None
+
+    # -- clock and queue ----------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time."""
+        return self._now
+
+    @property
+    def active_process(self) -> Optional[Process]:
+        """The process currently being resumed (None outside process code)."""
+        return self._active_process
+
+    def schedule(self, event: Event, priority: int = Environment_NORMAL, delay: float = 0.0) -> None:
+        """Insert a triggered event into the queue ``delay`` time units from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+
+    def peek(self) -> float:
+        """Time of the next scheduled event, or ``inf`` if the queue is empty."""
+        return self._queue[0][0] if self._queue else float("inf")
+
+    @property
+    def queue_size(self) -> int:
+        """Number of events currently scheduled (diagnostic aid)."""
+        return len(self._queue)
+
+    # -- event factories ------------------------------------------------------
+    def event(self) -> Event:
+        """Create a new untriggered event."""
+        return Event(self)
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Create an event that fires after ``delay`` time units."""
+        return Timeout(self, delay, value)
+
+    def process(self, generator: Generator[Event, Any, Any]) -> Process:
+        """Start ``generator`` as a new process."""
+        return Process(self, generator)
+
+    def all_of(self, events) -> AllOf:
+        """Composite event succeeding once all ``events`` succeed."""
+        return AllOf(self, events)
+
+    def any_of(self, events) -> AnyOf:
+        """Composite event succeeding once any of ``events`` succeeds."""
+        return AnyOf(self, events)
+
+    # -- run loop -------------------------------------------------------------
+    def step(self) -> None:
+        """Process the next scheduled event.
+
+        Raises
+        ------
+        SimulationError
+            If the queue is empty.
+        """
+        try:
+            self._now, _, _, event = heapq.heappop(self._queue)
+        except IndexError:
+            raise SimulationError("cannot step an empty event queue") from None
+
+        callbacks, event.callbacks = event.callbacks, None
+        if callbacks is None:
+            # Event was already processed (can happen for shared condition
+            # members); nothing to do.
+            return
+        for callback in callbacks:
+            callback(event)
+
+        if not event._ok and not event._defused:
+            # A failed event nobody waited on: surface the error.
+            exc = event._value
+            raise exc
+
+    def run(self, until: float | Event | None = None) -> Any:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            ``None`` runs until the event queue is exhausted; a number runs
+            until that simulation time; an :class:`Event` runs until that
+            event is processed and returns its value.
+        """
+        stop_event: Optional[Event] = None
+        if until is None:
+            pass
+        elif isinstance(until, Event):
+            stop_event = until
+            if stop_event.callbacks is None:
+                return stop_event.value
+            stop_event.callbacks.append(self._stop_callback)
+        else:
+            at = float(until)
+            if at < self._now:
+                raise SimulationError(
+                    f"until={at} lies in the past (now={self._now})"
+                )
+            stop_event = Event(self)
+            stop_event._ok = True
+            stop_event._value = None
+            stop_event.callbacks.append(self._stop_callback)
+            heapq.heappush(self._queue, (at, Environment_URGENT, next(self._eid), stop_event))
+
+        try:
+            while self._queue:
+                self.step()
+        except StopSimulation as stop:
+            return stop.value
+
+        if stop_event is not None and isinstance(until, Event):
+            if not stop_event.triggered:
+                raise SimulationError(
+                    "run(until=event) finished but the event never triggered"
+                )
+            return stop_event.value
+        if isinstance(until, (int, float)) and until is not None:
+            # Queue exhausted before reaching `until`: simply advance the clock.
+            self._now = max(self._now, float(until))
+        return None
+
+    @staticmethod
+    def _stop_callback(event: Event) -> None:
+        if event._ok:
+            raise StopSimulation(event._value)
+        raise event._value

@@ -1,0 +1,313 @@
+"""Event and process primitives of the DES kernel.
+
+An :class:`Event` is a one-shot object that can *succeed* or *fail* with a
+value; callbacks registered on the event run when the environment processes
+it.  A :class:`Process` wraps a generator: every value the generator yields
+must be an event, and the process resumes when that event is processed.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Iterable, List, Optional
+
+from repro.des.exceptions import Interrupt, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.core import Environment
+
+
+PENDING = object()
+
+
+class Event:
+    """A one-shot occurrence in simulated time.
+
+    Events move through three stages: *untriggered* (just created),
+    *triggered* (scheduled in the event queue with a value) and *processed*
+    (callbacks have run).  ``succeed``/``fail`` trigger the event.
+    """
+
+    def __init__(self, env: "Environment") -> None:
+        self.env = env
+        self.callbacks: Optional[List[Callable[["Event"], None]]] = []
+        self._value: Any = PENDING
+        self._ok: bool = True
+        self._defused = False
+
+    # -- state ------------------------------------------------------------
+    @property
+    def triggered(self) -> bool:
+        """True once the event has a value and sits in (or has left) the queue."""
+        return self._value is not PENDING
+
+    @property
+    def processed(self) -> bool:
+        """True once callbacks have run."""
+        return self.callbacks is None
+
+    @property
+    def ok(self) -> bool:
+        """True if the event succeeded (only meaningful once triggered)."""
+        if not self.triggered:
+            raise SimulationError("event value not yet available")
+        return self._ok
+
+    @property
+    def value(self) -> Any:
+        """The value the event succeeded or failed with."""
+        if self._value is PENDING:
+            raise SimulationError("event value not yet available")
+        return self._value
+
+    # -- triggering -------------------------------------------------------
+    def succeed(self, value: Any = None) -> "Event":
+        """Trigger the event successfully with ``value``."""
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = True
+        self._value = value
+        self.env.schedule(self)
+        return self
+
+    def fail(self, exception: BaseException) -> "Event":
+        """Trigger the event with an exception.
+
+        The exception propagates into every process waiting on this event.
+        If nothing waits on a failed event the environment re-raises it at the
+        end of the step (unless :meth:`defused` was called).
+        """
+        if not isinstance(exception, BaseException):
+            raise SimulationError(f"fail() needs an exception, got {exception!r}")
+        if self.triggered:
+            raise SimulationError(f"{self!r} has already been triggered")
+        self._ok = False
+        self._value = exception
+        self.env.schedule(self)
+        return self
+
+    def trigger(self, event: "Event") -> None:
+        """Trigger this event with the state of another event (callback helper)."""
+        if self.triggered:
+            return
+        self._ok = event._ok
+        self._value = event._value
+        self.env.schedule(self)
+
+    def defused(self) -> None:
+        """Mark a failed event as handled so the kernel does not re-raise it."""
+        self._defused = True
+
+    # -- composition ------------------------------------------------------
+    def __and__(self, other: "Event") -> "AllOf":
+        return AllOf(self.env, [self, other])
+
+    def __or__(self, other: "Event") -> "AnyOf":
+        return AnyOf(self.env, [self, other])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "processed" if self.processed else ("triggered" if self.triggered else "pending")
+        return f"<{type(self).__name__} {state} at {id(self):#x}>"
+
+
+class Timeout(Event):
+    """An event that fires ``delay`` time units after its creation."""
+
+    def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        super().__init__(env)
+        self.delay = delay
+        self._ok = True
+        self._value = value
+        env.schedule(self, delay=delay)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Timeout delay={self.delay}>"
+
+
+class Initialize(Event):
+    """Internal event used to start a freshly created process."""
+
+    def __init__(self, env: "Environment", process: "Process") -> None:
+        super().__init__(env)
+        self.callbacks.append(process._resume)
+        self._ok = True
+        self._value = None
+        env.schedule(self, priority=Environment_URGENT)
+
+
+# Priority constants shared with the core module (lower value = earlier).
+Environment_URGENT = 0
+Environment_NORMAL = 1
+
+
+class Process(Event):
+    """A running process.
+
+    A process is itself an event: it succeeds with the generator's return
+    value (or fails with its unhandled exception), so processes can wait for
+    each other simply by yielding them.
+    """
+
+    def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
+        if not hasattr(generator, "send") or not hasattr(generator, "throw"):
+            raise SimulationError(f"{generator!r} is not a generator")
+        super().__init__(env)
+        self._generator = generator
+        self._target: Optional[Event] = None
+        Initialize(env, self)
+
+    @property
+    def target(self) -> Optional[Event]:
+        """The event this process currently waits for (None when finished)."""
+        return self._target
+
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return self._value is PENDING
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current simulation time."""
+        if not self.is_alive:
+            raise SimulationError("cannot interrupt a finished process")
+        if self._target is None:
+            raise SimulationError("cannot interrupt a process before it starts")
+        interrupt_event = Event(self.env)
+        interrupt_event._ok = False
+        interrupt_event._value = Interrupt(cause)
+        interrupt_event._defused = True
+        interrupt_event.callbacks.append(self._resume)
+        self.env.schedule(interrupt_event, priority=Environment_URGENT)
+
+    # -- kernel machinery ---------------------------------------------------
+    def _resume(self, event: Event) -> None:
+        """Advance the generator with the outcome of ``event``."""
+        self.env._active_process = self
+        while True:
+            try:
+                if event._ok:
+                    next_event = self._generator.send(event._value)
+                else:
+                    event._defused = True
+                    exc = event._value
+                    next_event = self._generator.throw(exc)
+            except StopIteration as stop:
+                self._target = None
+                self._ok = True
+                self._value = stop.value
+                self.env.schedule(self)
+                break
+            except BaseException as exc:  # noqa: BLE001 - propagate via event
+                self._target = None
+                self._ok = False
+                self._value = exc
+                self.env.schedule(self)
+                break
+
+            if not isinstance(next_event, Event):
+                error = SimulationError(
+                    f"process yielded a non-event: {next_event!r}"
+                )
+                self._target = None
+                self._ok = False
+                self._value = error
+                self.env.schedule(self)
+                break
+
+            if next_event.callbacks is not None:
+                # Event not yet processed: register ourselves and wait.
+                next_event.callbacks.append(self._resume)
+                self._target = next_event
+                break
+            # Event already processed: continue immediately with its value.
+            event = next_event
+
+        self.env._active_process = None
+
+
+class ConditionValue:
+    """Ordered mapping of the events that triggered a condition to their values."""
+
+    def __init__(self, events: Iterable[Event]) -> None:
+        self.events: List[Event] = list(events)
+
+    def __contains__(self, event: Event) -> bool:
+        return event in self.events
+
+    def __getitem__(self, event: Event) -> Any:
+        if event not in self.events:
+            raise KeyError(event)
+        return event._value
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def keys(self) -> List[Event]:
+        return list(self.events)
+
+    def values(self) -> List[Any]:
+        return [event._value for event in self.events]
+
+    def items(self) -> List[tuple]:
+        return [(event, event._value) for event in self.events]
+
+    def todict(self) -> Dict[Event, Any]:
+        return dict(self.items())
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, ConditionValue):
+            return self.todict() == other.todict()
+        if isinstance(other, dict):
+            return self.todict() == other
+        return NotImplemented
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ConditionValue({self.todict()!r})"
+
+
+class Condition(Event):
+    """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
+
+    def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
+        super().__init__(env)
+        self._events = list(events)
+        self._count = 0
+        for event in self._events:
+            if event.env is not env:
+                raise SimulationError("cannot mix events from different environments")
+        if not self._events:
+            self.succeed(ConditionValue([]))
+            return
+        for event in self._events:
+            if event.callbacks is None:
+                self._check(event)
+            else:
+                event.callbacks.append(self._check)
+
+    def _evaluate(self, count: int) -> bool:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def _check(self, event: Event) -> None:
+        if self.triggered:
+            return
+        self._count += 1
+        if not event._ok:
+            event._defused = True
+            self.fail(event._value)
+        elif self._evaluate(self._count):
+            self.succeed(ConditionValue([e for e in self._events if e.triggered]))
+
+
+class AllOf(Condition):
+    """Succeeds once *all* component events have succeeded."""
+
+    def _evaluate(self, count: int) -> bool:
+        return count == len(self._events)
+
+
+class AnyOf(Condition):
+    """Succeeds as soon as *any* component event has succeeded."""
+
+    def _evaluate(self, count: int) -> bool:
+        return count >= 1

@@ -1,0 +1,33 @@
+"""Exception types used by the DES kernel."""
+
+from __future__ import annotations
+
+from typing import Any
+
+
+class SimulationError(RuntimeError):
+    """Raised when the kernel is used incorrectly (e.g. yielding a non-event)."""
+
+
+class StopSimulation(Exception):
+    """Raised internally to stop :meth:`Environment.run` at an ``until`` event."""
+
+    def __init__(self, value: Any = None) -> None:
+        super().__init__(value)
+        self.value = value
+
+
+class Interrupt(Exception):
+    """Thrown into a process when :meth:`Process.interrupt` is called.
+
+    The ``cause`` attribute carries the value passed to ``interrupt`` so the
+    interrupted process can decide how to react (the wormhole simulator uses
+    interrupts to model message drops during the drain phase).
+    """
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(cause)
+
+    @property
+    def cause(self) -> Any:
+        return self.args[0]

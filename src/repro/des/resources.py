@@ -1,0 +1,322 @@
+"""Shared-resource primitives for the DES kernel.
+
+The wormhole simulator models every unidirectional channel, every injection
+queue and every concentrator buffer as a contention point.  Three primitives
+cover all of them:
+
+* :class:`Resource` — a counted resource with FIFO queueing (a physical
+  channel has capacity 1: the worm that holds it blocks everybody else);
+* :class:`PriorityResource` — same, but requests carry a priority (used to
+  let drain-phase bookkeeping jump the queue in experiments);
+* :class:`Store` — a FIFO buffer of Python objects with optional capacity
+  (used for concentrator/dispatcher buffers and for mailbox-style message
+  hand-off between processes).
+
+All requests are events, so processes simply ``yield`` them.  Following the
+SimPy convention, ``Resource.request()`` is also a context manager so that
+``with`` blocks release automatically even on interrupt.
+"""
+
+from __future__ import annotations
+
+import heapq
+from itertools import count
+from typing import TYPE_CHECKING, Any, Callable, List, Optional
+
+from repro.des.events import Event
+from repro.des.exceptions import SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.des.core import Environment
+
+
+class Request(Event):
+    """A pending claim on a :class:`Resource`.
+
+    The request event succeeds once the resource grants it a slot.  Users
+    normally obtain requests through :meth:`Resource.request` and yield them.
+    """
+
+    def __init__(self, resource: "Resource") -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        #: simulation time at which the request was issued (for queue statistics)
+        self.issued_at = resource.env.now
+        #: simulation time at which the request was granted (None while waiting)
+        self.granted_at: Optional[float] = None
+        resource._add_request(self)
+
+    # -- context manager ----------------------------------------------------
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, exc_type, exc_value, traceback) -> None:
+        self.cancel()
+
+    def cancel(self) -> None:
+        """Release the slot (if granted) or withdraw the request (if waiting)."""
+        self.resource._cancel_request(self)
+
+    @property
+    def wait_time(self) -> float:
+        """Time spent waiting in the queue (valid once granted)."""
+        if self.granted_at is None:
+            raise SimulationError("request has not been granted yet")
+        return self.granted_at - self.issued_at
+
+
+class PriorityRequest(Request):
+    """A :class:`Request` with an explicit priority (smaller = more urgent)."""
+
+    def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
+        self.priority = priority
+        super().__init__(resource)
+
+
+class Release(Event):
+    """Explicit release event (alternative to the ``with`` protocol).
+
+    Yielding the release event lets a process synchronise on the release being
+    processed; it always succeeds immediately.
+    """
+
+    def __init__(self, resource: "Resource", request: Request) -> None:
+        super().__init__(resource.env)
+        self.resource = resource
+        self.request = request
+        resource._cancel_request(request)
+        self.succeed()
+
+
+class Resource:
+    """A counted, FIFO-queued resource.
+
+    Parameters
+    ----------
+    env:
+        The simulation environment.
+    capacity:
+        Number of simultaneous users (1 for a physical channel).
+    name:
+        Optional label used in diagnostics and statistics.
+    """
+
+    request_cls = Request
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str | None = None) -> None:
+        if capacity < 1:
+            raise SimulationError(f"capacity must be >= 1, got {capacity!r}")
+        self.env = env
+        self.capacity = int(capacity)
+        self.name = name
+        self._users: List[Request] = []
+        self._queue: List[Request] = []
+        #: total number of grants ever made (diagnostic / statistics aid)
+        self.total_grants = 0
+        #: accumulated time slots have been held (utilisation accounting);
+        #: holders still active are not included until they release
+        self.busy_time = 0.0
+
+    # -- public API -----------------------------------------------------------
+    def request(self) -> Request:
+        """Issue a request for one slot of the resource."""
+        return self.request_cls(self)
+
+    def release(self, request: Request) -> Release:
+        """Release the slot held by ``request``."""
+        return Release(self, request)
+
+    @property
+    def count(self) -> int:
+        """Number of slots currently in use."""
+        return len(self._users)
+
+    @property
+    def users(self) -> List[Request]:
+        """Requests currently holding a slot (copy)."""
+        return list(self._users)
+
+    @property
+    def queue(self) -> List[Request]:
+        """Requests currently waiting (copy, in grant order)."""
+        return list(self._queue)
+
+    @property
+    def queue_length(self) -> int:
+        """Number of waiting requests."""
+        return len(self._queue)
+
+    @property
+    def busy(self) -> bool:
+        """True if all slots are in use."""
+        return len(self._users) >= self.capacity
+
+    # -- internals ------------------------------------------------------------
+    def _add_request(self, request: Request) -> None:
+        self._queue.append(request)
+        self._trigger_grants()
+
+    def _cancel_request(self, request: Request) -> None:
+        if request in self._users:
+            self._users.remove(request)
+            if request.granted_at is not None:
+                self.busy_time += self.env.now - request.granted_at
+            self._trigger_grants()
+        elif request in self._queue:
+            self._queue.remove(request)
+        # A request that is neither queued nor granted has already been
+        # cancelled; cancelling twice is a no-op so `with` blocks stay simple.
+
+    def _select_next(self) -> Request:
+        return self._queue.pop(0)
+
+    def _trigger_grants(self) -> None:
+        while self._queue and len(self._users) < self.capacity:
+            request = self._select_next()
+            self._users.append(request)
+            request.granted_at = self.env.now
+            self.total_grants += 1
+            request.succeed(request)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return (
+            f"<{type(self).__name__}{label} capacity={self.capacity} "
+            f"users={len(self._users)} queued={len(self._queue)}>"
+        )
+
+
+class PriorityResource(Resource):
+    """A :class:`Resource` whose queue is ordered by request priority.
+
+    Ties are broken by issue order so the resource stays FIFO within a
+    priority class (and therefore deterministic).
+    """
+
+    request_cls = PriorityRequest
+
+    def __init__(self, env: "Environment", capacity: int = 1, name: str | None = None) -> None:
+        super().__init__(env, capacity, name)
+        self._heap: List[tuple] = []
+        self._order = count()
+
+    def request(self, priority: int = 0) -> PriorityRequest:  # type: ignore[override]
+        return PriorityRequest(self, priority)
+
+    def _add_request(self, request: Request) -> None:
+        assert isinstance(request, PriorityRequest)
+        heapq.heappush(self._heap, (request.priority, next(self._order), request))
+        self._queue.append(request)  # keep the base-class bookkeeping in sync
+        self._trigger_grants()
+
+    def _select_next(self) -> Request:
+        while True:
+            _, _, request = heapq.heappop(self._heap)
+            if request in self._queue:
+                self._queue.remove(request)
+                return request
+            # request was cancelled while waiting: skip the stale heap entry.
+
+
+class StorePut(Event):
+    """A pending put into a :class:`Store` (waits while the store is full)."""
+
+    def __init__(self, store: "Store", item: Any) -> None:
+        super().__init__(store.env)
+        self.item = item
+        store._put_queue.append(self)
+        store._trigger()
+
+
+class StoreGet(Event):
+    """A pending get from a :class:`Store` (waits while the store is empty)."""
+
+    def __init__(self, store: "Store", filter_fn: Callable[[Any], bool] | None = None) -> None:
+        super().__init__(store.env)
+        self.filter_fn = filter_fn
+        store._get_queue.append(self)
+        store._trigger()
+
+
+class Store:
+    """A FIFO buffer of items with optional finite capacity.
+
+    ``put`` blocks while the store is full; ``get`` blocks while it is empty.
+    An optional filter on ``get`` allows selective retrieval (used by the
+    dispatcher to pull only messages destined to its own cluster).
+    """
+
+    def __init__(
+        self,
+        env: "Environment",
+        capacity: float = float("inf"),
+        name: str | None = None,
+    ) -> None:
+        if capacity <= 0:
+            raise SimulationError(f"capacity must be > 0, got {capacity!r}")
+        self.env = env
+        self.capacity = capacity
+        self.name = name
+        self.items: List[Any] = []
+        self._put_queue: List[StorePut] = []
+        self._get_queue: List[StoreGet] = []
+        #: number of items that have passed through the store (diagnostics)
+        self.total_puts = 0
+
+    def put(self, item: Any) -> StorePut:
+        """Add ``item`` to the store (event succeeds when space is available)."""
+        return StorePut(self, item)
+
+    def get(self, filter_fn: Callable[[Any], bool] | None = None) -> StoreGet:
+        """Retrieve the oldest item (optionally the oldest matching ``filter_fn``)."""
+        return StoreGet(self, filter_fn)
+
+    @property
+    def level(self) -> int:
+        """Number of items currently stored."""
+        return len(self.items)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.items) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.items
+
+    # -- internals ------------------------------------------------------------
+    def _trigger(self) -> None:
+        progressed = True
+        while progressed:
+            progressed = False
+            # Complete puts while there is room.
+            while self._put_queue and len(self.items) < self.capacity:
+                put = self._put_queue.pop(0)
+                self.items.append(put.item)
+                self.total_puts += 1
+                put.succeed()
+                progressed = True
+            # Complete gets while there are (matching) items.
+            pending_gets: List[StoreGet] = []
+            while self._get_queue:
+                get = self._get_queue.pop(0)
+                index = self._find(get.filter_fn)
+                if index is None:
+                    pending_gets.append(get)
+                    continue
+                item = self.items.pop(index)
+                get.succeed(item)
+                progressed = True
+            self._get_queue = pending_gets
+
+    def _find(self, filter_fn: Callable[[Any], bool] | None) -> Optional[int]:
+        if filter_fn is None:
+            return 0 if self.items else None
+        for index, item in enumerate(self.items):
+            if filter_fn(item):
+                return index
+        return None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        label = f" {self.name!r}" if self.name else ""
+        return f"<Store{label} level={len(self.items)}/{self.capacity}>"

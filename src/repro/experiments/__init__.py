@@ -1,0 +1,65 @@
+"""Experiment harness reproducing the paper's evaluation (Table 1, Fig. 3, Fig. 4).
+
+The harness turns "regenerate figure 3" into one function call:
+
+* :mod:`repro.experiments.configs` — the exact Table 1 system organisations,
+  the paper's channel timing, the four message geometries and the offered-
+  traffic ranges of the figures;
+* :mod:`repro.experiments.sweep` — latency-versus-offered-traffic sweeps
+  running the analytical model and (optionally) the simulator at every
+  operating point;
+* :mod:`repro.experiments.figures` — Fig. 3 and Fig. 4 as data (one series
+  per curve of the original plots);
+* :mod:`repro.experiments.table1` — the Table 1 organisation summary;
+* :mod:`repro.experiments.compare` — model-versus-simulation agreement
+  metrics (the paper's "good degree of accuracy" claim, quantified);
+* :mod:`repro.experiments.ablation` — the design-choice ablations called out
+  in DESIGN.md (heterogeneity awareness, variance approximation, traffic
+  pattern);
+* :mod:`repro.experiments.report` — plain-text / CSV / Markdown rendering,
+  including the EXPERIMENTS.md generator.
+"""
+
+from repro.experiments.configs import (
+    FIGURE_SPECS,
+    FigureSpec,
+    paper_message_specs,
+    table1_specs,
+    table1_system,
+)
+from repro.experiments.sweep import OperatingPoint, SweepResult, latency_sweep
+from repro.experiments.figures import FigureResult, run_figure
+from repro.experiments.table1 import table1_rows
+from repro.experiments.compare import AgreementReport, compare_model_and_simulation
+from repro.experiments.ablation import (
+    heterogeneity_ablation,
+    traffic_pattern_ablation,
+    variance_ablation,
+)
+from repro.experiments.report import (
+    experiments_markdown,
+    figure_to_table,
+    sweep_to_table,
+)
+
+__all__ = [
+    "FIGURE_SPECS",
+    "FigureSpec",
+    "paper_message_specs",
+    "table1_specs",
+    "table1_system",
+    "OperatingPoint",
+    "SweepResult",
+    "latency_sweep",
+    "FigureResult",
+    "run_figure",
+    "table1_rows",
+    "AgreementReport",
+    "compare_model_and_simulation",
+    "heterogeneity_ablation",
+    "traffic_pattern_ablation",
+    "variance_ablation",
+    "experiments_markdown",
+    "figure_to_table",
+    "sweep_to_table",
+]

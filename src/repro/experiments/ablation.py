@@ -1,0 +1,176 @@
+"""Design-choice ablations (DESIGN.md section 6).
+
+Three questions the paper's design raises but does not answer directly:
+
+1. **Does modelling cluster-size heterogeneity matter?**  Compare the exact
+   model with the equal-cluster-size approximation on the Table 1
+   organisations (:func:`heterogeneity_ablation`).
+2. **Does the Draper-Ghosh variance approximation matter?**  Compare the
+   published source-queue variance (Eq. 22) with a deterministic-service
+   assumption (:func:`variance_ablation`).
+3. **How far does the uniform-traffic model stretch?**  Evaluate the
+   simulator under non-uniform patterns against the (uniform-traffic)
+   analytical curve (:func:`traffic_pattern_ablation`).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.model.homogeneous import EqualSizeApproximationModel
+from repro.model.latency import MultiClusterLatencyModel
+from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import MultiClusterSimulator
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+from repro.workloads.base import TrafficPattern
+
+
+@dataclass(frozen=True)
+class AblationPoint:
+    """Latency of the reference and the variant at one offered traffic."""
+
+    lambda_g: float
+    reference: float
+    variant: float
+
+    @property
+    def relative_difference(self) -> float:
+        if not math.isfinite(self.reference) or not math.isfinite(self.variant):
+            return math.nan
+        return (self.variant - self.reference) / self.reference
+
+
+@dataclass(frozen=True)
+class AblationResult:
+    """One ablation: what was varied and the point-by-point comparison."""
+
+    name: str
+    reference_label: str
+    variant_label: str
+    points: Tuple[AblationPoint, ...]
+
+    def max_relative_difference(self) -> float:
+        values = [
+            abs(point.relative_difference)
+            for point in self.points
+            if not math.isnan(point.relative_difference)
+        ]
+        return max(values) if values else math.nan
+
+    def mean_relative_difference(self) -> float:
+        values = [
+            point.relative_difference
+            for point in self.points
+            if not math.isnan(point.relative_difference)
+        ]
+        return sum(values) / len(values) if values else math.nan
+
+
+def heterogeneity_ablation(
+    spec: MultiClusterSpec,
+    message: MessageSpec,
+    offered_traffic: Sequence[float],
+    *,
+    timing: TimingParameters = PAPER_TIMING,
+) -> AblationResult:
+    """Exact heterogeneous model vs the equal-cluster-size approximation."""
+    _check_traffic(offered_traffic)
+    exact = MultiClusterLatencyModel(spec, message, timing)
+    approximate = EqualSizeApproximationModel(spec, message, timing)
+    points = tuple(
+        AblationPoint(
+            lambda_g=float(value),
+            reference=exact.mean_latency(value),
+            variant=approximate.mean_latency(value),
+        )
+        for value in offered_traffic
+    )
+    return AblationResult(
+        name=f"heterogeneity ({spec.name or spec.total_nodes})",
+        reference_label="heterogeneity-aware model",
+        variant_label=f"equal-size approximation (n={approximate.equivalent_height})",
+        points=points,
+    )
+
+
+def variance_ablation(
+    spec: MultiClusterSpec,
+    message: MessageSpec,
+    offered_traffic: Sequence[float],
+    *,
+    timing: TimingParameters = PAPER_TIMING,
+) -> AblationResult:
+    """Draper-Ghosh source-queue variance (Eq. 22) vs deterministic service."""
+    _check_traffic(offered_traffic)
+    draper = MultiClusterLatencyModel(spec, message, timing)
+    deterministic = MultiClusterLatencyModel(
+        spec, message, timing, variance_approximation="zero"
+    )
+    points = tuple(
+        AblationPoint(
+            lambda_g=float(value),
+            reference=draper.mean_latency(value),
+            variant=deterministic.mean_latency(value),
+        )
+        for value in offered_traffic
+    )
+    return AblationResult(
+        name=f"variance approximation ({spec.name or spec.total_nodes})",
+        reference_label="Draper-Ghosh variance (Eq. 22)",
+        variant_label="zero-variance (M/D/1) source queues",
+        points=points,
+    )
+
+
+def traffic_pattern_ablation(
+    spec: MultiClusterSpec,
+    message: MessageSpec,
+    offered_traffic: Sequence[float],
+    patterns: Dict[str, Optional[TrafficPattern]],
+    *,
+    timing: TimingParameters = PAPER_TIMING,
+    simulation_config: SimulationConfig = SimulationConfig(),
+) -> Dict[str, AblationResult]:
+    """Simulated latency under alternative traffic patterns vs the uniform model.
+
+    ``patterns`` maps a label to a traffic pattern (``None`` means the
+    uniform pattern).  Every pattern is simulated over the same traffic grid
+    and compared against the analytical (uniform-traffic) curve, showing
+    where the published model stops being a good predictor.
+    """
+    _check_traffic(offered_traffic)
+    model = MultiClusterLatencyModel(spec, message, timing)
+    reference_curve = [model.mean_latency(value) for value in offered_traffic]
+    results: Dict[str, AblationResult] = {}
+    for label, pattern in patterns.items():
+        simulator = MultiClusterSimulator(
+            spec, message, timing, config=simulation_config, pattern=pattern
+        )
+        points = []
+        for value, reference in zip(offered_traffic, reference_curve):
+            simulated = simulator.run(value)
+            points.append(
+                AblationPoint(
+                    lambda_g=float(value),
+                    reference=reference,
+                    variant=simulated.mean_latency,
+                )
+            )
+        results[label] = AblationResult(
+            name=f"traffic pattern: {label}",
+            reference_label="uniform-traffic analytical model",
+            variant_label=f"simulation under {label}",
+            points=tuple(points),
+        )
+    return results
+
+
+def _check_traffic(offered_traffic: Sequence[float]) -> None:
+    if len(offered_traffic) == 0:
+        raise ValidationError("offered_traffic must contain at least one value")
+    if any(value <= 0 for value in offered_traffic):
+        raise ValidationError("offered traffic values must be > 0")

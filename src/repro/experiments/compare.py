@@ -1,0 +1,135 @@
+"""Model-versus-simulation agreement metrics.
+
+The paper's claim is qualitative ("a good degree of accuracy ... in the
+steady state region"); this module quantifies it so the benchmark harness can
+assert it: mean/max relative error over the steady-state region, and the
+ratio of the two saturation estimates.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.experiments.sweep import SweepResult
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class AgreementReport:
+    """How well the analytical model tracks the simulation over one sweep."""
+
+    sweep_name: str
+    #: operating points in the steady-state region that have both values
+    compared_points: int
+    mean_relative_error: float
+    max_relative_error: float
+    #: offered traffic at which the model first saturates (inf if never)
+    model_saturation: float
+    #: offered traffic at which the simulation first exceeds the blow-up
+    #: threshold (inf if never within the sweep)
+    simulation_blowup: float
+
+    @property
+    def agrees_in_steady_state(self) -> bool:
+        """The reproduction-level restatement of the paper's accuracy claim."""
+        return self.compared_points > 0 and self.mean_relative_error < 0.2
+
+    def summary(self) -> dict:
+        return {
+            "sweep": self.sweep_name,
+            "compared_points": self.compared_points,
+            "mean_relative_error": self.mean_relative_error,
+            "max_relative_error": self.max_relative_error,
+            "model_saturation": self.model_saturation,
+            "simulation_blowup": self.simulation_blowup,
+        }
+
+
+def compare_model_and_simulation(
+    sweep: SweepResult,
+    *,
+    blowup_factor: float = 5.0,
+) -> AgreementReport:
+    """Quantify the agreement of one sweep's model and simulation curves.
+
+    Parameters
+    ----------
+    sweep:
+        A sweep that was run with simulation enabled.
+    blowup_factor:
+        The simulation is considered saturated once its latency exceeds this
+        multiple of the lowest simulated latency of the sweep (the knee of
+        the curve in Fig. 3/4 terms).
+    """
+    if not sweep.has_simulation:
+        raise ValidationError("the sweep was run without simulation")
+    errors = []
+    for point in sweep.steady_state_points():
+        error = point.relative_error
+        if not math.isnan(error):
+            errors.append(abs(error))
+    baseline = min(
+        (
+            point.simulated.mean_latency
+            for point in sweep.points
+            if point.simulated is not None and math.isfinite(point.simulated.mean_latency)
+        ),
+        default=math.inf,
+    )
+    simulation_blowup = math.inf
+    for point in sweep.points:
+        if point.simulated is None:
+            continue
+        latency = point.simulated.mean_latency
+        if point.simulated.saturated or latency > blowup_factor * baseline:
+            simulation_blowup = point.lambda_g
+            break
+    return AgreementReport(
+        sweep_name=sweep.describe(),
+        compared_points=len(errors),
+        mean_relative_error=sum(errors) / len(errors) if errors else math.nan,
+        max_relative_error=max(errors) if errors else math.nan,
+        model_saturation=sweep.model_saturation_point(),
+        simulation_blowup=simulation_blowup,
+    )
+
+
+def saturation_shift(report: AgreementReport) -> float:
+    """Ratio model-saturation / simulation-blow-up (``nan`` if undetermined).
+
+    Values below 1 mean the model is conservative (saturates earlier than the
+    simulated system), which is the behaviour the paper reports near
+    saturation.
+    """
+    if math.isinf(report.model_saturation) or math.isinf(report.simulation_blowup):
+        return math.nan
+    return report.model_saturation / report.simulation_blowup
+
+
+def curves_match_in_shape(sweep: SweepResult, tolerance: float = 0.25) -> Tuple[bool, str]:
+    """Cheap structural check used by the benchmarks.
+
+    Verifies (a) both curves are non-decreasing over the steady-state region
+    and (b) the model tracks the simulation within ``tolerance`` there.
+    Returns (ok, reason).
+    """
+    steady = sweep.steady_state_points()
+    if len(steady) < 2:
+        return False, "fewer than two steady-state points"
+    last_model = -math.inf
+    last_sim = -math.inf
+    for point in steady:
+        if point.model_latency < last_model - 1e-9:
+            return False, f"model curve decreases at lambda={point.lambda_g}"
+        last_model = point.model_latency
+        if point.simulated is not None and math.isfinite(point.simulated.mean_latency):
+            if point.simulated.mean_latency < last_sim * 0.9:
+                return False, f"simulation curve decreases at lambda={point.lambda_g}"
+            last_sim = point.simulated.mean_latency
+    if sweep.has_simulation:
+        error = sweep.max_steady_state_error()
+        if not math.isnan(error) and error > tolerance:
+            return False, f"steady-state error {error:.2f} exceeds {tolerance}"
+    return True, "ok"

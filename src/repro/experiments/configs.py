@@ -1,0 +1,129 @@
+"""The paper's experimental configurations (Table 1 and the figure settings).
+
+Table 1 of the paper defines two heterogeneous system organisations used in
+the validation study:
+
+=======  ====  ===  =====================================================
+N        C     m    node organisation (tree height n_i per cluster group)
+=======  ====  ===  =====================================================
+1120     32    8    n=1 for clusters 0-11, n=2 for 12-27, n=3 for 28-31
+544      16    4    n=3 for clusters 0-7,  n=4 for 8-10,  n=5 for 11-15
+=======  ====  ===  =====================================================
+
+Fig. 3 plots mean message latency versus offered traffic for the N=1120
+organisation (left panel M=32 flits, right panel M=64 flits, two curves per
+panel for L_m = 256 and 512 bytes); Fig. 4 repeats this for N=544.  The
+offered-traffic ranges below are the figure axis ranges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.parameters import (
+    MessageSpec,
+    PAPER_MESSAGE_SPECS,
+    PAPER_TIMING,
+    TimingParameters,
+)
+from repro.topology.multicluster import ClusterSpec, MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+#: Offered-traffic axis ranges of the paper's figures, keyed by
+#: (total nodes, message length in flits).
+FIGURE_TRAFFIC_RANGES: Dict[Tuple[int, int], float] = {
+    (1120, 32): 5.0e-4,
+    (1120, 64): 2.5e-4,
+    (544, 32): 1.0e-3,
+    (544, 64): 5.0e-4,
+}
+
+
+def table1_specs() -> Tuple[MultiClusterSpec, MultiClusterSpec]:
+    """Both Table 1 organisations, largest first."""
+    return (table1_system(1120), table1_system(544))
+
+
+def table1_system(total_nodes: int) -> MultiClusterSpec:
+    """One Table 1 organisation selected by its total node count (1120 or 544)."""
+    if total_nodes == 1120:
+        return MultiClusterSpec.from_groups(
+            m=8,
+            groups=[ClusterSpec(n=1, count=12), ClusterSpec(n=2, count=16), ClusterSpec(n=3, count=4)],
+            name="N=1120",
+        )
+    if total_nodes == 544:
+        return MultiClusterSpec.from_groups(
+            m=4,
+            groups=[ClusterSpec(n=3, count=8), ClusterSpec(n=4, count=3), ClusterSpec(n=5, count=5)],
+            name="N=544",
+        )
+    raise ValidationError(
+        f"Table 1 defines organisations for 1120 and 544 nodes, not {total_nodes}"
+    )
+
+
+def paper_timing() -> TimingParameters:
+    """The channel timing used throughout Section 4."""
+    return PAPER_TIMING
+
+
+def paper_message_specs() -> Tuple[MessageSpec, ...]:
+    """The four (M, Lm) combinations of Fig. 3 / Fig. 4."""
+    return PAPER_MESSAGE_SPECS
+
+
+@dataclass(frozen=True)
+class FigureSpec:
+    """One panel of Fig. 3 or Fig. 4 (a fixed system and message length)."""
+
+    figure: str
+    total_nodes: int
+    message_length: int
+    flit_sizes: Tuple[int, ...] = (256, 512)
+    num_points: int = 11
+
+    @property
+    def system(self) -> MultiClusterSpec:
+        return table1_system(self.total_nodes)
+
+    @property
+    def max_traffic(self) -> float:
+        return FIGURE_TRAFFIC_RANGES[(self.total_nodes, self.message_length)]
+
+    def offered_traffic(self, num_points: int | None = None) -> np.ndarray:
+        """The offered-traffic grid of the panel (excludes the idle point 0)."""
+        points = num_points if num_points is not None else self.num_points
+        return np.linspace(0.0, self.max_traffic, points + 1)[1:]
+
+    def message_specs(self) -> Tuple[MessageSpec, ...]:
+        return tuple(
+            MessageSpec(length_flits=self.message_length, flit_bytes=flit_bytes)
+            for flit_bytes in self.flit_sizes
+        )
+
+    def describe(self) -> str:
+        return (
+            f"{self.figure}: N={self.total_nodes}, M={self.message_length} flits, "
+            f"Lm in {self.flit_sizes}"
+        )
+
+
+#: The four panels of the paper's two validation figures.
+FIGURE_SPECS: Dict[str, FigureSpec] = {
+    "fig3-M32": FigureSpec(figure="fig3", total_nodes=1120, message_length=32),
+    "fig3-M64": FigureSpec(figure="fig3", total_nodes=1120, message_length=64),
+    "fig4-M32": FigureSpec(figure="fig4", total_nodes=544, message_length=32),
+    "fig4-M64": FigureSpec(figure="fig4", total_nodes=544, message_length=64),
+}
+
+
+def figure_panels(figure: str) -> Sequence[FigureSpec]:
+    """The panels belonging to one figure (``"fig3"`` or ``"fig4"``)."""
+    panels = [spec for spec in FIGURE_SPECS.values() if spec.figure == figure]
+    if not panels:
+        raise ValidationError(f"unknown figure {figure!r}; use 'fig3' or 'fig4'")
+    return panels

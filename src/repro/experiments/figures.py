@@ -1,0 +1,101 @@
+"""Reproduction of Fig. 3 and Fig. 4: latency versus offered traffic.
+
+Each figure of the paper has two panels (message length 32 and 64 flits) and
+each panel shows four curves: analysis and simulation for flit sizes 256 and
+512 bytes.  :func:`run_figure` regenerates all of that as data — one
+:class:`~repro.experiments.sweep.SweepResult` per (panel, flit size) — which
+the report module renders as tables/CSV and the benchmarks check for shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.experiments.configs import FigureSpec, figure_panels
+from repro.experiments.sweep import SweepResult, latency_sweep
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class FigureResult:
+    """All series of one figure, keyed by (message length, flit size)."""
+
+    figure: str
+    sweeps: Dict[Tuple[int, int], SweepResult]
+
+    def sweep(self, message_length: int, flit_bytes: int) -> SweepResult:
+        key = (message_length, flit_bytes)
+        if key not in self.sweeps:
+            raise ValidationError(
+                f"{self.figure} has no series for M={message_length}, Lm={flit_bytes}"
+            )
+        return self.sweeps[key]
+
+    @property
+    def panels(self) -> Tuple[int, ...]:
+        """The message lengths (one per panel of the original figure)."""
+        return tuple(sorted({length for length, _ in self.sweeps}))
+
+    def series_labels(self) -> Tuple[str, ...]:
+        return tuple(
+            f"M={length} Lm={flit}" for length, flit in sorted(self.sweeps.keys())
+        )
+
+
+def run_panel(
+    panel: FigureSpec,
+    *,
+    num_points: Optional[int] = None,
+    run_simulation: bool = True,
+    simulation_config: SimulationConfig = SimulationConfig(),
+) -> Dict[Tuple[int, int], SweepResult]:
+    """All series of one panel (one sweep per flit size)."""
+    sweeps: Dict[Tuple[int, int], SweepResult] = {}
+    offered = panel.offered_traffic(num_points)
+    for message in panel.message_specs():
+        sweeps[(message.length_flits, message.flit_bytes)] = latency_sweep(
+            panel.system,
+            message,
+            offered,
+            run_simulation=run_simulation,
+            simulation_config=simulation_config,
+        )
+    return sweeps
+
+
+def run_figure(
+    figure: str,
+    *,
+    num_points: Optional[int] = None,
+    run_simulation: bool = True,
+    simulation_config: SimulationConfig = SimulationConfig(),
+) -> FigureResult:
+    """Regenerate ``"fig3"`` (N=1120) or ``"fig4"`` (N=544) as data.
+
+    With ``run_simulation=False`` only the analysis curves are produced,
+    which takes well under a second; the full analysis-plus-simulation
+    reproduction at the paper's message budget is available through
+    ``simulation_config=SimulationConfig.paper()`` and takes minutes.
+    """
+    sweeps: Dict[Tuple[int, int], SweepResult] = {}
+    for panel in figure_panels(figure):
+        sweeps.update(
+            run_panel(
+                panel,
+                num_points=num_points,
+                run_simulation=run_simulation,
+                simulation_config=simulation_config,
+            )
+        )
+    return FigureResult(figure=figure, sweeps=sweeps)
+
+
+def expected_message_specs(figure: str) -> Tuple[MessageSpec, ...]:
+    """The four (M, Lm) combinations a figure's panels cover."""
+    specs = []
+    for panel in figure_panels(figure):
+        specs.extend(panel.message_specs())
+    return tuple(specs)

@@ -1,0 +1,165 @@
+"""Latency-versus-offered-traffic sweeps (the raw material of Fig. 3 / Fig. 4).
+
+A sweep evaluates the analytical model at every operating point and, unless
+disabled, also runs the wormhole simulator there, producing one
+:class:`OperatingPoint` per offered-traffic value.  The sweep is the shared
+engine behind the figure reproductions, the ablations, the CLI and the
+benchmark harness.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.latency import MultiClusterLatencyModel
+from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import MultiClusterSimulator
+from repro.sim.statistics import SimulationResult
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+from repro.workloads.base import TrafficPattern
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Model prediction and (optional) simulation measurement at one load."""
+
+    lambda_g: float
+    model_latency: float
+    simulated: Optional[SimulationResult] = None
+
+    @property
+    def simulated_latency(self) -> float:
+        if self.simulated is None:
+            return math.nan
+        return self.simulated.mean_latency
+
+    @property
+    def relative_error(self) -> float:
+        """(model - simulation) / simulation; ``nan`` when either is unusable."""
+        if self.simulated is None:
+            return math.nan
+        simulated = self.simulated.mean_latency
+        if not math.isfinite(simulated) or not math.isfinite(self.model_latency):
+            return math.nan
+        return (self.model_latency - simulated) / simulated
+
+    @property
+    def model_saturated(self) -> bool:
+        return math.isinf(self.model_latency)
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """All operating points of one latency-versus-traffic sweep."""
+
+    spec_name: str
+    message: MessageSpec
+    points: Tuple[OperatingPoint, ...]
+
+    @property
+    def offered_traffic(self) -> np.ndarray:
+        return np.array([point.lambda_g for point in self.points])
+
+    @property
+    def model_curve(self) -> np.ndarray:
+        return np.array([point.model_latency for point in self.points])
+
+    @property
+    def simulation_curve(self) -> np.ndarray:
+        return np.array([point.simulated_latency for point in self.points])
+
+    @property
+    def has_simulation(self) -> bool:
+        return any(point.simulated is not None for point in self.points)
+
+    def steady_state_points(self) -> Tuple[OperatingPoint, ...]:
+        """Operating points where the model has not saturated."""
+        return tuple(point for point in self.points if not point.model_saturated)
+
+    def max_steady_state_error(self) -> float:
+        """Largest |relative error| over the steady-state region (nan without sim)."""
+        errors = [
+            abs(point.relative_error)
+            for point in self.steady_state_points()
+            if not math.isnan(point.relative_error)
+        ]
+        return max(errors) if errors else math.nan
+
+    def model_saturation_point(self) -> float:
+        """First offered traffic at which the model saturates (inf if never)."""
+        for point in self.points:
+            if point.model_saturated:
+                return point.lambda_g
+        return math.inf
+
+    def describe(self) -> str:
+        return f"{self.spec_name}, {self.message.describe()}"
+
+
+def latency_sweep(
+    spec: MultiClusterSpec,
+    message: MessageSpec,
+    offered_traffic: Sequence[float],
+    *,
+    timing: TimingParameters = PAPER_TIMING,
+    run_simulation: bool = True,
+    simulation_config: SimulationConfig = SimulationConfig(),
+    pattern: Optional[TrafficPattern] = None,
+    variance_approximation: str = "draper-ghosh",
+) -> SweepResult:
+    """Evaluate model (and optionally simulator) over ``offered_traffic``.
+
+    Parameters
+    ----------
+    spec, message, timing:
+        The system organisation and workload geometry under study.
+    offered_traffic:
+        The ``lambda_g`` grid; values must be strictly positive (the
+        zero-load point is analytic only and can be obtained from the model
+        directly).
+    run_simulation:
+        When False only the analytical model is evaluated — three orders of
+        magnitude faster, which is what the design-space exploration example
+        relies on.
+    simulation_config:
+        Statistics budget for the simulation runs.
+    pattern:
+        Traffic pattern for the simulator (uniform by default).  The
+        analytical curve always uses the paper's uniform-traffic model, so a
+        non-uniform pattern here shows how far the published model drifts
+        under other workloads.
+    """
+    if len(offered_traffic) == 0:
+        raise ValidationError("offered_traffic must contain at least one value")
+    model = MultiClusterLatencyModel(
+        spec, message, timing, variance_approximation=variance_approximation
+    )
+    simulator = None
+    if run_simulation:
+        simulator = MultiClusterSimulator(
+            spec, message, timing, config=simulation_config, pattern=pattern
+        )
+    points = []
+    for lambda_g in offered_traffic:
+        if lambda_g <= 0:
+            raise ValidationError("offered traffic values must be > 0")
+        model_latency = model.mean_latency(lambda_g)
+        simulated = simulator.run(lambda_g) if simulator is not None else None
+        points.append(
+            OperatingPoint(
+                lambda_g=float(lambda_g),
+                model_latency=float(model_latency),
+                simulated=simulated,
+            )
+        )
+    return SweepResult(
+        spec_name=spec.name or f"N={spec.total_nodes}",
+        message=message,
+        points=tuple(points),
+    )

@@ -1,0 +1,64 @@
+"""Reproduction of Table 1: the validation system organisations.
+
+The table itself is static information, but regenerating it from the
+:class:`MultiClusterSpec` objects verifies that the organisations we feed to
+the model and the simulator really are the paper's (node counts, cluster
+counts, switch arities and the per-group tree heights all have to line up).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from repro.experiments.configs import table1_specs
+from repro.topology.multicluster import MultiClusterSpec, MultiClusterSystem
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One row of Table 1 plus derived structural quantities."""
+
+    name: str
+    total_nodes: int
+    num_clusters: int
+    switch_ports: int
+    organisation: str
+    icn2_height: int
+    total_switches: int
+    cluster_sizes: Tuple[int, ...]
+
+    def as_cells(self) -> Tuple:
+        """The row in the paper's column order (N, C, m, organisation)."""
+        return (self.total_nodes, self.num_clusters, self.switch_ports, self.organisation)
+
+
+def _organisation_string(spec: MultiClusterSpec) -> str:
+    groups: List[str] = []
+    heights = spec.cluster_heights
+    start = 0
+    for index in range(1, len(heights) + 1):
+        if index == len(heights) or heights[index] != heights[start]:
+            groups.append(f"ni={heights[start]} i in [{start},{index - 1}]")
+            start = index
+    return "; ".join(groups)
+
+
+def table1_row(spec: MultiClusterSpec) -> Table1Row:
+    """Build one Table 1 row from a system organisation."""
+    system = MultiClusterSystem(spec)
+    return Table1Row(
+        name=spec.name or f"N={spec.total_nodes}",
+        total_nodes=spec.total_nodes,
+        num_clusters=spec.num_clusters,
+        switch_ports=spec.m,
+        organisation=_organisation_string(spec),
+        icn2_height=spec.icn2_height,
+        total_switches=system.total_switches,
+        cluster_sizes=spec.cluster_sizes,
+    )
+
+
+def table1_rows() -> Tuple[Table1Row, ...]:
+    """Both rows of Table 1 (N=1120 then N=544)."""
+    return tuple(table1_row(spec) for spec in table1_specs())

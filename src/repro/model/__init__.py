@@ -1,0 +1,118 @@
+"""The analytical latency model — the paper's primary contribution.
+
+Given a heterogeneous multi-cluster organisation (Section 2), Poisson traffic
+with uniformly distributed destinations and wormhole flow control, the model
+predicts the mean message latency seen by a node of each cluster and the
+system-wide weighted mean (Eq. 3-36 of the paper).
+
+The model is layered exactly like the derivation in the paper:
+
+================  ==========================================================
+module            paper content
+================  ==========================================================
+``parameters``    the free parameters: system organisation, link timing
+                  (Eq. 14-15), message geometry, offered traffic
+``probabilities`` the journey-length distribution ``P_{j,n}`` and the mean
+                  message distance (Eq. 4, 8, 9)
+``traffic``       outgoing-traffic probability, per-network message rates and
+                  per-channel rates (Eq. 5-7, 10-13)
+``service_time``  the per-stage blocking/service-time recursion (Eq. 16-18,
+                  26-29)
+``queueing``      M/G/1 source queues and concentrator/dispatcher queues
+                  (Eq. 19-23, 30, 33-34)
+``intra``         mean latency in the intra-cluster network ICN1 (Eq. 3, 24,
+                  25)
+``inter``         mean latency across ECN1 + ICN2 (Eq. 26-32)
+``latency``       per-cluster and system-wide weighted means (Eq. 35-36) —
+                  the public entry point :class:`MultiClusterLatencyModel`
+``homogeneous``   baseline models: a single homogeneous cluster (prior work)
+                  and the equal-cluster-size approximation used as ablation
+``extensions``    the paper's future-work items: processor heterogeneity and
+                  non-uniform (hot-spot) traffic
+``saturation``    numerical location of the saturation point
+================  ==========================================================
+"""
+
+from repro.model.parameters import (
+    MessageSpec,
+    ModelParameters,
+    TimingParameters,
+    PAPER_TIMING,
+)
+from repro.model.probabilities import (
+    average_message_distance,
+    link_probability,
+    link_probability_vector,
+)
+from repro.model.traffic import (
+    ChannelRates,
+    NetworkRates,
+    ecn1_channel_rate,
+    ecn1_pair_rate,
+    icn1_channel_rate,
+    icn1_rate,
+    icn2_channel_rate,
+    icn2_pair_rate,
+    outgoing_probability,
+)
+from repro.model.service_time import stage_service_times, journey_latency
+from repro.model.queueing import (
+    QueueSaturated,
+    concentrator_waiting_time,
+    mg1_waiting_time,
+    source_queue_waiting_time,
+)
+from repro.model.intra import IntraClusterLatency, intra_cluster_latency
+from repro.model.inter import InterClusterLatency, inter_cluster_latency
+from repro.model.latency import (
+    ClusterLatency,
+    LatencyPrediction,
+    MultiClusterLatencyModel,
+)
+from repro.model.homogeneous import (
+    EqualSizeApproximationModel,
+    SingleClusterModel,
+)
+from repro.model.extensions import (
+    HotspotTrafficModel,
+    ProcessorHeterogeneityModel,
+)
+from repro.model.saturation import saturation_point, utilisation_summary
+
+__all__ = [
+    "MessageSpec",
+    "ModelParameters",
+    "TimingParameters",
+    "PAPER_TIMING",
+    "average_message_distance",
+    "link_probability",
+    "link_probability_vector",
+    "ChannelRates",
+    "NetworkRates",
+    "ecn1_channel_rate",
+    "ecn1_pair_rate",
+    "icn1_channel_rate",
+    "icn1_rate",
+    "icn2_channel_rate",
+    "icn2_pair_rate",
+    "outgoing_probability",
+    "stage_service_times",
+    "journey_latency",
+    "QueueSaturated",
+    "concentrator_waiting_time",
+    "mg1_waiting_time",
+    "source_queue_waiting_time",
+    "IntraClusterLatency",
+    "intra_cluster_latency",
+    "InterClusterLatency",
+    "inter_cluster_latency",
+    "ClusterLatency",
+    "LatencyPrediction",
+    "MultiClusterLatencyModel",
+    "EqualSizeApproximationModel",
+    "SingleClusterModel",
+    "HotspotTrafficModel",
+    "ProcessorHeterogeneityModel",
+    "saturation_point",
+    "utilisation_summary",
+]

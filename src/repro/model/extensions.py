@@ -1,0 +1,343 @@
+"""Model extensions called out as future work in the paper's conclusion.
+
+The published model covers *cluster-size* heterogeneity under *uniform*
+traffic.  The conclusion names two extensions — other heterogeneity
+categories and non-uniform traffic — and this module provides both:
+
+* :class:`ProcessorHeterogeneityModel` — clusters whose nodes have different
+  processing powers generate traffic at different rates.  Following the
+  authors' companion work [24], a node of cluster ``i`` generates messages at
+  ``lambda_g * tau_i / mean(tau)``; all rate equations (Eq. 5-7, 10-12) are
+  re-derived with these per-cluster generation weights and the system-wide
+  mean is weighted by each cluster's share of the generated messages.
+* :class:`HotspotTrafficModel` — a fraction ``f`` of every node's messages is
+  directed at a designated *hot* cluster instead of a uniformly chosen
+  destination.  The destination-cluster distribution, the per-network rates
+  and the partner averaging of Eq. 31/34 are generalised accordingly, so the
+  model exposes the early saturation of the hot cluster's dispatcher that a
+  uniform-traffic model cannot see.
+
+Both extensions reuse the paper's journey recursion and queueing components
+unchanged (via the rate-override hooks of :func:`repro.model.intra
+.intra_cluster_latency` and :func:`repro.model.inter.pair_latency`); only the
+traffic decomposition differs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.inter import PairLatency, pair_latency
+from repro.model.intra import intra_cluster_latency
+from repro.model.parameters import MessageSpec, ModelParameters, PAPER_TIMING, TimingParameters
+from repro.model.probabilities import average_message_distance
+from repro.model.traffic import outgoing_probability
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import (
+    ValidationError,
+    check_in_range,
+    check_non_negative,
+    check_positive,
+)
+
+
+# --------------------------------------------------------------------------- #
+# Processor heterogeneity
+# --------------------------------------------------------------------------- #
+class ProcessorHeterogeneityModel:
+    """Latency model with per-cluster processing-power (generation-rate) weights.
+
+    Parameters
+    ----------
+    spec:
+        System organisation.
+    relative_powers:
+        ``tau_i`` per cluster (any positive scale); nodes of cluster ``i``
+        generate messages at ``lambda_g * tau_i / mean(tau)`` where the mean
+        is node-weighted, so the *system-wide* per-node generation rate stays
+        ``lambda_g`` and results remain comparable with the uniform model.
+    """
+
+    def __init__(
+        self,
+        spec: MultiClusterSpec,
+        relative_powers: Sequence[float],
+        message: MessageSpec = MessageSpec(),
+        timing: TimingParameters = PAPER_TIMING,
+    ) -> None:
+        if len(relative_powers) != spec.num_clusters:
+            raise ValidationError(
+                f"need one relative power per cluster "
+                f"({spec.num_clusters}), got {len(relative_powers)}"
+            )
+        for index, power in enumerate(relative_powers):
+            check_positive(power, f"relative_powers[{index}]")
+        self.spec = spec
+        self.message = message
+        self.timing = timing
+        sizes = np.array(spec.cluster_sizes, dtype=float)
+        powers = np.array(relative_powers, dtype=float)
+        node_weighted_mean = float((sizes * powers).sum() / sizes.sum())
+        #: per-cluster generation weight ``w_i`` (node-weighted mean is 1)
+        self.weights: Tuple[float, ...] = tuple(powers / node_weighted_mean)
+
+    # -------------------------------------------------------------- rate laws
+    def _generation_rate(self, cluster: int, lambda_g: float) -> float:
+        """Per-node generation rate of cluster ``cluster``."""
+        return lambda_g * self.weights[cluster]
+
+    def _external_flow(self, cluster: int, lambda_g: float) -> float:
+        """Total external (outgoing) message rate of one cluster."""
+        spec = self.spec
+        return (
+            spec.cluster_size(cluster)
+            * outgoing_probability(spec, cluster)
+            * self._generation_rate(cluster, lambda_g)
+        )
+
+    def _params(self, lambda_g: float) -> ModelParameters:
+        return ModelParameters(
+            spec=self.spec, message=self.message, timing=self.timing, lambda_g=lambda_g
+        )
+
+    # ------------------------------------------------------------- evaluation
+    def cluster_mean_latency(self, cluster: int, lambda_g: float) -> float:
+        """``l^{(i)}`` under processor heterogeneity."""
+        check_non_negative(lambda_g, "lambda_g")
+        spec = self.spec
+        params = self._params(lambda_g)
+        height = spec.cluster_heights[cluster]
+        size = spec.cluster_size(cluster)
+        p_out = outgoing_probability(spec, cluster)
+        d_avg = average_message_distance(spec.m, height)
+        d_avg_icn2 = average_message_distance(spec.m, spec.icn2_height)
+
+        # Weighted Eq. 5 / Eq. 10.
+        lambda_icn1 = size * (1.0 - p_out) * self._generation_rate(cluster, lambda_g)
+        eta_icn1 = d_avg * lambda_icn1 / (4.0 * height * size)
+        intra = intra_cluster_latency(
+            params, cluster, arrival_rate=lambda_icn1, channel_rate=eta_icn1
+        )
+
+        # Weighted Eq. 6-7 / Eq. 11-12, one representative partner per height.
+        partners = [v for v in range(spec.num_clusters) if v != cluster]
+        total_pair = 0.0
+        total_concentrator = 0.0
+        saturated = False
+        cache: Dict[int, PairLatency] = {}
+        for v in partners:
+            height_v = spec.cluster_heights[v]
+            if height_v not in cache:
+                size_v = spec.cluster_size(v)
+                lambda_ecn1 = self._external_flow(cluster, lambda_g) + self._external_flow(
+                    v, lambda_g
+                )
+                lambda_icn2 = (
+                    self._external_flow(cluster, lambda_g) * size_v
+                    + self._external_flow(v, lambda_g) * size
+                ) / (size + size_v)
+                eta_ecn1 = d_avg * lambda_ecn1 / (4.0 * height * size)
+                eta_icn2 = d_avg_icn2 * lambda_icn2 / (4.0 * spec.icn2_height)
+                cache[height_v] = pair_latency(
+                    params,
+                    cluster,
+                    v,
+                    lambda_source=self._external_flow(cluster, lambda_g),
+                    eta_ecn1=eta_ecn1,
+                    lambda_icn2=lambda_icn2,
+                    eta_icn2=eta_icn2,
+                )
+            pair = cache[height_v]
+            if pair.saturated:
+                saturated = True
+                break
+            total_pair += pair.total
+            total_concentrator += pair.concentrator_waiting
+        if saturated or intra.saturated:
+            return math.inf
+        external = (total_pair + total_concentrator) / len(partners)
+        return (1.0 - p_out) * intra.total + p_out * external
+
+    def mean_latency(self, lambda_g: float) -> float:
+        """System-wide mean latency, weighted by each cluster's message share."""
+        spec = self.spec
+        sizes = np.array(spec.cluster_sizes, dtype=float)
+        weights = sizes * np.array(self.weights)
+        weights = weights / weights.sum()
+        total = 0.0
+        for cluster, weight in enumerate(weights):
+            value = self.cluster_mean_latency(cluster, lambda_g)
+            if math.isinf(value):
+                return math.inf
+            total += weight * value
+        return total
+
+    def latency_curve(self, lambdas: Sequence[float] | Iterable[float]) -> np.ndarray:
+        return np.array([self.mean_latency(value) for value in lambdas], dtype=float)
+
+
+# --------------------------------------------------------------------------- #
+# Hot-spot (non-uniform) traffic
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class HotspotPrediction:
+    """Per-cluster breakdown of a hot-spot evaluation (diagnostic output)."""
+
+    lambda_g: float
+    cluster_means: Tuple[float, ...]
+    mean_latency: float
+
+    @property
+    def saturated(self) -> bool:
+        return math.isinf(self.mean_latency)
+
+
+class HotspotTrafficModel:
+    """Latency model under hot-spot traffic.
+
+    With probability ``hotspot_fraction`` a message is sent to a uniformly
+    chosen node of the *hot cluster*; with the remaining probability the
+    destination is uniform over all other nodes (the paper's assumption 2).
+    ``hotspot_fraction = 0`` reduces to the published model up to the paper's
+    own approximation of averaging partners unweighted (this class weights
+    partner clusters by how much traffic actually goes there).
+    """
+
+    def __init__(
+        self,
+        spec: MultiClusterSpec,
+        hot_cluster: int,
+        hotspot_fraction: float,
+        message: MessageSpec = MessageSpec(),
+        timing: TimingParameters = PAPER_TIMING,
+    ) -> None:
+        spec._check_cluster(hot_cluster)
+        check_in_range(hotspot_fraction, 0.0, 1.0, "hotspot_fraction")
+        if hotspot_fraction >= 1.0:
+            raise ValidationError("hotspot_fraction must be < 1")
+        self.spec = spec
+        self.hot_cluster = hot_cluster
+        self.hotspot_fraction = float(hotspot_fraction)
+        self.message = message
+        self.timing = timing
+
+    # ----------------------------------------------------------- distributions
+    def destination_distribution(self, source_cluster: int) -> np.ndarray:
+        """``D_i(v)``: probability the destination lies in cluster ``v``."""
+        spec = self.spec
+        spec._check_cluster(source_cluster)
+        f = self.hotspot_fraction
+        total = spec.total_nodes
+        sizes = np.array(spec.cluster_sizes, dtype=float)
+        uniform = sizes / (total - 1)
+        uniform[source_cluster] = (sizes[source_cluster] - 1) / (total - 1)
+        distribution = (1.0 - f) * uniform
+        distribution[self.hot_cluster] += f
+        return distribution
+
+    def internal_probability(self, cluster: int) -> float:
+        """``D_i(i)``: probability a message stays inside its cluster."""
+        return float(self.destination_distribution(cluster)[cluster])
+
+    def incoming_flow(self, dest_cluster: int, lambda_g: float) -> float:
+        """Total message rate arriving at ``dest_cluster`` from other clusters."""
+        spec = self.spec
+        total = 0.0
+        for source in range(spec.num_clusters):
+            if source == dest_cluster:
+                continue
+            distribution = self.destination_distribution(source)
+            total += spec.cluster_size(source) * lambda_g * float(distribution[dest_cluster])
+        return total
+
+    def outgoing_flow(self, source_cluster: int, lambda_g: float) -> float:
+        """Total message rate leaving ``source_cluster`` for other clusters."""
+        spec = self.spec
+        return (
+            spec.cluster_size(source_cluster)
+            * lambda_g
+            * (1.0 - self.internal_probability(source_cluster))
+        )
+
+    # ------------------------------------------------------------- evaluation
+    def _params(self, lambda_g: float) -> ModelParameters:
+        return ModelParameters(
+            spec=self.spec, message=self.message, timing=self.timing, lambda_g=lambda_g
+        )
+
+    def cluster_mean_latency(self, cluster: int, lambda_g: float) -> float:
+        """``l^{(i)}`` under hot-spot traffic."""
+        check_non_negative(lambda_g, "lambda_g")
+        spec = self.spec
+        params = self._params(lambda_g)
+        height = spec.cluster_heights[cluster]
+        size = spec.cluster_size(cluster)
+        d_avg = average_message_distance(spec.m, height)
+        d_avg_icn2 = average_message_distance(spec.m, spec.icn2_height)
+        distribution = self.destination_distribution(cluster)
+        internal = float(distribution[cluster])
+
+        # Intra-cluster component with the hot-spot internal probability.
+        lambda_icn1 = size * lambda_g * internal
+        eta_icn1 = d_avg * lambda_icn1 / (4.0 * height * size)
+        intra = intra_cluster_latency(
+            params, cluster, arrival_rate=lambda_icn1, channel_rate=eta_icn1
+        )
+        if intra.saturated and internal > 0:
+            return math.inf
+
+        # Inter-cluster component: partner clusters weighted by D_i(v).
+        external_probability = 1.0 - internal
+        if external_probability <= 0.0:
+            return intra.total
+        external_total = 0.0
+        for v in range(spec.num_clusters):
+            if v == cluster or distribution[v] == 0.0:
+                continue
+            size_v = spec.cluster_size(v)
+            lambda_ecn1 = self.outgoing_flow(cluster, lambda_g) + self.incoming_flow(
+                v, lambda_g
+            )
+            lambda_icn2 = (
+                self.outgoing_flow(cluster, lambda_g) * size_v
+                + self.incoming_flow(v, lambda_g) * size
+            ) / (size + size_v)
+            eta_ecn1 = d_avg * lambda_ecn1 / (4.0 * height * size)
+            eta_icn2 = d_avg_icn2 * lambda_icn2 / (4.0 * spec.icn2_height)
+            pair = pair_latency(
+                params,
+                cluster,
+                v,
+                lambda_source=self.outgoing_flow(cluster, lambda_g),
+                eta_ecn1=eta_ecn1,
+                lambda_icn2=lambda_icn2,
+                eta_icn2=eta_icn2,
+            )
+            if pair.saturated:
+                return math.inf
+            partner_weight = float(distribution[v]) / external_probability
+            external_total += partner_weight * (pair.total + pair.concentrator_waiting)
+        return internal * intra.total + external_probability * external_total
+
+    def evaluate(self, lambda_g: float) -> HotspotPrediction:
+        """Per-cluster means and the system-wide weighted mean."""
+        spec = self.spec
+        cluster_means = tuple(
+            self.cluster_mean_latency(cluster, lambda_g)
+            for cluster in range(spec.num_clusters)
+        )
+        if any(math.isinf(value) for value in cluster_means):
+            return HotspotPrediction(lambda_g, cluster_means, math.inf)
+        weights = np.array(spec.cluster_sizes, dtype=float) / spec.total_nodes
+        mean = float(weights @ np.array(cluster_means))
+        return HotspotPrediction(lambda_g, cluster_means, mean)
+
+    def mean_latency(self, lambda_g: float) -> float:
+        return self.evaluate(lambda_g).mean_latency
+
+    def latency_curve(self, lambdas: Sequence[float] | Iterable[float]) -> np.ndarray:
+        return np.array([self.mean_latency(value) for value in lambdas], dtype=float)

@@ -1,0 +1,205 @@
+"""System-wide mean message latency (Eq. 35-36) — the model's public entry point.
+
+:class:`MultiClusterLatencyModel` combines the intra-cluster (ICN1) and
+inter-cluster (ECN1 + ICN2) components:
+
+.. math::
+
+    \\ell^{(i)} &= (1 - P_o^{(i)})\\, T_{I1}^{(i)}
+        + P_o^{(i)} \\left( T_{E1\\&I2}^{(i)} + W_d^{(i)} \\right) \\\\
+    \\ell &= \\sum_i \\frac{N_i}{N}\\, \\ell^{(i)}
+
+The model is purely analytical: evaluating one operating point costs
+microseconds to milliseconds, which is what makes the design-space
+exploration of the examples (and the latency-versus-traffic curves of
+Fig. 3/4) practical compared with simulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.model.inter import InterClusterLatency, inter_cluster_latency
+from repro.model.intra import IntraClusterLatency, intra_cluster_latency
+from repro.model.parameters import MessageSpec, ModelParameters, PAPER_TIMING, TimingParameters
+from repro.model.traffic import outgoing_probability
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import check_non_negative
+
+
+@dataclass(frozen=True)
+class ClusterLatency:
+    """Latency prediction for messages originating in one cluster."""
+
+    cluster: int
+    #: probability that a message leaves the cluster (Eq. 13)
+    outgoing_probability: float
+    intra: IntraClusterLatency
+    inter: InterClusterLatency
+
+    @property
+    def mean(self) -> float:
+        """``l^{(i)}`` (Eq. 35), infinite when either component saturated."""
+        internal = self.intra.total
+        external = self.inter.total
+        p_out = self.outgoing_probability
+        if p_out < 1.0 and math.isinf(internal):
+            return math.inf
+        if p_out > 0.0 and math.isinf(external):
+            return math.inf
+        return (1.0 - p_out) * internal + p_out * external
+
+    @property
+    def saturated(self) -> bool:
+        return math.isinf(self.mean)
+
+
+@dataclass(frozen=True)
+class LatencyPrediction:
+    """The model's output for one operating point (one ``lambda_g``)."""
+
+    lambda_g: float
+    clusters: Tuple[ClusterLatency, ...]
+    #: node-count weights used for the system-wide average (Eq. 36)
+    weights: Tuple[float, ...]
+
+    @property
+    def mean_latency(self) -> float:
+        """``l``: system-wide weighted mean message latency (Eq. 36)."""
+        total = 0.0
+        for weight, cluster in zip(self.weights, self.clusters):
+            if math.isinf(cluster.mean):
+                return math.inf
+            total += weight * cluster.mean
+        return total
+
+    @property
+    def saturated(self) -> bool:
+        """True when any cluster's prediction saturated."""
+        return any(cluster.saturated for cluster in self.clusters)
+
+    def cluster_mean(self, cluster: int) -> float:
+        """``l^{(i)}`` for one cluster."""
+        return self.clusters[cluster].mean
+
+    def breakdown(self) -> Dict[str, float]:
+        """Weighted component breakdown (useful for reports and debugging)."""
+        if self.saturated:
+            return {"mean_latency": math.inf}
+        parts = {
+            "intra_waiting": 0.0,
+            "intra_network": 0.0,
+            "intra_tail": 0.0,
+            "inter_waiting": 0.0,
+            "inter_network": 0.0,
+            "inter_tail": 0.0,
+            "concentrator_waiting": 0.0,
+        }
+        for weight, cluster in zip(self.weights, self.clusters):
+            p_out = cluster.outgoing_probability
+            parts["intra_waiting"] += weight * (1 - p_out) * cluster.intra.waiting_time
+            parts["intra_network"] += weight * (1 - p_out) * cluster.intra.network_latency
+            parts["intra_tail"] += weight * (1 - p_out) * cluster.intra.tail_time
+            parts["inter_waiting"] += weight * p_out * cluster.inter.waiting_time
+            parts["inter_network"] += weight * p_out * cluster.inter.network_latency
+            parts["inter_tail"] += weight * p_out * cluster.inter.tail_time
+            parts["concentrator_waiting"] += weight * p_out * cluster.inter.concentrator_waiting
+        parts["mean_latency"] = self.mean_latency
+        return parts
+
+
+class MultiClusterLatencyModel:
+    """Analytical mean-latency model of a heterogeneous multi-cluster system.
+
+    Parameters
+    ----------
+    spec:
+        The system organisation.
+    message:
+        Message geometry (``M`` flits of ``L_m`` bytes).
+    timing:
+        Channel timing; defaults to the paper's values.
+
+    Examples
+    --------
+    >>> from repro.experiments.configs import table1_system
+    >>> model = MultiClusterLatencyModel(table1_system(544), MessageSpec(32, 256))
+    >>> latency = model.mean_latency(2e-4)
+    """
+
+    def __init__(
+        self,
+        spec: MultiClusterSpec,
+        message: MessageSpec = MessageSpec(),
+        timing: TimingParameters = PAPER_TIMING,
+        *,
+        variance_approximation: str = "draper-ghosh",
+    ) -> None:
+        self.spec = spec
+        self.message = message
+        self.timing = timing
+        self.variance_approximation = variance_approximation
+        self._weights = tuple(
+            size / spec.total_nodes for size in spec.cluster_sizes
+        )
+
+    # ------------------------------------------------------------- evaluation
+    def parameters(self, lambda_g: float) -> ModelParameters:
+        """The full parameter bundle for one offered-traffic value."""
+        check_non_negative(lambda_g, "lambda_g")
+        return ModelParameters(
+            spec=self.spec,
+            message=self.message,
+            timing=self.timing,
+            lambda_g=lambda_g,
+            variance_approximation=self.variance_approximation,
+        )
+
+    def evaluate(self, lambda_g: float) -> LatencyPrediction:
+        """Full per-cluster prediction at offered traffic ``lambda_g``."""
+        params = self.parameters(lambda_g)
+        # Clusters of equal height are statistically identical; evaluate one
+        # representative per height and reuse the result.
+        intra_by_height: Dict[int, IntraClusterLatency] = {}
+        inter_by_height: Dict[int, InterClusterLatency] = {}
+        clusters: List[ClusterLatency] = []
+        for index, height in enumerate(self.spec.cluster_heights):
+            if height not in intra_by_height:
+                intra_by_height[height] = intra_cluster_latency(params, index)
+                inter_by_height[height] = inter_cluster_latency(params, index)
+            clusters.append(
+                ClusterLatency(
+                    cluster=index,
+                    outgoing_probability=outgoing_probability(self.spec, index),
+                    intra=intra_by_height[height],
+                    inter=inter_by_height[height],
+                )
+            )
+        return LatencyPrediction(
+            lambda_g=lambda_g, clusters=tuple(clusters), weights=self._weights
+        )
+
+    def mean_latency(self, lambda_g: float) -> float:
+        """System-wide mean message latency (Eq. 36); ``inf`` past saturation."""
+        return self.evaluate(lambda_g).mean_latency
+
+    def latency_curve(self, lambdas: Sequence[float] | Iterable[float]) -> np.ndarray:
+        """Mean latency at each offered-traffic value (``inf`` past saturation)."""
+        return np.array([self.mean_latency(value) for value in lambdas], dtype=float)
+
+    # ------------------------------------------------------------- shortcuts
+    @property
+    def zero_load_latency(self) -> float:
+        """Latency with an empty network (no queueing, no blocking)."""
+        return self.mean_latency(0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiClusterLatencyModel(N={self.spec.total_nodes}, "
+            f"C={self.spec.num_clusters}, m={self.spec.m}, "
+            f"{self.message.describe()})"
+        )

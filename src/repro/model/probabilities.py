@@ -1,0 +1,85 @@
+"""Journey-length distribution in an m-port n-tree (Eq. 4, 8, 9).
+
+Under uniform traffic (assumption 2) a message originating anywhere in an
+m-port n-tree crosses ``2 j`` links — ``j`` ascending and ``j`` descending —
+with probability ``P_{j,n}``.  Writing ``k = m/2``:
+
+* for ``j = 1 .. n-1`` the destinations at distance ``2j`` are the nodes
+  sharing the source's level-``(j-1)`` subtree but not its level-``(j-2)``
+  subtree, i.e. ``k^j - k^(j-1)`` of the ``N - 1`` possible destinations;
+* for ``j = n`` (routes turning around at a root switch) the count is
+  ``N - k^(n-1) = 2 k^n - k^(n-1)``.
+
+The mean number of links crossed is then ``d_avg = sum_j 2 j P_{j,n}``
+(Eq. 8); the closed form the paper quotes as Eq. (9) follows by summing the
+geometric series, and the two are cross-checked in the test suite.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+
+import numpy as np
+
+from repro.utils.validation import ValidationError, check_even, check_positive_int
+
+
+def link_probability(m: int, n: int, j: int) -> float:
+    """``P_{j,n}``: probability of a 2j-link journey in an m-port n-tree (Eq. 4)."""
+    check_even(m, "m")
+    check_positive_int(n, "n")
+    check_positive_int(j, "j")
+    if j > n:
+        raise ValidationError(f"j={j} exceeds the tree height n={n}")
+    k = m // 2
+    total_nodes = 2 * k**n
+    if j < n:
+        favourable = k**j - k ** (j - 1)
+    else:
+        favourable = 2 * k**n - k ** (n - 1)
+    return favourable / (total_nodes - 1)
+
+
+@lru_cache(maxsize=None)
+def link_probability_vector(m: int, n: int) -> np.ndarray:
+    """The full distribution ``(P_{1,n}, ..., P_{n,n})`` as a NumPy vector.
+
+    The vector is cached because the latency model evaluates it for every
+    cluster of every operating point of a sweep.
+    """
+    values = np.array([link_probability(m, n, j) for j in range(1, n + 1)], dtype=float)
+    # The counts are integers divided by (N-1), so the sum is exact up to
+    # floating point rounding; normalise defensively anyway.
+    total = values.sum()
+    if not np.isclose(total, 1.0, rtol=0, atol=1e-12):
+        raise ValidationError(f"P_(j,n) should sum to 1, got {total!r}")  # pragma: no cover
+    return values
+
+
+def average_message_distance(m: int, n: int) -> float:
+    """``d_avg``: mean number of links crossed by a message (Eq. 8/9)."""
+    probabilities = link_probability_vector(m, n)
+    journeys = 2 * np.arange(1, n + 1, dtype=float)
+    return float(journeys @ probabilities)
+
+
+def average_ascending_links(m: int, n: int) -> float:
+    """Mean number of links in one phase (ascending or descending) of a journey.
+
+    Used by the inter-cluster model where the source-side ECN1 leg only
+    performs the ascending phase (``d_avg / 2``).
+    """
+    return average_message_distance(m, n) / 2.0
+
+
+def destinations_at_distance(m: int, n: int, j: int) -> int:
+    """Number of destinations exactly ``2j`` links away from a fixed source."""
+    check_even(m, "m")
+    check_positive_int(n, "n")
+    check_positive_int(j, "j")
+    if j > n:
+        raise ValidationError(f"j={j} exceeds the tree height n={n}")
+    k = m // 2
+    if j < n:
+        return k**j - k ** (j - 1)
+    return 2 * k**n - k ** (n - 1)

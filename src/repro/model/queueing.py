@@ -1,0 +1,152 @@
+"""Queueing components of the model: source queues and concentrators.
+
+Two kinds of queues appear in the message-flow model of Fig. 2:
+
+* the **source queue** at each node's injection channel.  Blocking inside the
+  network makes the service time distribution general, so the queue is an
+  M/G/1 system; its mean waiting time follows the Pollaczek-Khinchine formula
+  (Eq. 19-21) with the service-time variance approximated following Draper &
+  Ghosh as ``(S - M t_cn)^2`` (Eq. 22) — the spread between the actual
+  (blocking-inflated) service time and the minimum possible one;
+* the **concentrator/dispatcher buffers** between a cluster's ECN1 and the
+  ICN2.  Their service time is the fixed ``M t_cs`` (no variance, messages
+  have fixed length), giving the M/D/1-like expression of Eq. 33.
+
+Both expressions blow up as the utilisation approaches one; the model treats
+``rho >= 1`` as saturation and reports an infinite latency for that operating
+point, which is how the near-vertical part of Fig. 3/4 arises.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class QueueSaturated(RuntimeError):
+    """Raised internally when a queue's utilisation reaches or exceeds one.
+
+    Callers that build latency curves catch this and record ``inf`` for the
+    operating point instead of propagating the error.
+    """
+
+    def __init__(self, name: str, utilisation: float) -> None:
+        super().__init__(f"{name} saturated (rho = {utilisation:.3f})")
+        self.name = name
+        self.utilisation = utilisation
+
+
+def mg1_waiting_time(
+    arrival_rate: float,
+    mean_service: float,
+    service_variance: float,
+    *,
+    name: str = "M/G/1 queue",
+) -> float:
+    """Pollaczek-Khinchine mean waiting time of an M/G/1 queue (Eq. 19).
+
+    Written in the moment form ``W = lambda (x^2 + sigma^2) / (2 (1 - rho))``
+    which is algebraically identical to the squared-coefficient-of-variation
+    form the paper quotes.
+    """
+    check_non_negative(arrival_rate, "arrival_rate")
+    check_positive(mean_service, "mean_service")
+    check_non_negative(service_variance, "service_variance")
+    utilisation = arrival_rate * mean_service
+    if utilisation >= 1.0:
+        raise QueueSaturated(name, utilisation)
+    if arrival_rate == 0.0:
+        return 0.0
+    second_moment = mean_service * mean_service + service_variance
+    return arrival_rate * second_moment / (2.0 * (1.0 - utilisation))
+
+
+def source_queue_waiting_time(
+    arrival_rate: float,
+    network_latency: float,
+    minimum_service: float,
+    *,
+    name: str = "source queue",
+    variance_approximation: str = "draper-ghosh",
+) -> float:
+    """Mean waiting time at a source queue (Eq. 23).
+
+    Parameters
+    ----------
+    arrival_rate:
+        Message arrival rate at the network, as prescribed by the paper
+        (``lambda_I1`` for the ICN1, ``lambda_E`` for the inter-cluster
+        journey).
+    network_latency:
+        The mean network latency ``S`` of Eq. 3 / Eq. 26 — this is the queue's
+        mean service time.
+    minimum_service:
+        The smallest possible service time ``M t_cn`` used by the
+        Draper-Ghosh variance approximation (Eq. 22).
+    variance_approximation:
+        ``"draper-ghosh"`` (the paper's Eq. 22) or ``"zero"`` (deterministic
+        service, the ablation variant).
+    """
+    check_non_negative(arrival_rate, "arrival_rate")
+    check_positive(minimum_service, "minimum_service")
+    if variance_approximation not in ("draper-ghosh", "zero"):
+        raise ValueError(
+            f"unknown variance approximation {variance_approximation!r}"
+        )
+    if not math.isfinite(network_latency):
+        raise QueueSaturated(name, math.inf)
+    check_positive(network_latency, "network_latency")
+    # Check stability before squaring the spread: deep in saturation the
+    # blocking recursion can make the latency large enough that the squared
+    # spread overflows, and the queue is long saturated by then anyway.
+    if arrival_rate * network_latency >= 1.0:
+        raise QueueSaturated(name, arrival_rate * network_latency)
+    if arrival_rate == 0.0:
+        return 0.0
+    if variance_approximation == "zero":
+        variance = 0.0
+    else:
+        spread = network_latency - minimum_service
+        variance = spread * spread
+    return mg1_waiting_time(arrival_rate, network_latency, variance, name=name)
+
+
+def concentrator_waiting_time(
+    arrival_rate: float,
+    service_time: float,
+    *,
+    name: str = "concentrator",
+) -> float:
+    """Mean waiting time in a concentrator or dispatcher buffer (Eq. 33).
+
+    The buffer forwards fixed-length messages at ``M t_cs`` per message, so
+    the service time is deterministic and the variance term vanishes.
+    """
+    check_non_negative(arrival_rate, "arrival_rate")
+    check_positive(service_time, "service_time")
+    utilisation = arrival_rate * service_time
+    if utilisation >= 1.0:
+        raise QueueSaturated(name, utilisation)
+    return arrival_rate * service_time * service_time / (2.0 * (1.0 - utilisation))
+
+
+def utilisation(arrival_rate: float, mean_service: float) -> float:
+    """``rho = lambda * x``: offered load of a single-server queue (Eq. 20)."""
+    check_non_negative(arrival_rate, "arrival_rate")
+    check_positive(mean_service, "mean_service")
+    return arrival_rate * mean_service
+
+
+def is_stable(arrival_rate: float, mean_service: float) -> bool:
+    """True when the queue is below saturation (``rho < 1``)."""
+    return utilisation(arrival_rate, mean_service) < 1.0
+
+
+def saturation_arrival_rate(mean_service: float) -> float:
+    """The arrival rate at which a queue with this service time saturates."""
+    check_positive(mean_service, "mean_service")
+    return 1.0 / mean_service
+
+
+INFINITE_LATENCY = math.inf

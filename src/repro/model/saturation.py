@@ -1,0 +1,82 @@
+"""Numerical location of the saturation point and utilisation diagnostics.
+
+The analytical latency diverges when any M/G/1 source queue or concentrator
+buffer reaches utilisation one.  The saturation offered-traffic is the
+quantity a system designer actually cares about ("how much load can this
+organisation take before latency explodes"), so it is exposed directly
+instead of leaving users to eyeball the knee of a latency curve.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+from repro.model.latency import MultiClusterLatencyModel
+from repro.utils.validation import check_positive
+
+
+def saturation_point(
+    model: MultiClusterLatencyModel,
+    *,
+    upper_bound: float = 1.0,
+    tolerance: float = 1e-9,
+    max_iterations: int = 200,
+) -> float:
+    """Smallest offered traffic at which the model saturates (bisection).
+
+    Parameters
+    ----------
+    model:
+        The analytical model to probe.
+    upper_bound:
+        An offered traffic known (or assumed) to be beyond saturation; the
+        search first grows this bound geometrically if the model is still
+        stable there.
+    tolerance:
+        Absolute tolerance on the returned offered traffic.
+    """
+    check_positive(upper_bound, "upper_bound")
+    check_positive(tolerance, "tolerance")
+
+    low = 0.0
+    high = upper_bound
+    # Make sure the upper bound really is saturated.
+    for _ in range(60):
+        if math.isinf(model.mean_latency(high)):
+            break
+        low = high
+        high *= 2.0
+    else:  # pragma: no cover - would need absurd parameters
+        raise RuntimeError("could not bracket the saturation point")
+
+    for _ in range(max_iterations):
+        if high - low <= tolerance:
+            break
+        midpoint = 0.5 * (low + high)
+        if math.isinf(model.mean_latency(midpoint)):
+            high = midpoint
+        else:
+            low = midpoint
+    return high
+
+
+def utilisation_summary(model: MultiClusterLatencyModel, lambda_g: float) -> Dict[str, float]:
+    """Utilisation of the binding queues at one operating point.
+
+    Returns the per-cluster source-queue utilisations (intra and inter) so a
+    designer can see *which* resource saturates first; the maximum over the
+    dictionary is the system bottleneck.
+    """
+    prediction = model.evaluate(lambda_g)
+    summary: Dict[str, float] = {}
+    for cluster in prediction.clusters:
+        summary[f"cluster{cluster.cluster}/icn1_source_queue"] = cluster.intra.utilisation
+        summary[f"cluster{cluster.cluster}/ecn1_source_queue"] = cluster.inter.utilisation
+    return summary
+
+
+def bottleneck(model: MultiClusterLatencyModel, lambda_g: float) -> str:
+    """Name of the most utilised queue at ``lambda_g``."""
+    summary = utilisation_summary(model, lambda_g)
+    return max(summary, key=summary.get)

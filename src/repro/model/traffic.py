@@ -1,0 +1,145 @@
+"""Traffic decomposition: network message rates and channel rates (Eq. 5-13).
+
+Every node generates messages at rate ``lambda_g`` (assumption 1).  With
+uniformly distributed destinations, a message born in cluster ``i`` leaves
+the cluster with probability
+
+.. math::
+
+    P_o^{(i)} = \\frac{\\sum_{j \\ne i} N_j}{N - 1}
+
+(Eq. 13).  Internal messages load the cluster's ICN1; external messages load
+the source cluster's ECN1 on the way up, the ICN2 in the middle and the
+destination cluster's ECN1 on the way down.  The per-network aggregate rates
+(Eq. 5-7) divided by the number of channels a message effectively competes
+for give the per-channel arrival rates (Eq. 10-12) that drive the blocking
+probabilities of the service-time recursion.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.model.probabilities import average_message_distance
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError, check_non_negative
+
+
+def outgoing_probability(spec: MultiClusterSpec, cluster: int) -> float:
+    """``P_o^{(i)}``: probability that a message leaves its cluster (Eq. 13)."""
+    spec._check_cluster(cluster)
+    total = spec.total_nodes
+    own = spec.cluster_size(cluster)
+    return (total - own) / (total - 1)
+
+
+# --------------------------------------------------------------------------- #
+# Aggregate message rates per network (Eq. 5-7)
+# --------------------------------------------------------------------------- #
+def icn1_rate(spec: MultiClusterSpec, cluster: int, lambda_g: float) -> float:
+    """``lambda_I1^{(i)}``: message rate entering cluster ``i``'s ICN1 (Eq. 5)."""
+    check_non_negative(lambda_g, "lambda_g")
+    p_out = outgoing_probability(spec, cluster)
+    return spec.cluster_size(cluster) * (1.0 - p_out) * lambda_g
+
+
+def ecn1_pair_rate(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> float:
+    """``lambda_E^{(i,v)}``: rate relevant to the ECN1 journey i -> v (Eq. 6).
+
+    The ECN1 of the source cluster carries cluster ``i``'s outgoing traffic
+    during the ascending phase and the ECN1 of the destination cluster
+    carries cluster ``v``'s incoming (== its own outgoing, by symmetry of the
+    uniform pattern) traffic during the descending phase; the model treats
+    the two legs as one network loaded with the sum of both contributions.
+    """
+    check_non_negative(lambda_g, "lambda_g")
+    _check_pair(spec, i, v)
+    rate_i = spec.cluster_size(i) * outgoing_probability(spec, i)
+    rate_v = spec.cluster_size(v) * outgoing_probability(spec, v)
+    return (rate_i + rate_v) * lambda_g
+
+
+def icn2_pair_rate(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> float:
+    """``lambda_I2^{(i,v)}``: rate crossing the ICN2 between clusters i and v (Eq. 7)."""
+    check_non_negative(lambda_g, "lambda_g")
+    _check_pair(spec, i, v)
+    size_i = spec.cluster_size(i)
+    size_v = spec.cluster_size(v)
+    numerator = (
+        size_i * outgoing_probability(spec, i) * size_v
+        + size_v * outgoing_probability(spec, v) * size_i
+    )
+    return numerator * lambda_g / (size_i + size_v)
+
+
+# --------------------------------------------------------------------------- #
+# Per-channel rates (Eq. 10-12)
+# --------------------------------------------------------------------------- #
+def icn1_channel_rate(spec: MultiClusterSpec, cluster: int, lambda_g: float) -> float:
+    """``eta_I1^{(i)}``: per-channel message rate in cluster ``i``'s ICN1 (Eq. 10)."""
+    height = spec.cluster_heights[cluster]
+    d_avg = average_message_distance(spec.m, height)
+    rate = icn1_rate(spec, cluster, lambda_g)
+    return d_avg * rate / (4.0 * height * spec.cluster_size(cluster))
+
+
+def ecn1_channel_rate(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> float:
+    """``eta_E1^{(i,v)}``: per-channel rate in the ECN1 legs of an i -> v journey (Eq. 11)."""
+    height = spec.cluster_heights[i]
+    d_avg = average_message_distance(spec.m, height)
+    rate = ecn1_pair_rate(spec, i, v, lambda_g)
+    return d_avg * rate / (4.0 * height * spec.cluster_size(i))
+
+
+def icn2_channel_rate(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> float:
+    """``eta_I2^{(i,v)}``: per-channel rate in the ICN2 for an i -> v journey (Eq. 12)."""
+    height = spec.icn2_height
+    d_avg = average_message_distance(spec.m, height)
+    rate = icn2_pair_rate(spec, i, v, lambda_g)
+    return d_avg * rate / (4.0 * height)
+
+
+# --------------------------------------------------------------------------- #
+# Convenience bundles
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class NetworkRates:
+    """Aggregate message rates seen from cluster ``i`` toward cluster ``v``."""
+
+    icn1: float
+    ecn1: float
+    icn2: float
+
+
+@dataclass(frozen=True)
+class ChannelRates:
+    """Per-channel message rates seen from cluster ``i`` toward cluster ``v``."""
+
+    icn1: float
+    ecn1: float
+    icn2: float
+
+
+def network_rates(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> NetworkRates:
+    """All three aggregate rates for the (i, v) pair in one call."""
+    return NetworkRates(
+        icn1=icn1_rate(spec, i, lambda_g),
+        ecn1=ecn1_pair_rate(spec, i, v, lambda_g),
+        icn2=icn2_pair_rate(spec, i, v, lambda_g),
+    )
+
+
+def channel_rates(spec: MultiClusterSpec, i: int, v: int, lambda_g: float) -> ChannelRates:
+    """All three per-channel rates for the (i, v) pair in one call."""
+    return ChannelRates(
+        icn1=icn1_channel_rate(spec, i, lambda_g),
+        ecn1=ecn1_channel_rate(spec, i, v, lambda_g),
+        icn2=icn2_channel_rate(spec, i, v, lambda_g),
+    )
+
+
+def _check_pair(spec: MultiClusterSpec, i: int, v: int) -> None:
+    spec._check_cluster(i)
+    spec._check_cluster(v)
+    if i == v:
+        raise ValidationError("inter-cluster rates need two distinct clusters")

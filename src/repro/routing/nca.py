@@ -1,0 +1,81 @@
+"""Nearest-common-ancestor (NCA) computations on m-port n-tree addresses.
+
+In an m-port n-tree the up*/down* route between two nodes turns around at a
+switch that is an ancestor of both; the *lowest* level at which such a switch
+exists determines the route length.  Writing the node addresses as digit
+tuples (most significant digit first), two nodes whose longest common prefix
+has length ``n - j`` turn around at switch level ``j - 1`` and are ``2 j``
+links apart — the ``j`` of Eq. (3)/(4) of the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+from repro.topology.fat_tree import FatTreeNode, FatTreeSwitch, MPortNTree
+from repro.utils.validation import ValidationError
+
+
+def common_prefix_length(a: Sequence[int], b: Sequence[int]) -> int:
+    """Length of the longest common prefix of two digit tuples."""
+    if len(a) != len(b):
+        raise ValidationError(
+            f"addresses must have the same length, got {len(a)} and {len(b)}"
+        )
+    length = 0
+    for digit_a, digit_b in zip(a, b):
+        if digit_a != digit_b:
+            break
+        length += 1
+    return length
+
+
+def nca_level(tree: MPortNTree, source: FatTreeNode | int, dest: FatTreeNode | int) -> int:
+    """Switch level of the nearest common ancestor of two distinct nodes.
+
+    Level 0 is the leaf level.  Raises for ``source == dest`` because a
+    message to oneself never enters the network.
+    """
+    j = tree.nca_distance(source, dest)
+    if j == 0:
+        raise ValidationError("source and destination must differ")
+    return j - 1
+
+
+def ascent_digits(
+    tree: MPortNTree, source: FatTreeNode | int, dest: FatTreeNode | int
+) -> Tuple[int, ...]:
+    """Up-port digits chosen on the ascending phase (destination-based).
+
+    Ascending from level ``t-1`` to level ``t`` the router picks the up-port
+    ``d_{n-t}`` — the ``t``-th *least* significant digit of the destination
+    address (a "destination mod k" rule, as used by InfiniBand-style
+    deterministic fat-tree routing).  Because these low-order digits are
+    uniformly distributed over destinations and independent of which subtree
+    the destination sits in, messages to different destinations spread evenly
+    over the up-channels and every destination receives its traffic through
+    a single dedicated descending path: the balanced traffic distribution the
+    paper invokes to dismiss switch contention.
+    """
+    j = tree.nca_distance(source, dest)
+    if j == 0:
+        raise ValidationError("source and destination must differ")
+    dest_index = dest.index if isinstance(dest, FatTreeNode) else dest
+    digits = tree.node_address(dest_index)
+    return tuple(digits[tree.n - t] % tree.k for t in range(1, j))
+
+
+def nca_switch(
+    tree: MPortNTree, source: FatTreeNode | int, dest: FatTreeNode | int
+) -> FatTreeSwitch:
+    """The switch at which the deterministic route turns around.
+
+    The switch both is an ancestor of source and destination and carries the
+    index digits selected by :func:`ascent_digits`, so the full route is
+    reproducible from this function plus the descending rule.
+    """
+    source_index = source.index if isinstance(source, FatTreeNode) else source
+    switch = tree.leaf_switch_of(source_index)
+    for up_digit in ascent_digits(tree, source, dest):
+        switch = tree.parent_toward(switch, up_digit)
+    return switch

@@ -1,0 +1,96 @@
+"""Precomputed routing tables and traffic-balance accounting.
+
+A :class:`RoutingTable` caches the deterministic route of every ordered node
+pair of one tree.  Precomputation pays off twice:
+
+* the wormhole simulator asks for the same routes over and over (every
+  message between the same pair follows the same deterministic path);
+* the balanced-traffic claim of the routing algorithm ("the switch
+  contention problem will be extinguished") can be checked quantitatively by
+  counting how many pair routes cross every channel —
+  :func:`channel_load_histogram`.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterator, Tuple
+
+from repro.routing.updown import Route, UpDownRouter
+from repro.topology.fat_tree import Channel, ChannelKind, MPortNTree
+from repro.utils.validation import ValidationError
+
+
+class RoutingTable:
+    """Lazy cache of deterministic routes for one m-port n-tree.
+
+    Routes are computed on demand and memoised; ``precompute()`` fills the
+    whole table eagerly (only sensible for the small trees used in tests and
+    in per-cluster networks — a 128-node tree has 16 256 ordered pairs).
+    """
+
+    def __init__(self, tree: MPortNTree) -> None:
+        self.tree = tree
+        self.router = UpDownRouter(tree)
+        self._cache: Dict[Tuple[int, int], Route] = {}
+
+    def route(self, source: int, dest: int) -> Route:
+        """The cached route from node ``source`` to node ``dest``."""
+        if source == dest:
+            raise ValidationError("source and destination must differ")
+        key = (source, dest)
+        if key not in self._cache:
+            self._cache[key] = self.router.route(source, dest)
+        return self._cache[key]
+
+    def precompute(self) -> None:
+        """Fill the table for every ordered node pair."""
+        for source in range(self.tree.num_nodes):
+            for dest in range(self.tree.num_nodes):
+                if source != dest:
+                    self.route(source, dest)
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def routes(self) -> Iterator[Route]:
+        """All routes computed so far."""
+        return iter(self._cache.values())
+
+
+def channel_load_histogram(tree: MPortNTree) -> Dict[Channel, int]:
+    """Number of ordered pair routes crossing each directed channel.
+
+    Under uniform traffic every ordered pair is equally likely, so this count
+    is proportional to the channel utilisation.  For the destination-based
+    deterministic routing used here the load is perfectly balanced within
+    each channel class (all up-channels of one level carry the same count,
+    ditto down-channels), which is what lets the analytical model describe a
+    whole stage by a single channel rate (Eq. 10-12).
+    """
+    table = RoutingTable(tree)
+    table.precompute()
+    counter: Counter = Counter()
+    for route in table.routes():
+        for channel in route:
+            counter[channel] += 1
+    return dict(counter)
+
+
+def load_by_kind_and_level(tree: MPortNTree) -> Dict[Tuple[str, int], Tuple[int, int]]:
+    """Summarise the channel load as (min, max) per (kind, switch level).
+
+    The key's level is the level of the switch end of the channel (for
+    node-switch channels) or of the lower switch (for switch-switch
+    channels); the value is the (min, max) load over all channels in that
+    class.  Equal min and max in every class demonstrates balance.
+    """
+    loads = channel_load_histogram(tree)
+    grouped: Dict[Tuple[str, int], list] = {}
+    for channel, load in loads.items():
+        if channel.kind in (ChannelKind.INJECTION, ChannelKind.EJECTION):
+            level = 0
+        else:
+            level = min(channel.source.level, channel.target.level)
+        grouped.setdefault((channel.kind.value, level), []).append(load)
+    return {key: (min(values), max(values)) for key, values in grouped.items()}

@@ -1,0 +1,80 @@
+"""Channel resources of the simulated networks.
+
+Every directed channel of every network is a capacity-1 FIFO resource
+(assumption 4: input-buffered switches with a single flit buffer per
+channel).  Resources are created lazily — a 1120-node system has tens of
+thousands of channels but a short run touches only a fraction of them — and
+kept in a pool keyed by ``(network name, channel)`` so that the statistics
+code can inspect utilisation per network.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, Tuple
+
+from repro.des import Environment, Resource
+from repro.topology.fat_tree import Channel, ChannelKind
+from repro.utils.units import LinkTiming
+
+
+class ChannelPool:
+    """Lazily created capacity-1 resources for the channels of one network."""
+
+    def __init__(self, env: Environment, name: str, timing: LinkTiming) -> None:
+        self.env = env
+        self.name = name
+        self.timing = timing
+        self._resources: Dict[Channel, Resource] = {}
+        #: total number of channel acquisitions (diagnostics)
+        self.total_acquisitions = 0
+
+    def resource(self, channel: Channel) -> Resource:
+        """The resource guarding ``channel`` (created on first use)."""
+        if channel not in self._resources:
+            self._resources[channel] = Resource(
+                self.env, capacity=1, name=f"{self.name}:{channel.kind.value}"
+            )
+        return self._resources[channel]
+
+    def header_time(self, channel: Channel) -> float:
+        """Per-flit transfer time of the channel (Eq. 14 vs 15)."""
+        if channel.kind in (ChannelKind.INJECTION, ChannelKind.EJECTION):
+            return self.timing.t_cn
+        return self.timing.t_cs
+
+    def hops_for(self, route) -> Iterator[Tuple[Resource, float]]:
+        """(resource, header time) pairs for every channel of a route."""
+        for channel in route:
+            yield self.resource(channel), self.header_time(channel)
+
+    # ------------------------------------------------------------ diagnostics
+    @property
+    def touched_channels(self) -> int:
+        """Number of channels that have been used at least once."""
+        return len(self._resources)
+
+    def busy_channels(self) -> int:
+        """Number of channels currently held by a message."""
+        return sum(1 for resource in self._resources.values() if resource.count > 0)
+
+    def queued_requests(self) -> int:
+        """Number of requests currently waiting across all channels."""
+        return sum(resource.queue_length for resource in self._resources.values())
+
+    def utilisation(self, elapsed: float) -> Tuple[float, float]:
+        """(mean, max) fraction of ``elapsed`` the pool's channels were held.
+
+        Only channels that were actually used enter the mean, so an idle
+        corner of a large tree does not hide a saturated hot path; the max is
+        the utilisation of the single busiest channel.
+        """
+        if elapsed <= 0 or not self._resources:
+            return (0.0, 0.0)
+        fractions = [
+            min(resource.busy_time / elapsed, 1.0)
+            for resource in self._resources.values()
+        ]
+        return (sum(fractions) / len(fractions), max(fractions))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ChannelPool({self.name!r}, touched={self.touched_channels})"

@@ -1,0 +1,281 @@
+"""The top-level multi-cluster wormhole simulator.
+
+:class:`MultiClusterSimulator` takes the same inputs as the analytical model
+(a :class:`MultiClusterSpec`, a message geometry, channel timing) plus a
+traffic pattern and a statistics budget, and produces a
+:class:`SimulationResult` per operating point.  A latency-versus-offered-
+traffic sweep therefore needs nothing more than::
+
+    simulator = MultiClusterSimulator(spec, MessageSpec(32, 256))
+    results = [simulator.run(lambda_g) for lambda_g in offered_traffic]
+
+Each run builds a fresh discrete-event environment, so runs are independent
+and reproducible from their seed.
+"""
+
+from __future__ import annotations
+
+import time as _time
+from typing import Dict, List, Optional
+
+from repro.des import Environment, Resource
+from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
+from repro.routing.updown import UpDownRouter
+from repro.sim.config import SimulationConfig
+from repro.sim.message import Message
+from repro.sim.network import ChannelPool
+from repro.sim.statistics import SimulationResult, StatisticsCollector
+from repro.sim.wormhole import (
+    draw_peer,
+    inter_cluster_hops,
+    intra_cluster_hops,
+    wormhole_transfer,
+)
+from repro.topology.multicluster import MultiClusterSpec, MultiClusterSystem
+from repro.utils.rng import RandomStreams
+from repro.utils.validation import check_positive
+from repro.workloads.base import TrafficPattern
+from repro.workloads.poisson import PoissonArrivals
+from repro.workloads.uniform import UniformTraffic
+
+
+class MultiClusterSimulator:
+    """Discrete-event wormhole simulator of a heterogeneous multi-cluster system.
+
+    Parameters
+    ----------
+    spec:
+        The system organisation (e.g. a Table 1 row).
+    message:
+        Message geometry (``M`` flits of ``L_m`` bytes).
+    timing:
+        Channel timing; defaults to the paper's values.
+    config:
+        Statistics budget (warm-up / measured / drain counts and the seed).
+    pattern:
+        Destination distribution; defaults to the paper's uniform pattern.
+    arrivals_factory:
+        Callable mapping an offered traffic ``lambda_g`` to an
+        :class:`~repro.workloads.base.ArrivalProcess`; defaults to Poisson
+        generation (assumption 1).  Passing
+        :class:`~repro.workloads.DeterministicArrivals` turns the generator
+        into the variance ablation discussed in DESIGN.md.
+    """
+
+    def __init__(
+        self,
+        spec: MultiClusterSpec,
+        message: MessageSpec = MessageSpec(),
+        timing: TimingParameters = PAPER_TIMING,
+        config: SimulationConfig = SimulationConfig(),
+        pattern: Optional[TrafficPattern] = None,
+        arrivals_factory=None,
+    ) -> None:
+        self.spec = spec
+        self.message = message
+        self.timing = timing
+        self.config = config
+        self.pattern = pattern if pattern is not None else UniformTraffic()
+        self.arrivals_factory = (
+            arrivals_factory if arrivals_factory is not None else PoissonArrivals
+        )
+        self.system = MultiClusterSystem(spec)
+        self._icn1_routers = [UpDownRouter(cluster.icn1) for cluster in self.system.clusters]
+        self._ecn1_routers = [UpDownRouter(cluster.ecn1) for cluster in self.system.clusters]
+        self._icn2_router = UpDownRouter(self.system.icn2)
+
+    # ------------------------------------------------------------------ runs
+    def run(
+        self,
+        lambda_g: float,
+        *,
+        config: Optional[SimulationConfig] = None,
+        seed: Optional[int] = None,
+    ) -> SimulationResult:
+        """Simulate one operating point and return its latency statistics."""
+        check_positive(lambda_g, "lambda_g")
+        run_config = config if config is not None else self.config
+        if seed is not None:
+            run_config = run_config.with_seed(seed)
+        state = _RunState(self, lambda_g, run_config)
+        started = _time.perf_counter()
+        state.execute()
+        elapsed = _time.perf_counter() - started
+        return state.collector.result(
+            lambda_g=lambda_g,
+            saturated=state.timed_out,
+            wall_clock_seconds=elapsed,
+            channel_utilisation=state.channel_utilisation(),
+        )
+
+    def latency_curve(
+        self,
+        lambdas,
+        *,
+        config: Optional[SimulationConfig] = None,
+    ) -> List[SimulationResult]:
+        """One simulation run per offered-traffic value."""
+        return [self.run(value, config=config) for value in lambdas]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MultiClusterSimulator(N={self.spec.total_nodes}, C={self.spec.num_clusters}, "
+            f"m={self.spec.m}, {self.message.describe()}, {self.pattern.describe()})"
+        )
+
+
+class _RunState:
+    """Everything belonging to one simulation run (one environment)."""
+
+    def __init__(
+        self, simulator: MultiClusterSimulator, lambda_g: float, config: SimulationConfig
+    ) -> None:
+        self.simulator = simulator
+        self.lambda_g = lambda_g
+        self.config = config
+        self.env = Environment()
+        self.streams = RandomStreams(config.seed)
+        self.arrivals = simulator.arrivals_factory(lambda_g)
+        link_timing = simulator.timing.link_timing(simulator.message.flit_bytes)
+        self.relay_time = link_timing.t_cs
+        system = simulator.system
+        self.icn1_pools = [
+            ChannelPool(self.env, f"cluster{c.index}/ICN1", link_timing) for c in system.clusters
+        ]
+        self.ecn1_pools = [
+            ChannelPool(self.env, f"cluster{c.index}/ECN1", link_timing) for c in system.clusters
+        ]
+        self.icn2_pool = ChannelPool(self.env, "ICN2", link_timing)
+        self.concentrators = [
+            Resource(self.env, capacity=1, name=f"concentrator{c.index}")
+            for c in system.clusters
+        ]
+        self.dispatchers = [
+            Resource(self.env, capacity=1, name=f"dispatcher{c.index}")
+            for c in system.clusters
+        ]
+        self.collector = StatisticsCollector(num_clusters=system.num_clusters)
+        self.generated = 0
+        self.delivered_measured = 0
+        self.done = self.env.event()
+        self.timed_out = False
+
+    # ------------------------------------------------------------- execution
+    def execute(self) -> None:
+        for cluster_index, node in self.simulator.system.nodes():
+            self.env.process(self._source_process(cluster_index, node.index))
+        guard = self.env.timeout(self.config.max_time)
+        self.env.run(until=self.done | guard)
+        if not self.done.triggered:
+            self.timed_out = True
+
+    def channel_utilisation(self) -> Dict[str, tuple]:
+        """Per-network (mean, max) channel utilisation over the whole run.
+
+        ICN1 and ECN1 pools are aggregated over clusters (the max picks out
+        the busiest cluster's busiest channel); the concentrator/dispatcher
+        buffers are reported as their own "network" because they are the
+        physical bottleneck of the Table 1 organisations.
+        """
+        elapsed = self.env.now
+        if elapsed <= 0:
+            return {}
+        report: Dict[str, tuple] = {}
+        for label, pools in (("ICN1", self.icn1_pools), ("ECN1", self.ecn1_pools)):
+            values = [pool.utilisation(elapsed) for pool in pools if pool.touched_channels]
+            if values:
+                report[label] = (
+                    sum(mean for mean, _ in values) / len(values),
+                    max(peak for _, peak in values),
+                )
+        if self.icn2_pool.touched_channels:
+            report["ICN2"] = self.icn2_pool.utilisation(elapsed)
+        relay_fractions = [
+            min(resource.busy_time / elapsed, 1.0)
+            for resource in (*self.concentrators, *self.dispatchers)
+            if resource.total_grants
+        ]
+        if relay_fractions:
+            report["concentrators"] = (
+                sum(relay_fractions) / len(relay_fractions),
+                max(relay_fractions),
+            )
+        return report
+
+    # ------------------------------------------------------------- processes
+    def _source_process(self, cluster_index: int, node_index: int):
+        """Poisson message generation at one node (assumption 1)."""
+        rng = self.streams.get("arrivals", cluster_index, node_index)
+        dest_rng = self.streams.get("destinations", cluster_index, node_index)
+        peer_rng = self.streams.get("peers", cluster_index, node_index)
+        system = self.simulator.system
+        pattern = self.simulator.pattern
+        while True:
+            yield self.env.timeout(self.arrivals.next_interarrival(rng))
+            if self.generated >= self.config.total_messages:
+                return
+            index = self.generated
+            self.generated += 1
+            destination = pattern.sample_destination(
+                dest_rng, system, cluster_index, node_index
+            )
+            message = Message(
+                index=index,
+                source_cluster=cluster_index,
+                source_node=node_index,
+                dest_cluster=destination.cluster,
+                dest_node=destination.node,
+                length_flits=self.simulator.message.length_flits,
+                created_at=self.env.now,
+                measured=(
+                    self.config.warmup_messages
+                    <= index
+                    < self.config.warmup_messages + self.config.measured_messages
+                ),
+            )
+            hops = self._build_hops(message, peer_rng)
+            self.env.process(
+                wormhole_transfer(
+                    self.env, message, hops, on_delivered=self._on_delivered
+                )
+            )
+
+    def _build_hops(self, message: Message, peer_rng):
+        simulator = self.simulator
+        system = simulator.system
+        if not message.is_external:
+            return intra_cluster_hops(
+                self.icn1_pools[message.source_cluster],
+                simulator._icn1_routers[message.source_cluster],
+                message.source_node,
+                message.dest_node,
+            )
+        source_cluster = system.cluster(message.source_cluster)
+        dest_cluster = system.cluster(message.dest_cluster)
+        exit_peer = draw_peer(peer_rng, source_cluster.num_nodes, message.source_node)
+        entry_peer = draw_peer(peer_rng, dest_cluster.num_nodes, message.dest_node)
+        return inter_cluster_hops(
+            source_pool=self.ecn1_pools[message.source_cluster],
+            source_router=simulator._ecn1_routers[message.source_cluster],
+            dest_pool=self.ecn1_pools[message.dest_cluster],
+            dest_router=simulator._ecn1_routers[message.dest_cluster],
+            icn2_pool=self.icn2_pool,
+            icn2_router=simulator._icn2_router,
+            concentrator=self.concentrators[message.source_cluster],
+            dispatcher=self.dispatchers[message.dest_cluster],
+            source_node=message.source_node,
+            exit_peer=exit_peer,
+            dest_node=message.dest_node,
+            entry_peer=entry_peer,
+            source_concentrator_node=message.source_cluster,
+            dest_concentrator_node=message.dest_cluster,
+            relay_time=self.relay_time,
+        )
+
+    def _on_delivered(self, message: Message) -> None:
+        if not message.measured:
+            return
+        self.collector.record(message)
+        self.delivered_measured += 1
+        if self.delivered_measured >= self.config.measured_messages and not self.done.triggered:
+            self.done.succeed()

@@ -1,0 +1,168 @@
+"""Latency statistics gathering and the simulation result record."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+from repro.des import Tally
+from repro.sim.message import Message
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class ClusterStatistics:
+    """Latency statistics of the measured messages originating in one cluster."""
+
+    cluster: int
+    count: int
+    mean_latency: float
+    std_latency: float
+
+
+@dataclass(frozen=True)
+class SimulationResult:
+    """Outcome of one simulation run at one operating point."""
+
+    lambda_g: float
+    #: number of measured (recorded) messages
+    measured_messages: int
+    #: overall mean message latency over the measured messages
+    mean_latency: float
+    std_latency: float
+    confidence_interval: Tuple[float, float]
+    #: mean time spent waiting for the injection channel
+    mean_queueing_delay: float
+    #: mean latency excluding the source queue
+    mean_network_latency: float
+    #: share of measured messages that crossed cluster boundaries
+    external_fraction: float
+    #: per-source-cluster statistics
+    clusters: Tuple[ClusterStatistics, ...]
+    #: simulated time spanned by the measurement window
+    measurement_time: float
+    #: delivered-messages throughput over the measurement window
+    throughput: float
+    #: True when the run hit its safety time limit before delivering the
+    #: measured messages — the operating point is beyond saturation
+    saturated: bool
+    #: wall-clock seconds the run took (useful for benchmark reporting)
+    wall_clock_seconds: float = 0.0
+    #: per-network (mean, max) channel utilisation over the run, keyed by
+    #: network name (ICN1/ECN1 pools, "ICN2", "concentrators"); empty when
+    #: utilisation accounting was not requested
+    channel_utilisation: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+
+    def bottleneck(self) -> Optional[str]:
+        """Name of the network with the busiest single channel (None if unknown)."""
+        if not self.channel_utilisation:
+            return None
+        return max(self.channel_utilisation, key=lambda name: self.channel_utilisation[name][1])
+
+    def summary(self) -> Dict[str, float]:
+        """JSON-friendly scalar summary (used by EXPERIMENTS.md generation)."""
+        return {
+            "lambda_g": self.lambda_g,
+            "measured_messages": self.measured_messages,
+            "mean_latency": self.mean_latency,
+            "std_latency": self.std_latency,
+            "ci_low": self.confidence_interval[0],
+            "ci_high": self.confidence_interval[1],
+            "mean_queueing_delay": self.mean_queueing_delay,
+            "external_fraction": self.external_fraction,
+            "throughput": self.throughput,
+            "saturated": self.saturated,
+        }
+
+
+@dataclass
+class StatisticsCollector:
+    """Accumulates message records during a run and produces the result."""
+
+    num_clusters: int
+    latency: Tally = field(default_factory=lambda: Tally("latency"))
+    queueing: Tally = field(default_factory=lambda: Tally("queueing", keep_samples=False))
+    network: Tally = field(default_factory=lambda: Tally("network", keep_samples=False))
+    external_count: int = 0
+    first_measured_at: Optional[float] = None
+    last_measured_at: Optional[float] = None
+    _per_cluster: Dict[int, Tally] = field(default_factory=dict)
+
+    def record(self, message: Message) -> None:
+        """Record one delivered, measured message."""
+        if not message.measured:
+            raise ValidationError("only measured messages should be recorded")
+        self.latency.record(message.latency)
+        self.queueing.record(message.queueing_delay)
+        self.network.record(message.network_latency)
+        if message.is_external:
+            self.external_count += 1
+        cluster_tally = self._per_cluster.setdefault(
+            message.source_cluster, Tally(f"cluster{message.source_cluster}", keep_samples=False)
+        )
+        cluster_tally.record(message.latency)
+        if self.first_measured_at is None:
+            self.first_measured_at = message.delivered_at
+        self.last_measured_at = message.delivered_at
+
+    @property
+    def recorded(self) -> int:
+        return self.latency.count
+
+    def result(
+        self,
+        *,
+        lambda_g: float,
+        saturated: bool,
+        wall_clock_seconds: float = 0.0,
+        channel_utilisation: Optional[Dict[str, Tuple[float, float]]] = None,
+    ) -> SimulationResult:
+        """Finalise the statistics into a :class:`SimulationResult`."""
+        utilisation = channel_utilisation or {}
+        if self.recorded == 0:
+            return SimulationResult(
+                lambda_g=lambda_g,
+                measured_messages=0,
+                mean_latency=math.inf,
+                std_latency=math.nan,
+                confidence_interval=(math.inf, math.inf),
+                mean_queueing_delay=math.nan,
+                mean_network_latency=math.nan,
+                external_fraction=math.nan,
+                clusters=(),
+                measurement_time=0.0,
+                throughput=0.0,
+                saturated=True,
+                wall_clock_seconds=wall_clock_seconds,
+                channel_utilisation=utilisation,
+            )
+        clusters = tuple(
+            ClusterStatistics(
+                cluster=cluster,
+                count=tally.count,
+                mean_latency=tally.mean,
+                std_latency=tally.std,
+            )
+            for cluster, tally in sorted(self._per_cluster.items())
+        )
+        span = 0.0
+        if self.first_measured_at is not None and self.last_measured_at is not None:
+            span = self.last_measured_at - self.first_measured_at
+        throughput = self.recorded / span if span > 0 else 0.0
+        return SimulationResult(
+            lambda_g=lambda_g,
+            measured_messages=self.recorded,
+            mean_latency=self.latency.mean,
+            std_latency=self.latency.std,
+            confidence_interval=self.latency.confidence_interval(0.95),
+            mean_queueing_delay=self.queueing.mean,
+            mean_network_latency=self.network.mean,
+            external_fraction=self.external_count / self.recorded,
+            clusters=clusters,
+            measurement_time=span,
+            throughput=throughput,
+            saturated=saturated,
+            wall_clock_seconds=wall_clock_seconds,
+            channel_utilisation=utilisation,
+        )

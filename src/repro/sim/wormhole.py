@@ -1,0 +1,147 @@
+"""Wormhole message transfer: journey construction and the transfer process.
+
+A wormhole message advances header-first: at every hop it must acquire the
+hop's channel before the header can cross it, and with single-flit buffers
+(assumption 4) every channel it has already crossed stays occupied by its
+body flits until the tail has drained.  The simulator realises this as a
+process that
+
+1. acquires the hop resources strictly in route order (waiting in FIFO order
+   whenever a channel is busy — this is where all contention arises),
+2. spends the per-flit header time on each hop,
+3. after the header reaches the destination, spends the serialisation time of
+   the remaining ``M - 1`` flits at the slowest hop of the path,
+4. releases everything.
+
+Holding every acquired channel until the tail is delivered is slightly
+conservative (a real worm frees its earliest channels a few flit-times
+sooner); DESIGN.md discusses why this does not change the latency behaviour
+the validation study measures.
+
+Inter-cluster journeys chain three networks: the ascending leg in the source
+cluster's ECN1, the ICN2 crossing between the two concentrators, and the
+descending leg in the destination cluster's ECN1, with the concentrator and
+dispatcher units appearing as single-server hops between the legs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Sequence
+
+import numpy as np
+
+from repro.des import Environment, Resource
+from repro.routing.updown import UpDownRouter
+from repro.sim.message import Message
+from repro.sim.network import ChannelPool
+from repro.utils.validation import ValidationError
+
+
+@dataclass(frozen=True)
+class Hop:
+    """One contention point of a journey and its per-flit header time."""
+
+    resource: Resource
+    header_time: float
+
+
+def intra_cluster_hops(
+    pool: ChannelPool,
+    router: UpDownRouter,
+    source_node: int,
+    dest_node: int,
+) -> List[Hop]:
+    """The hop sequence of an intra-cluster (ICN1) journey."""
+    route = router.route(source_node, dest_node)
+    return [Hop(resource, time) for resource, time in pool.hops_for(route)]
+
+
+def inter_cluster_hops(
+    *,
+    source_pool: ChannelPool,
+    source_router: UpDownRouter,
+    dest_pool: ChannelPool,
+    dest_router: UpDownRouter,
+    icn2_pool: ChannelPool,
+    icn2_router: UpDownRouter,
+    concentrator: Resource,
+    dispatcher: Resource,
+    source_node: int,
+    exit_peer: int,
+    dest_node: int,
+    entry_peer: int,
+    source_concentrator_node: int,
+    dest_concentrator_node: int,
+    relay_time: float,
+) -> List[Hop]:
+    """The hop sequence of an inter-cluster (ECN1 + ICN2 + ECN1) journey.
+
+    ``exit_peer`` and ``entry_peer`` are the uniformly drawn peers that fix
+    where the message leaves the source ECN1 and enters the destination ECN1
+    (the distributed-concentrator realisation described in DESIGN.md); they
+    reproduce exactly the ``P_{j,n}`` leg-length distributions the analytical
+    model assumes.
+    """
+    hops: List[Hop] = []
+    ascent = source_router.ascending_leg(source_node, exit_peer)
+    hops.extend(Hop(resource, time) for resource, time in source_pool.hops_for(ascent))
+    hops.append(Hop(concentrator, relay_time))
+    icn2_route = icn2_router.route(source_concentrator_node, dest_concentrator_node)
+    hops.extend(Hop(resource, time) for resource, time in icn2_pool.hops_for(icn2_route))
+    hops.append(Hop(dispatcher, relay_time))
+    descent = dest_router.descending_leg(entry_peer, dest_node)
+    hops.extend(Hop(resource, time) for resource, time in dest_pool.hops_for(descent))
+    return hops
+
+
+def draw_peer(rng: np.random.Generator, num_nodes: int, excluded: int) -> int:
+    """A uniformly random node index different from ``excluded``."""
+    if num_nodes < 2:
+        raise ValidationError("drawing a peer needs at least two nodes")
+    draw = int(rng.integers(0, num_nodes - 1))
+    if draw >= excluded:
+        draw += 1
+    return draw
+
+
+def wormhole_transfer(
+    env: Environment,
+    message: Message,
+    hops: Sequence[Hop],
+    *,
+    on_delivered: Callable[[Message], None] | None = None,
+):
+    """The DES process moving one message along its hops (generator).
+
+    The first hop is the injection channel, so the wait for it *is* the
+    source-queue delay of the analytical model; ``message.mark_injected`` is
+    called the moment that first channel is granted.
+    """
+    if not hops:
+        raise ValidationError("a journey needs at least one hop")
+    held = []
+    try:
+        for position, hop in enumerate(hops):
+            request = hop.resource.request()
+            yield request
+            held.append((hop.resource, request))
+            if position == 0:
+                message.mark_injected(env.now)
+            yield env.timeout(hop.header_time)
+        # Header is at the destination; the body pipelines behind it at the
+        # pace of the slowest hop on the path.
+        serialisation = (message.length_flits - 1) * max(hop.header_time for hop in hops)
+        if serialisation > 0:
+            yield env.timeout(serialisation)
+        message.mark_delivered(env.now)
+        if on_delivered is not None:
+            on_delivered(message)
+    finally:
+        for resource, request in held:
+            request.cancel()
+
+
+def journey_hop_count(hops: Iterable[Hop]) -> int:
+    """Number of contention points of a journey (diagnostic helper)."""
+    return sum(1 for _ in hops)

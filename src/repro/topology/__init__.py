@@ -1,0 +1,67 @@
+"""Network topologies of the multi-cluster system.
+
+The paper builds every communication network (the per-cluster ICN1 and ECN1
+and the global ICN2) as an *m-port n-tree* fat tree [Lin 2003], a Clos-style
+constant-bisection-bandwidth topology made of fixed-arity m-port switches:
+
+* :mod:`repro.topology.fat_tree` — the m-port n-tree itself: node/switch
+  addressing, channel enumeration, neighbourhood queries (Eq. 1-2);
+* :mod:`repro.topology.multicluster` — the heterogeneous multi-cluster
+  system of Fig. 1: ``C`` clusters with per-cluster ICN1/ECN1, a global ICN2
+  whose "nodes" are the per-cluster concentrator/dispatcher units, and the
+  Table 1 system organisations used in the validation study;
+* :mod:`repro.topology.properties` — derived metrics (bisection width,
+  diameter, link counts, distance distributions) used both by tests and by
+  the design-space exploration example;
+* :mod:`repro.topology.graph` — exports to :mod:`networkx` for visualisation
+  and for graph-theoretic cross-checks.
+"""
+
+from repro.topology.fat_tree import (
+    Channel,
+    ChannelKind,
+    FatTreeNode,
+    FatTreeSwitch,
+    MPortNTree,
+    num_nodes_formula,
+    num_switches_formula,
+)
+from repro.topology.multicluster import (
+    Cluster,
+    ClusterSpec,
+    Concentrator,
+    MultiClusterSystem,
+    MultiClusterSpec,
+)
+from repro.topology.properties import (
+    bisection_channels,
+    channel_count,
+    diameter,
+    distance_histogram,
+    link_count,
+    mean_internode_distance,
+)
+from repro.topology.graph import multicluster_to_networkx, tree_to_networkx
+
+__all__ = [
+    "Channel",
+    "ChannelKind",
+    "FatTreeNode",
+    "FatTreeSwitch",
+    "MPortNTree",
+    "num_nodes_formula",
+    "num_switches_formula",
+    "Cluster",
+    "ClusterSpec",
+    "Concentrator",
+    "MultiClusterSystem",
+    "MultiClusterSpec",
+    "bisection_channels",
+    "channel_count",
+    "diameter",
+    "distance_histogram",
+    "link_count",
+    "mean_internode_distance",
+    "multicluster_to_networkx",
+    "tree_to_networkx",
+]

@@ -1,0 +1,104 @@
+"""Exports of the topologies to :mod:`networkx` graphs.
+
+The graphs are used for three things:
+
+* structural cross-checks in the test suite (connectivity, degree sequences,
+  shortest-path lengths versus the NCA-based closed forms);
+* quick visual inspection in notebooks (spring or multipartite layouts);
+* as a neutral exchange format for users who want to plug the topology into
+  their own tooling.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Tuple
+
+import networkx as nx
+
+from repro.topology.fat_tree import FatTreeNode, FatTreeSwitch, MPortNTree
+from repro.topology.multicluster import MultiClusterSystem
+
+
+def _node_key(prefix: str, node: FatTreeNode) -> Tuple[str, str, int]:
+    return (prefix, "node", node.index)
+
+
+def _switch_key(prefix: str, switch: FatTreeSwitch) -> Tuple[str, str, int, Tuple[int, ...]]:
+    return (prefix, "switch", switch.level, switch.address)
+
+
+def tree_to_networkx(tree: MPortNTree, *, prefix: str = "", directed: bool = False) -> nx.Graph:
+    """Convert one m-port n-tree into a networkx graph.
+
+    Nodes of the graph are tagged with ``kind`` ("node" or "switch") and
+    ``level`` attributes; edges with ``kind`` ("node-switch" or
+    "switch-switch").  With ``directed=True`` every channel becomes its own
+    edge, matching the directed-channel view of the simulator.
+    """
+    graph: nx.Graph = nx.DiGraph() if directed else nx.Graph()
+    label = prefix or tree.name
+    for node in tree.nodes():
+        graph.add_node(_node_key(label, node), kind="node", level=-1, index=node.index)
+    for switch in tree.switches():
+        graph.add_node(
+            _switch_key(label, switch), kind="switch", level=switch.level, address=switch.address
+        )
+    for node in tree.nodes():
+        leaf = tree.leaf_switch_of(node)
+        _add_edge(graph, _node_key(label, node), _switch_key(label, leaf), "node-switch", directed)
+    for level in range(tree.n - 1):
+        for switch in tree.switches_at_level(level):
+            for upper in tree.up_switches(switch):
+                _add_edge(
+                    graph,
+                    _switch_key(label, switch),
+                    _switch_key(label, upper),
+                    "switch-switch",
+                    directed,
+                )
+    return graph
+
+
+def multicluster_to_networkx(system: MultiClusterSystem, *, include_icn1: bool = True) -> nx.Graph:
+    """Convert a whole multi-cluster system into one networkx graph.
+
+    Every cluster contributes its ECN1 (and optionally its ICN1); the ICN2
+    tree is added with the concentrators as its leaves, and each concentrator
+    is linked to every root switch of its cluster's ECN1 so the graph is
+    connected the same way the message-flow model of Fig. 2 is.
+    """
+    graph = nx.Graph()
+    for cluster in system.clusters:
+        ecn_graph = tree_to_networkx(cluster.ecn1, prefix=f"c{cluster.index}/ECN1")
+        graph = nx.compose(graph, ecn_graph)
+        if include_icn1:
+            icn_graph = tree_to_networkx(cluster.icn1, prefix=f"c{cluster.index}/ICN1")
+            graph = nx.compose(graph, icn_graph)
+            # The same physical node appears in both of its networks: tie the
+            # two representations together with an explicit identity edge.
+            for node in cluster.icn1.nodes():
+                graph.add_edge(
+                    _node_key(f"c{cluster.index}/ICN1", node),
+                    _node_key(f"c{cluster.index}/ECN1", node),
+                    kind="same-host",
+                )
+    icn2_graph = tree_to_networkx(system.icn2, prefix="ICN2")
+    graph = nx.compose(graph, icn2_graph)
+    for concentrator in system.concentrators:
+        cluster = system.cluster(concentrator.cluster_index)
+        concentrator_key: Hashable = ("ICN2", "node", concentrator.icn2_node.index)
+        graph.nodes[concentrator_key]["kind"] = "concentrator"
+        graph.nodes[concentrator_key]["cluster"] = concentrator.cluster_index
+        for root in cluster.ecn1.switches_at_level(cluster.ecn1.root_level):
+            graph.add_edge(
+                concentrator_key,
+                _switch_key(f"c{cluster.index}/ECN1", root),
+                kind="concentrator-link",
+            )
+    return graph
+
+
+def _add_edge(graph: nx.Graph, a: Hashable, b: Hashable, kind: str, directed: bool) -> None:
+    graph.add_edge(a, b, kind=kind)
+    if directed:
+        graph.add_edge(b, a, kind=kind)

@@ -1,0 +1,132 @@
+"""Derived structural properties of m-port n-trees and multi-cluster systems.
+
+These functions answer the questions the paper answers in Section 2 — how
+big is the network, how far apart are nodes, does the topology really offer
+full bisection bandwidth — and are used both by the test suite (to cross
+check the closed-form expressions of the analytical model against brute-force
+enumeration) and by the design-space exploration example.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from repro.topology.fat_tree import MPortNTree
+from repro.topology.multicluster import MultiClusterSystem
+from repro.utils.validation import ValidationError
+
+
+def link_count(tree: MPortNTree) -> int:
+    """Number of physical (bidirectional) links of the tree.
+
+    Counted by enumeration; equals ``n * N`` (each of the ``n`` levels of the
+    tree — counting the node-switch level — carries exactly ``N`` links).
+    """
+    return sum(1 for channel in tree.channels()) // 2
+
+
+def channel_count(tree: MPortNTree) -> int:
+    """Number of directed channels (twice the link count)."""
+    return sum(1 for channel in tree.channels())
+
+
+def diameter(tree: MPortNTree) -> int:
+    """Maximum link distance between any two distinct nodes (``2 n``)."""
+    return 2 * tree.n
+
+
+def mean_internode_distance(tree: MPortNTree) -> float:
+    """Average link distance between distinct node pairs.
+
+    This is the quantity Eq. (8)/(9) of the paper expresses in closed form;
+    here it is computed from the NCA structure directly so the model can be
+    validated against it.
+    """
+    total_nodes = tree.num_nodes
+    if total_nodes < 2:
+        raise ValidationError("mean distance needs at least two nodes")
+    k = tree.k
+    total = 0
+    # Destinations at NCA distance j from any fixed source (uniform over the
+    # other N-1 nodes): k^j - k^(j-1) for j < n and 2k^n - k^(n-1) for j = n.
+    for j in range(1, tree.n):
+        total += 2 * j * (k**j - k ** (j - 1))
+    total += 2 * tree.n * (2 * k**tree.n - k ** (tree.n - 1))
+    return total / (total_nodes - 1)
+
+
+def distance_histogram(tree: MPortNTree, *, exhaustive: bool = False) -> Dict[int, int]:
+    """Number of ordered node pairs at each link distance.
+
+    With ``exhaustive=True`` the histogram is computed by enumerating every
+    ordered pair (O(N^2); only sensible for small trees in tests); otherwise
+    the closed-form pair counts are used.
+    """
+    histogram: Dict[int, int] = {}
+    if exhaustive:
+        counts = Counter(
+            tree.distance(a, b)
+            for a in tree.nodes()
+            for b in tree.nodes()
+            if a.index != b.index
+        )
+        return dict(sorted(counts.items()))
+    k = tree.k
+    total_nodes = tree.num_nodes
+    for j in range(1, tree.n):
+        pairs = total_nodes * (k**j - k ** (j - 1))
+        if pairs:  # k=1 trees have no destinations below the root level
+            histogram[2 * j] = pairs
+    histogram[2 * tree.n] = total_nodes * (2 * k**tree.n - k ** (tree.n - 1))
+    return histogram
+
+
+def bisection_channels(tree: MPortNTree) -> int:
+    """Number of physical links crossing the natural bisection of the tree.
+
+    The m-port n-tree splits into two halves of ``N/2`` nodes each by the
+    first digit of the node address (digits ``0..m/2-1`` on one side,
+    ``m/2..m-1`` on the other).  Traffic between the halves must cross the
+    root level, and every root switch contributes ``m/2`` down-links to each
+    half, so the cut width is ``(m/2)^{n-1} * m/2 = N/2`` links — the "full
+    bisection bandwidth" property the paper relies on to rule out link
+    contention.  The count is obtained by enumeration so tests can verify the
+    closed form rather than assume it.
+    """
+    if tree.n == 1:
+        # A single switch: cutting it off from one half severs N/2 node links.
+        return tree.num_nodes // 2
+    count = 0
+    for switch in tree.switches_at_level(tree.root_level):
+        for child in tree.down_switches(switch):
+            # The child's first prefix digit fixes which half its nodes are in.
+            if child.address[0] >= tree.k:
+                count += 1
+    return count
+
+
+def is_full_bisection(tree: MPortNTree) -> bool:
+    """True when the bisection cut can carry half the nodes' injection load.
+
+    For the m-port n-tree this is always true (cut width ``>= N/2`` links per
+    direction); exposed as a function so tests exercise the claim rather than
+    assume it.
+    """
+    return bisection_channels(tree) >= tree.num_nodes // 2
+
+
+def multicluster_summary(system: MultiClusterSystem) -> Dict[str, object]:
+    """A JSON-friendly structural summary of a multi-cluster system."""
+    spec = system.spec
+    return {
+        "name": spec.name or f"N={system.total_nodes}",
+        "clusters": system.num_clusters,
+        "m": spec.m,
+        "total_nodes": system.total_nodes,
+        "cluster_sizes": list(system.cluster_sizes),
+        "cluster_heights": list(spec.cluster_heights),
+        "icn2_height": spec.icn2_height,
+        "total_switches": system.total_switches,
+        "heterogeneous": not spec.is_homogeneous,
+    }

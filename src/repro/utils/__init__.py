@@ -1,0 +1,61 @@
+"""Utility helpers shared across the :mod:`repro` package.
+
+The helpers are deliberately dependency-light: parameter validation,
+unit conversions, deterministic RNG stream management, plain-text table
+rendering and JSON-friendly result serialisation.
+"""
+
+from repro.utils.validation import (
+    check_positive,
+    check_non_negative,
+    check_probability,
+    check_positive_int,
+    check_even,
+    check_in_range,
+    check_power_of,
+    ValidationError,
+)
+from repro.utils.units import (
+    TimeUnit,
+    bandwidth_to_beta,
+    beta_to_bandwidth,
+    flits_to_bytes,
+    bytes_to_flits,
+)
+from repro.utils.rng import RandomStreams, spawn_rng
+from repro.utils.tables import (
+    format_table,
+    format_csv,
+    write_csv,
+    ResultTable,
+)
+from repro.utils.serialization import (
+    to_jsonable,
+    dump_json,
+    load_json,
+)
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_positive_int",
+    "check_even",
+    "check_in_range",
+    "check_power_of",
+    "ValidationError",
+    "TimeUnit",
+    "bandwidth_to_beta",
+    "beta_to_bandwidth",
+    "flits_to_bytes",
+    "bytes_to_flits",
+    "RandomStreams",
+    "spawn_rng",
+    "format_table",
+    "format_csv",
+    "write_csv",
+    "ResultTable",
+    "to_jsonable",
+    "dump_json",
+    "load_json",
+]

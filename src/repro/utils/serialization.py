@@ -1,0 +1,55 @@
+"""JSON serialisation of experiment results.
+
+Experiment records contain dataclasses, numpy scalars/arrays and nested
+containers; :func:`to_jsonable` flattens them into plain Python structures so
+results can be written to disk and re-loaded for later comparison
+(EXPERIMENTS.md is generated from such records).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from enum import Enum
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+
+def to_jsonable(obj: Any) -> Any:
+    """Recursively convert ``obj`` into JSON-serialisable primitives."""
+    if obj is None or isinstance(obj, (bool, int, float, str)):
+        return obj
+    if isinstance(obj, Enum):
+        return obj.value
+    if isinstance(obj, (np.integer,)):
+        return int(obj)
+    if isinstance(obj, (np.floating,)):
+        return float(obj)
+    if isinstance(obj, np.ndarray):
+        return [to_jsonable(v) for v in obj.tolist()]
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_jsonable(getattr(obj, f.name)) for f in dataclasses.fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_jsonable(v) for k, v in obj.items()}
+    if isinstance(obj, (list, tuple, set, frozenset)):
+        return [to_jsonable(v) for v in obj]
+    if isinstance(obj, Path):
+        return str(obj)
+    if hasattr(obj, "to_jsonable"):
+        return to_jsonable(obj.to_jsonable())
+    raise TypeError(f"cannot serialise object of type {type(obj).__name__}")
+
+
+def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:
+    """Serialise ``obj`` to JSON at ``path`` and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(to_jsonable(obj), indent=indent, sort_keys=True), encoding="utf-8")
+    return path
+
+
+def load_json(path: str | Path) -> Any:
+    """Load a JSON document previously written with :func:`dump_json`."""
+    return json.loads(Path(path).read_text(encoding="utf-8"))

@@ -1,0 +1,115 @@
+"""Plain-text and CSV rendering of experiment results.
+
+The benchmark harness regenerates the paper's figures as *tables of series*
+(offered traffic vs mean latency, analysis vs simulation).  These helpers
+render those tables for the terminal and to CSV files without pulling in a
+plotting dependency.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterable, List, Sequence
+
+from repro.utils.validation import ValidationError
+
+
+def _fmt(value: Any, precision: int) -> str:
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{precision}g}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[Any]],
+    *,
+    precision: int = 6,
+    title: str | None = None,
+) -> str:
+    """Render ``rows`` under ``headers`` as an aligned ASCII table."""
+    str_rows: List[List[str]] = [[_fmt(v, precision) for v in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValidationError(
+                f"row has {len(row)} cells but there are {len(headers)} headers"
+            )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for idx, cell in enumerate(row):
+            widths[idx] = max(widths[idx], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[idx]) for idx, cell in enumerate(cells))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_row(list(headers)))
+    lines.append("-+-".join("-" * w for w in widths))
+    lines.extend(render_row(row) for row in str_rows)
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> str:
+    """Render rows as CSV text (header line included)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(list(headers))
+    for row in rows:
+        writer.writerow(list(row))
+    return buffer.getvalue()
+
+
+def write_csv(path: str | Path, headers: Sequence[str], rows: Iterable[Sequence[Any]]) -> Path:
+    """Write rows to ``path`` as CSV and return the path."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(format_csv(headers, rows), encoding="utf-8")
+    return path
+
+
+@dataclass
+class ResultTable:
+    """A small mutable table of results with named columns.
+
+    Used by the experiment harness to accumulate one row per operating point
+    and then render the full table once, mirroring how the paper reports one
+    curve per (M, Lm) combination.
+    """
+
+    headers: Sequence[str]
+    rows: List[List[Any]] = field(default_factory=list)
+    title: str | None = None
+
+    def add_row(self, *values: Any) -> None:
+        if len(values) != len(self.headers):
+            raise ValidationError(
+                f"expected {len(self.headers)} values, got {len(values)}"
+            )
+        self.rows.append(list(values))
+
+    def column(self, name: str) -> List[Any]:
+        """Return the values of column ``name`` in row order."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError as exc:
+            raise ValidationError(f"unknown column {name!r}") from exc
+        return [row[idx] for row in self.rows]
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def to_text(self, precision: int = 6) -> str:
+        return format_table(self.headers, self.rows, precision=precision, title=self.title)
+
+    def to_csv(self) -> str:
+        return format_csv(self.headers, self.rows)
+
+    def save_csv(self, path: str | Path) -> Path:
+        return write_csv(path, self.headers, self.rows)

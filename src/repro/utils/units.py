@@ -1,0 +1,104 @@
+"""Unit helpers for the paper's parameterisation.
+
+The paper expresses all timing quantities in an abstract *time unit*:
+
+* network bandwidth of ``500 / time unit`` (bytes per time unit), so the
+  per-byte transmission time is ``beta_net = 1 / 500``;
+* network latency ``alpha_net = 0.02`` and switch latency
+  ``alpha_sw = 0.01`` time units;
+* flit length ``L_m`` in bytes (256 or 512), message length ``M`` in flits
+  (32 or 64).
+
+These helpers convert between the different representations and keep the
+conversions in one, well-tested place.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.utils.validation import check_positive, check_positive_int
+
+
+class TimeUnit(str, Enum):
+    """Symbolic time units used when labelling results.
+
+    The paper works in abstract "time units"; real deployments usually think
+    in microseconds.  The enum only labels output — it never rescales values.
+    """
+
+    ABSTRACT = "time-unit"
+    MICROSECONDS = "us"
+    NANOSECONDS = "ns"
+
+    def label(self) -> str:
+        return self.value
+
+
+def bandwidth_to_beta(bandwidth: float) -> float:
+    """Convert a channel bandwidth (bytes / time unit) into ``beta_net``.
+
+    ``beta_net`` is the transmission time of a single byte (the inverse of
+    the bandwidth), as used by Eq. (14)-(15) of the paper.
+    """
+    check_positive(bandwidth, "bandwidth")
+    return 1.0 / bandwidth
+
+
+def beta_to_bandwidth(beta: float) -> float:
+    """Convert the per-byte transmission time ``beta_net`` back to bandwidth."""
+    check_positive(beta, "beta")
+    return 1.0 / beta
+
+
+def flits_to_bytes(num_flits: int, flit_bytes: int) -> int:
+    """Size in bytes of a message of ``num_flits`` flits of ``flit_bytes`` each."""
+    check_positive_int(num_flits, "num_flits")
+    check_positive_int(flit_bytes, "flit_bytes")
+    return num_flits * flit_bytes
+
+
+def bytes_to_flits(num_bytes: int, flit_bytes: int) -> int:
+    """Number of flits (rounded up) needed to carry ``num_bytes`` of payload."""
+    check_positive_int(num_bytes, "num_bytes")
+    check_positive_int(flit_bytes, "flit_bytes")
+    return -(-num_bytes // flit_bytes)
+
+
+@dataclass(frozen=True)
+class LinkTiming:
+    """Timing of a single channel, mirroring Eq. (14)-(15).
+
+    Attributes
+    ----------
+    alpha_net:
+        Network (wire / NIC) latency added on node-switch channels.
+    alpha_sw:
+        Switch latency added on switch-switch channels.
+    beta_net:
+        Transmission time of one byte (inverse bandwidth).
+    flit_bytes:
+        Flit payload ``L_m`` in bytes.
+    """
+
+    alpha_net: float
+    alpha_sw: float
+    beta_net: float
+    flit_bytes: int
+
+    def __post_init__(self) -> None:
+        check_positive(self.alpha_net, "alpha_net")
+        check_positive(self.alpha_sw, "alpha_sw")
+        check_positive(self.beta_net, "beta_net")
+        check_positive_int(self.flit_bytes, "flit_bytes")
+
+    @property
+    def t_cn(self) -> float:
+        """Node↔switch channel transfer time of one flit (Eq. 14)."""
+        return self.alpha_net + 0.5 * self.flit_bytes * self.beta_net
+
+    @property
+    def t_cs(self) -> float:
+        """Switch↔switch channel transfer time of one flit (Eq. 15)."""
+        return self.alpha_sw + self.flit_bytes * self.beta_net

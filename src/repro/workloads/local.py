@@ -1,0 +1,57 @@
+"""Cluster-local traffic: a tunable share of messages stays inside the cluster.
+
+Locality-aware schedulers place communicating tasks in the same cluster, so
+the intra-cluster share of the traffic is usually far above the uniform
+baseline ``(N_i - 1)/(N - 1)``.  This pattern makes that share an explicit
+parameter, which the capacity-planning example uses to show how the ICN1 and
+the ECN1/ICN2 trade load against each other.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.topology.multicluster import MultiClusterSystem
+from repro.utils.validation import check_in_range
+from repro.workloads.base import DestinationSample, TrafficPattern
+
+
+class ClusterLocalTraffic(TrafficPattern):
+    """With probability ``local_fraction`` the destination is in the source cluster.
+
+    The remaining messages choose a uniformly random node *outside* the
+    source cluster, so ``local_fraction`` is exactly the intra-cluster traffic
+    share (``1 - P_o`` in the model's terms).
+    """
+
+    def __init__(self, local_fraction: float) -> None:
+        check_in_range(local_fraction, 0.0, 1.0, "local_fraction")
+        self.local_fraction = float(local_fraction)
+
+    def sample_destination(
+        self,
+        rng: np.random.Generator,
+        system: MultiClusterSystem,
+        source_cluster: int,
+        source_node: int,
+    ) -> DestinationSample:
+        cluster = system.cluster(source_cluster)
+        local_possible = cluster.num_nodes > 1
+        remote_possible = system.total_nodes > cluster.num_nodes
+        go_local = rng.random() < self.local_fraction
+        if (go_local and local_possible) or not remote_possible:
+            draw = int(rng.integers(0, cluster.num_nodes - 1))
+            if draw >= source_node:
+                draw += 1
+            return DestinationSample(source_cluster, draw)
+        # Uniform over all nodes outside the source cluster.
+        outside = system.total_nodes - cluster.num_nodes
+        draw = int(rng.integers(0, outside))
+        offset = system.global_index(source_cluster, 0)
+        if draw >= offset:
+            draw += cluster.num_nodes
+        dest_cluster, dest_node = system.locate(draw)
+        return DestinationSample(dest_cluster, dest_node)
+
+    def describe(self) -> str:
+        return f"cluster-local(fraction={self.local_fraction:g})"

@@ -1,0 +1,333 @@
+"""Tests of Resource / PriorityResource / Store contention primitives."""
+
+import pytest
+
+from repro.des import (
+    Environment,
+    PriorityResource,
+    Resource,
+    SimulationError,
+    Store,
+)
+
+
+class TestResource:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Resource(env, capacity=0)
+
+    def test_single_user_gets_resource_immediately(self):
+        env = Environment()
+        resource = Resource(env)
+        grant_times = []
+
+        def user(env):
+            with resource.request() as req:
+                yield req
+                grant_times.append(env.now)
+                yield env.timeout(1.0)
+
+        env.process(user(env))
+        env.run()
+        assert grant_times == [0.0]
+        assert resource.count == 0
+
+    def test_second_user_waits_for_first(self):
+        env = Environment()
+        resource = Resource(env)
+        grant_times = {}
+
+        def user(env, name, hold):
+            with resource.request() as req:
+                yield req
+                grant_times[name] = env.now
+                yield env.timeout(hold)
+
+        env.process(user(env, "first", 4.0))
+        env.process(user(env, "second", 1.0))
+        env.run()
+        assert grant_times == {"first": 0.0, "second": 4.0}
+
+    def test_fifo_order_among_waiters(self):
+        env = Environment()
+        resource = Resource(env)
+        order = []
+
+        def user(env, name):
+            with resource.request() as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1.0)
+
+        for name in ["a", "b", "c", "d"]:
+            env.process(user(env, name))
+        env.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_capacity_two_allows_two_concurrent_users(self):
+        env = Environment()
+        resource = Resource(env, capacity=2)
+        grant_times = {}
+
+        def user(env, name):
+            with resource.request() as req:
+                yield req
+                grant_times[name] = env.now
+                yield env.timeout(5.0)
+
+        for name in ["a", "b", "c"]:
+            env.process(user(env, name))
+        env.run()
+        assert grant_times["a"] == 0.0
+        assert grant_times["b"] == 0.0
+        assert grant_times["c"] == 5.0
+
+    def test_explicit_release(self):
+        env = Environment()
+        resource = Resource(env)
+        trace = []
+
+        def user(env):
+            request = resource.request()
+            yield request
+            trace.append(("acquired", env.now, resource.count))
+            yield env.timeout(2.0)
+            yield resource.release(request)
+            trace.append(("released", env.now, resource.count))
+
+        env.process(user(env))
+        env.run()
+        assert trace == [("acquired", 0.0, 1), ("released", 2.0, 0)]
+
+    def test_cancel_waiting_request_removes_it_from_queue(self):
+        env = Environment()
+        resource = Resource(env)
+        got_it = []
+
+        def holder(env):
+            with resource.request() as req:
+                yield req
+                yield env.timeout(10.0)
+
+        def impatient(env):
+            request = resource.request()
+            result = yield request | env.timeout(1.0)
+            if request not in result:
+                request.cancel()
+            else:  # pragma: no cover - defensive
+                got_it.append(env.now)
+
+        env.process(holder(env))
+        env.process(impatient(env))
+        env.run()
+        assert got_it == []
+        assert resource.queue_length == 0
+
+    def test_wait_time_and_grant_accounting(self):
+        env = Environment()
+        resource = Resource(env)
+        waits = []
+
+        def user(env, hold):
+            request = resource.request()
+            yield request
+            waits.append(request.wait_time)
+            yield env.timeout(hold)
+            request.cancel()
+
+        env.process(user(env, 3.0))
+        env.process(user(env, 1.0))
+        env.run()
+        assert waits == [0.0, 3.0]
+        assert resource.total_grants == 2
+
+    def test_wait_time_before_grant_raises(self):
+        env = Environment()
+        resource = Resource(env)
+        # Occupy the resource so the next request stays queued.
+        blocker = resource.request()
+        assert blocker.triggered
+        waiting = resource.request()
+        with pytest.raises(SimulationError):
+            _ = waiting.wait_time
+
+    def test_busy_and_queue_properties(self):
+        env = Environment()
+        resource = Resource(env, capacity=1, name="channel")
+        first = resource.request()
+        second = resource.request()
+        assert resource.busy
+        assert resource.users == [first]
+        assert resource.queue == [second]
+        assert "channel" in repr(resource)
+
+
+class TestPriorityResource:
+    def test_higher_priority_request_granted_first(self):
+        env = Environment()
+        resource = PriorityResource(env)
+        order = []
+
+        def holder(env):
+            with resource.request(priority=0) as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def user(env, name, priority, start):
+            yield env.timeout(start)
+            with resource.request(priority=priority) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1.0)
+
+        env.process(holder(env))
+        env.process(user(env, "low", 10, start=1.0))
+        env.process(user(env, "high", 1, start=2.0))
+        env.run()
+        assert order == ["high", "low"]
+
+    def test_fifo_within_same_priority(self):
+        env = Environment()
+        resource = PriorityResource(env)
+        order = []
+
+        def holder(env):
+            with resource.request(priority=0) as req:
+                yield req
+                yield env.timeout(3.0)
+
+        def user(env, name, start):
+            yield env.timeout(start)
+            with resource.request(priority=5) as req:
+                yield req
+                order.append(name)
+                yield env.timeout(1.0)
+
+        env.process(holder(env))
+        env.process(user(env, "first", 1.0))
+        env.process(user(env, "second", 2.0))
+        env.run()
+        assert order == ["first", "second"]
+
+    def test_cancelled_waiter_is_skipped(self):
+        env = Environment()
+        resource = PriorityResource(env)
+        order = []
+
+        def holder(env):
+            with resource.request(priority=0) as req:
+                yield req
+                yield env.timeout(5.0)
+
+        def canceller(env):
+            yield env.timeout(1.0)
+            request = resource.request(priority=1)
+            yield env.timeout(1.0)
+            request.cancel()
+
+        def patient(env):
+            yield env.timeout(1.5)
+            with resource.request(priority=2) as req:
+                yield req
+                order.append(("patient", env.now))
+
+        env.process(holder(env))
+        env.process(canceller(env))
+        env.process(patient(env))
+        env.run()
+        assert order == [("patient", 5.0)]
+
+
+class TestStore:
+    def test_capacity_must_be_positive(self):
+        env = Environment()
+        with pytest.raises(SimulationError):
+            Store(env, capacity=0)
+
+    def test_put_then_get_round_trips_items_in_fifo_order(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            for item in ["x", "y", "z"]:
+                yield store.put(item)
+
+        def consumer(env):
+            for _ in range(3):
+                item = yield store.get()
+                received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == ["x", "y", "z"]
+
+    def test_get_blocks_until_item_available(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def consumer(env):
+            item = yield store.get()
+            received.append((item, env.now))
+
+        def producer(env):
+            yield env.timeout(4.0)
+            yield store.put("late")
+
+        env.process(consumer(env))
+        env.process(producer(env))
+        env.run()
+        assert received == [("late", 4.0)]
+
+    def test_put_blocks_while_store_full(self):
+        env = Environment()
+        store = Store(env, capacity=1)
+        put_times = []
+
+        def producer(env):
+            for item in range(2):
+                yield store.put(item)
+                put_times.append(env.now)
+
+        def consumer(env):
+            yield env.timeout(3.0)
+            yield store.get()
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert put_times == [0.0, 3.0]
+
+    def test_filtered_get_retrieves_matching_item(self):
+        env = Environment()
+        store = Store(env)
+        received = []
+
+        def producer(env):
+            yield store.put({"dest": 1})
+            yield store.put({"dest": 2})
+
+        def consumer(env):
+            item = yield store.get(lambda msg: msg["dest"] == 2)
+            received.append(item)
+
+        env.process(producer(env))
+        env.process(consumer(env))
+        env.run()
+        assert received == [{"dest": 2}]
+        assert store.items == [{"dest": 1}]
+
+    def test_level_and_flags(self):
+        env = Environment()
+        store = Store(env, capacity=2, name="buffer")
+        assert store.is_empty and not store.is_full
+        store.put("a")
+        store.put("b")
+        env.run()
+        assert store.level == 2
+        assert store.is_full and not store.is_empty
+        assert store.total_puts == 2
+        assert "buffer" in repr(store)

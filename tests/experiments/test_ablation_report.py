@@ -1,0 +1,145 @@
+"""Tests of the ablations and the report rendering."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.ablation import (
+    heterogeneity_ablation,
+    traffic_pattern_ablation,
+    variance_ablation,
+)
+from repro.experiments.compare import compare_model_and_simulation
+from repro.experiments.figures import run_figure
+from repro.experiments.report import (
+    ablation_to_table,
+    agreement_to_text,
+    experiments_markdown,
+    figure_to_table,
+    save_figure_csvs,
+    save_sweep_csv,
+    sweep_to_table,
+    table1_to_table,
+)
+from repro.experiments.sweep import latency_sweep
+from repro.experiments.table1 import table1_rows
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils import ValidationError
+from repro.workloads import ClusterLocalTraffic
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+TRAFFIC = [2e-4, 5e-4, 8e-4]
+
+
+class TestHeterogeneityAblation:
+    def test_structure(self, table1_large_spec=None):
+        result = heterogeneity_ablation(TINY, MessageSpec(32, 256), TRAFFIC)
+        assert len(result.points) == 3
+        assert "heterogeneity" in result.name
+        assert not math.isnan(result.max_relative_difference())
+
+    def test_equal_size_approximation_differs_for_heterogeneous_spec(self):
+        result = heterogeneity_ablation(TINY, MessageSpec(32, 256), TRAFFIC)
+        assert result.max_relative_difference() > 0.001
+
+    def test_invalid_traffic_rejected(self):
+        with pytest.raises(ValidationError):
+            heterogeneity_ablation(TINY, MessageSpec(32, 256), [])
+        with pytest.raises(ValidationError):
+            heterogeneity_ablation(TINY, MessageSpec(32, 256), [0.0])
+
+
+class TestVarianceAblation:
+    def test_zero_variance_never_increases_latency(self):
+        result = variance_ablation(TINY, MessageSpec(32, 256), TRAFFIC)
+        for point in result.points:
+            if math.isfinite(point.reference) and math.isfinite(point.variant):
+                assert point.variant <= point.reference + 1e-9
+
+    def test_difference_grows_with_load(self):
+        result = variance_ablation(TINY, MessageSpec(32, 256), [1e-4, 1e-3])
+        differences = [abs(p.relative_difference) for p in result.points]
+        assert differences[1] >= differences[0]
+
+
+class TestTrafficPatternAblation:
+    def test_runs_each_pattern(self):
+        config = SimulationConfig(
+            measured_messages=400, warmup_messages=40, drain_messages=40, seed=4
+        )
+        results = traffic_pattern_ablation(
+            TINY,
+            MessageSpec(16, 256),
+            [3e-4],
+            {"uniform": None, "local": ClusterLocalTraffic(0.9)},
+            simulation_config=config,
+        )
+        assert set(results) == {"uniform", "local"}
+        # Local traffic avoids the ECN1/ICN2 path, so it is faster than the
+        # uniform-model reference; uniform simulation tracks the reference.
+        local_point = results["local"].points[0]
+        assert local_point.variant < local_point.reference
+
+
+class TestReportRendering:
+    @pytest.fixture(scope="class")
+    def fig4_model_only(self):
+        return run_figure("fig4", num_points=3, run_simulation=False)
+
+    def test_sweep_table_contains_all_points(self):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), TRAFFIC, run_simulation=False)
+        table = sweep_to_table(sweep)
+        assert len(table) == len(TRAFFIC)
+        assert "tiny" in table.title
+
+    def test_saturated_points_are_labelled(self):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), [1e-2], run_simulation=False)
+        text = sweep_to_table(sweep).to_text()
+        assert "saturated" in text
+
+    def test_figure_to_table_produces_four_tables(self, fig4_model_only):
+        tables = figure_to_table(fig4_model_only)
+        assert len(tables) == 4
+
+    def test_table1_rendering(self):
+        text = table1_to_table(table1_rows()).to_text()
+        assert "1120" in text and "544" in text
+
+    def test_ablation_rendering(self):
+        result = variance_ablation(TINY, MessageSpec(32, 256), TRAFFIC)
+        text = ablation_to_table(result).to_text()
+        assert "Draper-Ghosh" in text
+
+    def test_agreement_text(self):
+        config = SimulationConfig(
+            measured_messages=400, warmup_messages=40, drain_messages=40, seed=5
+        )
+        sweep = latency_sweep(
+            TINY, MessageSpec(16, 256), [3e-4], simulation_config=config
+        )
+        text = agreement_to_text(compare_model_and_simulation(sweep))
+        assert "relative error" in text
+
+    def test_csv_outputs(self, tmp_path, fig4_model_only):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), TRAFFIC, run_simulation=False)
+        path = save_sweep_csv(sweep, tmp_path / "sweep.csv")
+        assert path.exists()
+        paths = save_figure_csvs(fig4_model_only, tmp_path / "fig4")
+        assert len(paths) == 4
+        assert all(p.exists() for p in paths)
+
+    def test_experiments_markdown_contains_sections(self, fig4_model_only):
+        markdown = experiments_markdown(
+            table1=table1_rows(),
+            figures={"Figure 4 (N=544)": fig4_model_only},
+            ablations=[variance_ablation(TINY, MessageSpec(32, 256), TRAFFIC)],
+            notes="shape only",
+        )
+        assert "# Experiments" in markdown
+        assert "Table 1" in markdown
+        assert "Figure 4" in markdown
+        assert "Ablations" in markdown
+        assert "shape only" in markdown

@@ -1,0 +1,88 @@
+"""Tests of the experiment configurations (Table 1 and figure settings)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.configs import (
+    FIGURE_SPECS,
+    FIGURE_TRAFFIC_RANGES,
+    FigureSpec,
+    figure_panels,
+    paper_message_specs,
+    paper_timing,
+    table1_specs,
+    table1_system,
+)
+from repro.utils import ValidationError
+
+
+class TestTable1Configs:
+    def test_large_organisation(self):
+        spec = table1_system(1120)
+        assert spec.total_nodes == 1120
+        assert spec.num_clusters == 32
+        assert spec.m == 8
+        assert spec.cluster_heights == (1,) * 12 + (2,) * 16 + (3,) * 4
+
+    def test_small_organisation(self):
+        spec = table1_system(544)
+        assert spec.total_nodes == 544
+        assert spec.num_clusters == 16
+        assert spec.m == 4
+        assert spec.cluster_heights == (3,) * 8 + (4,) * 3 + (5,) * 5
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ValidationError):
+            table1_system(1000)
+
+    def test_table1_specs_order(self):
+        large, small = table1_specs()
+        assert large.total_nodes == 1120
+        assert small.total_nodes == 544
+
+    def test_paper_timing_values(self):
+        timing = paper_timing()
+        assert timing.alpha_net == 0.02
+        assert timing.alpha_sw == 0.01
+        assert timing.bandwidth == 500.0
+
+    def test_paper_message_specs(self):
+        combos = {(m.length_flits, m.flit_bytes) for m in paper_message_specs()}
+        assert combos == {(32, 256), (32, 512), (64, 256), (64, 512)}
+
+
+class TestFigureSpecs:
+    def test_four_panels_defined(self):
+        assert set(FIGURE_SPECS) == {"fig3-M32", "fig3-M64", "fig4-M32", "fig4-M64"}
+
+    def test_panel_traffic_ranges_match_the_paper_axes(self):
+        assert FIGURE_TRAFFIC_RANGES[(1120, 32)] == pytest.approx(5e-4)
+        assert FIGURE_TRAFFIC_RANGES[(1120, 64)] == pytest.approx(2.5e-4)
+        assert FIGURE_TRAFFIC_RANGES[(544, 32)] == pytest.approx(1e-3)
+        assert FIGURE_TRAFFIC_RANGES[(544, 64)] == pytest.approx(5e-4)
+
+    def test_offered_traffic_grid_excludes_zero(self):
+        panel = FIGURE_SPECS["fig3-M32"]
+        grid = panel.offered_traffic(5)
+        assert len(grid) == 5
+        assert grid[0] > 0
+        assert grid[-1] == pytest.approx(panel.max_traffic)
+        assert np.all(np.diff(grid) > 0)
+
+    def test_message_specs_per_panel(self):
+        panel = FIGURE_SPECS["fig4-M64"]
+        specs = panel.message_specs()
+        assert [spec.length_flits for spec in specs] == [64, 64]
+        assert [spec.flit_bytes for spec in specs] == [256, 512]
+
+    def test_figure_panels_lookup(self):
+        assert {panel.message_length for panel in figure_panels("fig3")} == {32, 64}
+        with pytest.raises(ValidationError):
+            figure_panels("fig9")
+
+    def test_panel_system_matches_figure(self):
+        assert FIGURE_SPECS["fig3-M32"].system.total_nodes == 1120
+        assert FIGURE_SPECS["fig4-M32"].system.total_nodes == 544
+
+    def test_describe(self):
+        assert "N=1120" in FIGURE_SPECS["fig3-M32"].describe()

@@ -1,0 +1,90 @@
+"""Tests of the figure and Table 1 reproduction helpers (model-only runs)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.figures import expected_message_specs, run_figure, run_panel
+from repro.experiments.configs import FIGURE_SPECS
+from repro.experiments.table1 import table1_row, table1_rows
+from repro.experiments.configs import table1_system
+from repro.utils import ValidationError
+
+
+class TestRunFigure:
+    @pytest.fixture(scope="class")
+    def fig4(self):
+        # Model-only with few points: fast enough for unit tests.
+        return run_figure("fig4", num_points=4, run_simulation=False)
+
+    def test_all_four_series_present(self, fig4):
+        assert set(fig4.sweeps.keys()) == {(32, 256), (32, 512), (64, 256), (64, 512)}
+        assert fig4.panels == (32, 64)
+
+    def test_series_lookup(self, fig4):
+        sweep = fig4.sweep(32, 256)
+        assert len(sweep.points) == 4
+        with pytest.raises(ValidationError):
+            fig4.sweep(32, 128)
+
+    def test_series_labels(self, fig4):
+        labels = fig4.series_labels()
+        assert "M=32 Lm=256" in labels and "M=64 Lm=512" in labels
+
+    def test_larger_flits_saturate_earlier(self, fig4):
+        small = fig4.sweep(32, 256).model_saturation_point()
+        large = fig4.sweep(32, 512).model_saturation_point()
+        assert large < small
+
+    def test_longer_messages_saturate_earlier(self, fig4):
+        short = fig4.sweep(32, 256).model_saturation_point()
+        long = fig4.sweep(64, 256).model_saturation_point()
+        assert long < short
+
+    def test_run_panel_returns_one_sweep_per_flit_size(self):
+        panel = FIGURE_SPECS["fig4-M32"]
+        sweeps = run_panel(panel, num_points=3, run_simulation=False)
+        assert set(sweeps.keys()) == {(32, 256), (32, 512)}
+
+    def test_expected_message_specs(self):
+        specs = expected_message_specs("fig3")
+        assert len(specs) == 4
+
+    def test_unknown_figure_rejected(self):
+        with pytest.raises(ValidationError):
+            run_figure("fig7", run_simulation=False)
+
+    def test_fig3_saturates_before_fig4(self):
+        """The larger N=1120 system saturates at lower offered traffic."""
+        fig3 = run_figure("fig3", num_points=4, run_simulation=False)
+        fig4 = run_figure("fig4", num_points=4, run_simulation=False)
+        assert fig3.sweep(32, 256).model_saturation_point() < fig4.sweep(
+            32, 256
+        ).model_saturation_point()
+
+
+class TestTable1:
+    def test_rows_match_the_paper(self):
+        rows = table1_rows()
+        assert [row.total_nodes for row in rows] == [1120, 544]
+        assert [row.num_clusters for row in rows] == [32, 16]
+        assert [row.switch_ports for row in rows] == [8, 4]
+        assert rows[0].icn2_height == 2
+        assert rows[1].icn2_height == 3
+
+    def test_organisation_strings(self):
+        rows = table1_rows()
+        assert "ni=1 i in [0,11]" in rows[0].organisation
+        assert "ni=5 i in [11,15]" in rows[1].organisation
+
+    def test_cluster_sizes_sum_to_total(self):
+        for row in table1_rows():
+            assert sum(row.cluster_sizes) == row.total_nodes
+
+    def test_as_cells_order(self):
+        row = table1_row(table1_system(544))
+        cells = row.as_cells()
+        assert cells[:3] == (544, 16, 4)
+
+    def test_switch_counts_are_positive(self):
+        for row in table1_rows():
+            assert row.total_switches > 0

@@ -1,0 +1,102 @@
+"""Tests of the sweep engine and the agreement metrics."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.experiments.compare import (
+    compare_model_and_simulation,
+    curves_match_in_shape,
+    saturation_shift,
+)
+from repro.experiments.sweep import latency_sweep
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils import ValidationError
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+FAST = SimulationConfig(measured_messages=800, warmup_messages=80, drain_messages=80, seed=2)
+
+
+@pytest.fixture(scope="module")
+def simulated_sweep():
+    return latency_sweep(
+        TINY,
+        MessageSpec(32, 256),
+        [2e-4, 6e-4, 1e-3],
+        run_simulation=True,
+        simulation_config=FAST,
+    )
+
+
+class TestLatencySweep:
+    def test_model_only_sweep(self):
+        sweep = latency_sweep(
+            TINY, MessageSpec(32, 256), np.linspace(1e-4, 1e-3, 4), run_simulation=False
+        )
+        assert len(sweep.points) == 4
+        assert not sweep.has_simulation
+        assert np.isnan(sweep.simulation_curve).all()
+        assert (np.diff(sweep.model_curve[np.isfinite(sweep.model_curve)]) >= 0).all()
+
+    def test_sweep_with_simulation(self, simulated_sweep):
+        assert simulated_sweep.has_simulation
+        assert np.isfinite(simulated_sweep.simulation_curve).all()
+        assert simulated_sweep.points[0].simulated.measured_messages == FAST.measured_messages
+
+    def test_relative_error_defined_in_steady_state(self, simulated_sweep):
+        errors = [p.relative_error for p in simulated_sweep.steady_state_points()]
+        assert all(not math.isnan(e) for e in errors)
+        assert simulated_sweep.max_steady_state_error() < 0.5
+
+    def test_saturation_point_detection(self):
+        sweep = latency_sweep(
+            TINY, MessageSpec(32, 256), [1e-4, 2e-2, 5e-2], run_simulation=False
+        )
+        assert sweep.model_saturation_point() == pytest.approx(2e-2)
+
+    def test_never_saturating_sweep_reports_inf(self):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), [1e-5], run_simulation=False)
+        assert sweep.model_saturation_point() == math.inf
+
+    def test_invalid_traffic_rejected(self):
+        with pytest.raises(ValidationError):
+            latency_sweep(TINY, MessageSpec(32, 256), [], run_simulation=False)
+        with pytest.raises(ValidationError):
+            latency_sweep(TINY, MessageSpec(32, 256), [0.0], run_simulation=False)
+
+    def test_describe_mentions_spec_and_message(self, simulated_sweep):
+        text = simulated_sweep.describe()
+        assert "tiny" in text and "M=32" in text
+
+
+class TestAgreement:
+    def test_agreement_report_fields(self, simulated_sweep):
+        report = compare_model_and_simulation(simulated_sweep)
+        assert report.compared_points >= 1
+        assert report.mean_relative_error <= report.max_relative_error
+        assert report.agrees_in_steady_state
+
+    def test_agreement_requires_simulation(self):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), [1e-4], run_simulation=False)
+        with pytest.raises(ValidationError):
+            compare_model_and_simulation(sweep)
+
+    def test_saturation_shift(self, simulated_sweep):
+        report = compare_model_and_simulation(simulated_sweep)
+        shift = saturation_shift(report)
+        # Either both saturation estimates are inside the sweep (finite ratio)
+        # or at least one lies beyond it (nan).
+        assert math.isnan(shift) or shift > 0
+
+    def test_curves_match_in_shape(self, simulated_sweep):
+        ok, reason = curves_match_in_shape(simulated_sweep, tolerance=0.5)
+        assert ok, reason
+
+    def test_shape_check_needs_two_steady_points(self):
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), [1e-2], run_simulation=False)
+        ok, reason = curves_match_in_shape(sweep)
+        assert not ok
+        assert "steady-state" in reason

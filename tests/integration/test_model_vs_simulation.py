@@ -1,0 +1,124 @@
+"""Integration tests: the analytical model against the simulator end to end.
+
+These are the reproduction-level restatements of the paper's validation claim
+on systems small enough for the unit-test budget.  The figure-scale versions
+live in ``benchmarks/``.
+"""
+
+import math
+
+import pytest
+
+from repro import (
+    MessageSpec,
+    MultiClusterLatencyModel,
+    MultiClusterSimulator,
+    MultiClusterSpec,
+    SimulationConfig,
+)
+from repro.workloads import DeterministicArrivals
+
+CONFIG = SimulationConfig(
+    measured_messages=2_500, warmup_messages=250, drain_messages=250, seed=9
+)
+
+
+class TestSteadyStateAgreement:
+    @pytest.mark.parametrize(
+        "heights,m",
+        [
+            ((1, 2, 2, 1), 4),      # heterogeneous, tiny
+            ((2, 2, 2, 2), 4),      # homogeneous
+            ((1, 1, 1, 1, 2, 2, 3, 3), 4),  # strongly mixed, 8 clusters
+        ],
+        ids=["heterogeneous", "homogeneous", "mixed8"],
+    )
+    def test_model_tracks_simulation_at_moderate_load(self, heights, m):
+        spec = MultiClusterSpec(m=m, cluster_heights=heights)
+        message = MessageSpec(32, 256)
+        model = MultiClusterLatencyModel(spec, message)
+        simulator = MultiClusterSimulator(spec, message, config=CONFIG)
+        # Probe at 40% of the model's saturation point: well inside the
+        # steady-state region where the paper claims (and we require) good
+        # agreement; closer to saturation the model is deliberately
+        # conservative and the curves separate.
+        from repro.model import saturation_point
+
+        probe = 0.4 * saturation_point(model, upper_bound=5e-3)
+        predicted = model.mean_latency(probe)
+        simulated = simulator.run(probe).mean_latency
+        # 25% mirrors the "good degree of accuracy" the paper claims for the
+        # steady-state region; on these very small systems the aggregated
+        # source-queue approximation is the dominant error term.
+        assert predicted == pytest.approx(simulated, rel=0.25)
+
+    def test_zero_load_limit_matches_simulation_at_very_light_load(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1))
+        message = MessageSpec(32, 256)
+        model = MultiClusterLatencyModel(spec, message)
+        simulator = MultiClusterSimulator(spec, message, config=CONFIG)
+        simulated = simulator.run(1e-5).mean_latency
+        assert simulated == pytest.approx(model.zero_load_latency, rel=0.1)
+
+    def test_model_is_conservative_near_saturation(self):
+        """The model saturates no later than the simulated system blows up."""
+        spec = MultiClusterSpec(m=4, cluster_heights=(2, 2, 2, 2))
+        message = MessageSpec(32, 256)
+        model = MultiClusterLatencyModel(spec, message)
+        simulator = MultiClusterSimulator(spec, message, config=CONFIG)
+        from repro.model import saturation_point
+
+        saturation = saturation_point(model, upper_bound=5e-3)
+        # At two thirds of the model's saturation point the simulated system
+        # is still clearly in its steady state (latency within a few times
+        # the zero-load value), i.e. the model errs on the early side.
+        just_below = simulator.run(saturation * 0.65).mean_latency
+        assert just_below < 6 * model.zero_load_latency
+
+    def test_simulated_latency_rises_monotonically_toward_saturation(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1))
+        message = MessageSpec(32, 256)
+        simulator = MultiClusterSimulator(spec, message, config=CONFIG)
+        latencies = [simulator.run(lam).mean_latency for lam in (2e-4, 8e-4, 1.6e-3)]
+        assert latencies[0] < latencies[1] < latencies[2]
+
+
+class TestArrivalProcessEffect:
+    def test_arrivals_factory_hook_changes_the_workload(self):
+        """The simulator honours a non-Poisson arrival process.
+
+        Note that globally synchronised deterministic arrivals are *worse*
+        than Poisson for contention (every node injects at the same instants),
+        so this test only checks the hook is wired through, not a direction.
+        """
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))
+        message = MessageSpec(32, 256)
+        poisson = MultiClusterSimulator(spec, message, config=CONFIG).run(1.2e-3)
+        deterministic = MultiClusterSimulator(
+            spec, message, config=CONFIG, arrivals_factory=DeterministicArrivals
+        ).run(1.2e-3)
+        assert deterministic.measured_messages == poisson.measured_messages
+        assert deterministic.mean_latency != poisson.mean_latency
+
+
+class TestExternalTrafficShare:
+    def test_simulated_external_fraction_matches_weighted_outgoing_probability(self):
+        from repro.model.traffic import outgoing_probability
+
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1))
+        expected = sum(
+            spec.cluster_size(i) / spec.total_nodes * outgoing_probability(spec, i)
+            for i in range(spec.num_clusters)
+        )
+        result = MultiClusterSimulator(spec, MessageSpec(16, 256), config=CONFIG).run(3e-4)
+        assert result.external_fraction == pytest.approx(expected, abs=0.03)
+
+    def test_per_cluster_message_counts_follow_cluster_sizes(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1))
+        result = MultiClusterSimulator(spec, MessageSpec(16, 256), config=CONFIG).run(3e-4)
+        counts = {stats.cluster: stats.count for stats in result.clusters}
+        total = sum(counts.values())
+        for cluster in range(spec.num_clusters):
+            share = counts[cluster] / total
+            expected = spec.cluster_size(cluster) / spec.total_nodes
+            assert share == pytest.approx(expected, abs=0.05)

@@ -1,0 +1,125 @@
+"""Property-based tests of cross-module invariants (hypothesis).
+
+These tie the layers together: random system organisations must satisfy the
+structural identities the analytical model relies on, and the model itself
+must behave monotonically in its inputs.
+"""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro import MessageSpec, MultiClusterLatencyModel, MultiClusterSpec
+from repro.model.probabilities import link_probability_vector
+from repro.model.traffic import icn1_rate, outgoing_probability
+from repro.routing import UpDownRouter
+from repro.topology import MPortNTree
+
+
+def valid_specs() -> st.SearchStrategy[MultiClusterSpec]:
+    """Random constructible organisations (C = 2 k^n_c, small enough to test)."""
+
+    def build(m: int, icn2_height: int, heights: list[int]) -> MultiClusterSpec:
+        num_clusters = 2 * (m // 2) ** icn2_height
+        padded = (heights * num_clusters)[:num_clusters]
+        return MultiClusterSpec(m=m, cluster_heights=tuple(padded))
+
+    return st.builds(
+        build,
+        m=st.sampled_from([2, 4, 6]),
+        icn2_height=st.integers(min_value=1, max_value=2),
+        heights=st.lists(st.integers(min_value=1, max_value=3), min_size=1, max_size=8),
+    )
+
+
+@given(spec=valid_specs())
+@settings(max_examples=40, deadline=None)
+def test_outgoing_probabilities_are_consistent_with_sizes(spec):
+    # P_o is in (0,1) and weighting by sizes recovers the global external share.
+    total = spec.total_nodes
+    for cluster in range(spec.num_clusters):
+        p_out = outgoing_probability(spec, cluster)
+        assert 0.0 < p_out < 1.0
+        assert p_out == pytest.approx((total - spec.cluster_size(cluster)) / (total - 1))
+
+
+@given(spec=valid_specs(), lambda_g=st.floats(min_value=0.0, max_value=1e-3))
+@settings(max_examples=40, deadline=None)
+def test_internal_and_external_rates_conserve_generated_traffic(spec, lambda_g):
+    internal = sum(icn1_rate(spec, i, lambda_g) for i in range(spec.num_clusters))
+    external = sum(
+        spec.cluster_size(i) * outgoing_probability(spec, i) * lambda_g
+        for i in range(spec.num_clusters)
+    )
+    assert internal + external == pytest.approx(spec.total_nodes * lambda_g)
+
+
+@given(spec=valid_specs())
+@settings(max_examples=30, deadline=None)
+def test_zero_load_latency_is_finite_and_bounded_by_diameter_transfer(spec):
+    message = MessageSpec(16, 256)
+    model = MultiClusterLatencyModel(spec, message)
+    zero_load = model.zero_load_latency
+    assert math.isfinite(zero_load)
+    # Lower bound: the message must at least be serialised once (M * t_cn).
+    assert zero_load >= 16 * 0.276 - 1e-9
+    # Upper bound: serialisation plus every hop of the longest possible path
+    # (diameters of ECN1 + ICN2 plus concentrator hops), unloaded.
+    t_cs = 0.522
+    longest_path = 2 * max(spec.cluster_heights) + 2 * spec.icn2_height + 2
+    assert zero_load <= 16 * t_cs + longest_path * t_cs + 10
+
+
+@given(
+    spec=valid_specs(),
+    loads=st.tuples(
+        st.floats(min_value=1e-6, max_value=5e-4), st.floats(min_value=1e-6, max_value=5e-4)
+    ),
+)
+@settings(max_examples=30, deadline=None)
+def test_model_latency_is_monotone_in_offered_traffic(spec, loads):
+    low, high = sorted(loads)
+    model = MultiClusterLatencyModel(spec, MessageSpec(16, 256))
+    latency_low = model.mean_latency(low)
+    latency_high = model.mean_latency(high)
+    if math.isinf(latency_low):
+        assert math.isinf(latency_high)
+    else:
+        assert latency_high >= latency_low - 1e-9
+
+
+@given(
+    m=st.sampled_from([2, 4, 8]),
+    n=st.integers(min_value=1, max_value=3),
+    data=st.data(),
+)
+@settings(max_examples=40, deadline=None)
+def test_route_length_distribution_matches_link_probability(m, n, data):
+    """Routing and Eq. 4 agree: P(route length = 2j) == P_{j,n}."""
+    tree = MPortNTree(m, n)
+    router = UpDownRouter(tree)
+    source = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+    probabilities = link_probability_vector(m, n)
+    counts = [0] * n
+    for dest in range(tree.num_nodes):
+        if dest == source:
+            continue
+        j = router.route(source, dest).num_links // 2
+        counts[j - 1] += 1
+    total = tree.num_nodes - 1
+    for j in range(1, n + 1):
+        assert counts[j - 1] / total == pytest.approx(probabilities[j - 1])
+
+
+@given(spec=valid_specs())
+@settings(max_examples=30, deadline=None)
+def test_cluster_latency_weighted_mean_equals_system_mean(spec):
+    model = MultiClusterLatencyModel(spec, MessageSpec(16, 256))
+    prediction = model.evaluate(1e-4)
+    assume(not prediction.saturated)
+    weighted = sum(
+        weight * cluster.mean
+        for weight, cluster in zip(prediction.weights, prediction.clusters)
+    )
+    assert prediction.mean_latency == pytest.approx(weighted)

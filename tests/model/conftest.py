@@ -1,0 +1,40 @@
+"""Shared fixtures for the analytical-model tests."""
+
+import pytest
+
+from repro.model.parameters import MessageSpec, ModelParameters
+from repro.topology.multicluster import ClusterSpec, MultiClusterSpec
+
+
+@pytest.fixture(scope="session")
+def tiny_spec() -> MultiClusterSpec:
+    """A 4-cluster heterogeneous system small enough for exhaustive checks."""
+    return MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+
+
+@pytest.fixture(scope="session")
+def table1_large_spec() -> MultiClusterSpec:
+    """Table 1, first organisation (N=1120, C=32, m=8)."""
+    return MultiClusterSpec.from_groups(
+        m=8,
+        groups=[ClusterSpec(1, 12), ClusterSpec(2, 16), ClusterSpec(3, 4)],
+        name="N=1120",
+    )
+
+
+@pytest.fixture(scope="session")
+def table1_small_spec() -> MultiClusterSpec:
+    """Table 1, second organisation (N=544, C=16, m=4)."""
+    return MultiClusterSpec.from_groups(
+        m=4,
+        groups=[ClusterSpec(3, 8), ClusterSpec(4, 3), ClusterSpec(5, 5)],
+        name="N=544",
+    )
+
+
+@pytest.fixture(scope="session")
+def tiny_params(tiny_spec) -> ModelParameters:
+    """Parameters for the tiny system at a moderate offered traffic."""
+    return ModelParameters(
+        spec=tiny_spec, message=MessageSpec(32, 256), lambda_g=5e-4
+    )

@@ -1,0 +1,115 @@
+"""Tests of the future-work extensions (processor heterogeneity, hot-spot traffic)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    HotspotTrafficModel,
+    MessageSpec,
+    MultiClusterLatencyModel,
+    ProcessorHeterogeneityModel,
+)
+from repro.utils import ValidationError
+
+
+class TestProcessorHeterogeneity:
+    def test_uniform_powers_reduce_to_baseline(self, tiny_spec):
+        baseline = MultiClusterLatencyModel(tiny_spec)
+        extended = ProcessorHeterogeneityModel(tiny_spec, [1.0, 1.0, 1.0, 1.0])
+        for lambda_g in (0.0, 1e-4, 5e-4):
+            assert extended.mean_latency(lambda_g) == pytest.approx(
+                baseline.mean_latency(lambda_g), rel=1e-9
+            )
+
+    def test_scaling_all_powers_changes_nothing(self, tiny_spec):
+        a = ProcessorHeterogeneityModel(tiny_spec, [1.0, 2.0, 1.0, 0.5])
+        b = ProcessorHeterogeneityModel(tiny_spec, [10.0, 20.0, 10.0, 5.0])
+        assert a.mean_latency(3e-4) == pytest.approx(b.mean_latency(3e-4))
+
+    def test_weights_are_node_weighted_normalised(self, tiny_spec):
+        model = ProcessorHeterogeneityModel(tiny_spec, [1.0, 2.0, 1.0, 0.5])
+        sizes = np.array(tiny_spec.cluster_sizes, dtype=float)
+        weighted_mean = float((sizes * np.array(model.weights)).sum() / sizes.sum())
+        assert weighted_mean == pytest.approx(1.0)
+
+    def test_fast_clusters_increase_latency_over_uniform(self, tiny_spec):
+        """Concentrating generation on the big clusters loads their networks more."""
+        baseline = MultiClusterLatencyModel(tiny_spec)
+        skewed = ProcessorHeterogeneityModel(tiny_spec, [0.5, 3.0, 3.0, 0.5])
+        lambda_g = 8e-4
+        assert skewed.mean_latency(lambda_g) > baseline.mean_latency(lambda_g)
+
+    def test_saturation_reported_as_infinite(self, tiny_spec):
+        model = ProcessorHeterogeneityModel(tiny_spec, [1.0, 1.0, 1.0, 1.0])
+        assert math.isinf(model.mean_latency(1.0))
+
+    def test_latency_curve_monotone(self, tiny_spec):
+        model = ProcessorHeterogeneityModel(tiny_spec, [1.0, 2.0, 1.0, 0.5])
+        curve = model.latency_curve(np.linspace(0, 1e-3, 5))
+        finite = curve[np.isfinite(curve)]
+        assert (np.diff(finite) >= -1e-9).all()
+
+    def test_wrong_length_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            ProcessorHeterogeneityModel(tiny_spec, [1.0, 2.0])
+
+    def test_non_positive_power_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            ProcessorHeterogeneityModel(tiny_spec, [1.0, 0.0, 1.0, 1.0])
+
+
+class TestHotspotTraffic:
+    def test_destination_distribution_sums_to_one(self, tiny_spec):
+        model = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.2)
+        for cluster in range(tiny_spec.num_clusters):
+            assert model.destination_distribution(cluster).sum() == pytest.approx(1.0)
+
+    def test_zero_fraction_matches_uniform_distribution(self, tiny_spec):
+        model = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.0)
+        distribution = model.destination_distribution(0)
+        total = tiny_spec.total_nodes
+        expected = [
+            (tiny_spec.cluster_size(v) - (1 if v == 0 else 0)) / (total - 1)
+            for v in range(tiny_spec.num_clusters)
+        ]
+        assert distribution == pytest.approx(expected)
+
+    def test_hot_cluster_receives_more_traffic(self, tiny_spec):
+        model = HotspotTrafficModel(tiny_spec, hot_cluster=2, hotspot_fraction=0.4)
+        uniform = HotspotTrafficModel(tiny_spec, hot_cluster=2, hotspot_fraction=0.0)
+        lambda_g = 1e-4
+        assert model.incoming_flow(2, lambda_g) > uniform.incoming_flow(2, lambda_g)
+
+    def test_hotspot_increases_latency(self, tiny_spec):
+        """Directing traffic at one cluster must not make the system faster."""
+        lambda_g = 6e-4
+        uniform = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.0)
+        hot = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.5)
+        uniform_latency = uniform.mean_latency(lambda_g)
+        hot_latency = hot.mean_latency(lambda_g)
+        assert math.isinf(hot_latency) or hot_latency > uniform_latency
+
+    def test_hotspot_saturates_earlier(self, tiny_spec):
+        uniform = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.0)
+        hot = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.6)
+        lambdas = np.linspace(0, 4e-3, 12)
+        uniform_curve = uniform.latency_curve(lambdas)
+        hot_curve = hot.latency_curve(lambdas)
+        assert np.isinf(hot_curve).sum() >= np.isinf(uniform_curve).sum()
+
+    def test_evaluate_reports_per_cluster_means(self, tiny_spec):
+        model = HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=0.3)
+        prediction = model.evaluate(1e-4)
+        assert len(prediction.cluster_means) == tiny_spec.num_clusters
+        assert prediction.mean_latency > 0
+        assert not prediction.saturated
+
+    def test_invalid_parameters_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            HotspotTrafficModel(tiny_spec, hot_cluster=9, hotspot_fraction=0.2)
+        with pytest.raises(ValidationError):
+            HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=1.0)
+        with pytest.raises(ValidationError):
+            HotspotTrafficModel(tiny_spec, hot_cluster=1, hotspot_fraction=-0.1)

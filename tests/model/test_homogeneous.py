@@ -1,0 +1,99 @@
+"""Tests of the baseline models (single cluster, equal-size approximation)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.model import (
+    EqualSizeApproximationModel,
+    MessageSpec,
+    MultiClusterLatencyModel,
+    SingleClusterModel,
+)
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils import ValidationError
+
+
+class TestSingleClusterModel:
+    def test_zero_load_latency_matches_unblocked_transfer(self):
+        model = SingleClusterModel(8, 1, MessageSpec(32, 256))
+        prediction = model.evaluate(0.0)
+        # Single-switch cluster: header takes M*t_cn, tail drains in t_cn.
+        assert prediction.network_latency == pytest.approx(32 * 0.276)
+        assert prediction.tail_time == pytest.approx(0.276)
+        assert prediction.waiting_time == 0.0
+        assert prediction.mean_latency == pytest.approx(33 * 0.276)
+
+    def test_latency_monotone_in_traffic(self):
+        model = SingleClusterModel(8, 2)
+        low = model.mean_latency(1e-4)
+        high = model.mean_latency(1e-3)
+        assert high > low
+
+    def test_saturates_at_high_load(self):
+        model = SingleClusterModel(8, 2)
+        assert math.isinf(model.mean_latency(1.0))
+
+    def test_latency_curve_shape(self):
+        model = SingleClusterModel(4, 3)
+        curve = model.latency_curve(np.linspace(0, 2e-3, 5))
+        finite = curve[np.isfinite(curve)]
+        assert (np.diff(finite) >= 0).all()
+
+    def test_taller_tree_has_higher_latency(self):
+        shallow = SingleClusterModel(4, 2)
+        tall = SingleClusterModel(4, 4)
+        assert tall.mean_latency(1e-4) > shallow.mean_latency(1e-4)
+
+    def test_num_nodes(self):
+        assert SingleClusterModel(8, 3).num_nodes == 128
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            SingleClusterModel(5, 2)
+        with pytest.raises(ValidationError):
+            SingleClusterModel(4, 0)
+        with pytest.raises(ValidationError):
+            SingleClusterModel(4, 2).mean_latency(-1.0)
+
+
+class TestEqualSizeApproximation:
+    def test_preserves_cluster_count_and_arity(self, table1_large_spec):
+        approx = EqualSizeApproximationModel(table1_large_spec)
+        assert approx.spec.num_clusters == table1_large_spec.num_clusters
+        assert approx.spec.m == table1_large_spec.m
+        assert approx.spec.is_homogeneous
+
+    def test_chooses_height_closest_to_mean_size(self, table1_large_spec):
+        # Mean cluster size of the N=1120 organisation is 35 nodes; the
+        # closest representable size with m=8 is 32 (height 2).
+        approx = EqualSizeApproximationModel(table1_large_spec)
+        assert approx.equivalent_height == 2
+        assert approx.node_count_error == 32 * 32 - 1120
+
+    def test_exact_for_already_homogeneous_spec(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(2, 2, 2, 2))
+        approx = EqualSizeApproximationModel(spec)
+        assert approx.equivalent_height == 2
+        assert approx.node_count_error == 0
+        exact = MultiClusterLatencyModel(spec)
+        assert approx.mean_latency(1e-4) == pytest.approx(exact.mean_latency(1e-4))
+
+    def test_approximation_differs_for_heterogeneous_system(self, table1_large_spec):
+        exact = MultiClusterLatencyModel(table1_large_spec)
+        approx = EqualSizeApproximationModel(table1_large_spec)
+        lambda_g = 1e-4
+        error = approx.heterogeneity_error(exact, lambda_g)
+        assert not math.isnan(error)
+        assert abs(error) > 0.001  # the ablation shows a visible difference
+
+    def test_heterogeneity_error_nan_when_saturated(self, table1_large_spec):
+        exact = MultiClusterLatencyModel(table1_large_spec)
+        approx = EqualSizeApproximationModel(table1_large_spec)
+        assert math.isnan(approx.heterogeneity_error(exact, 1.0))
+
+    def test_latency_curve_available(self, table1_small_spec):
+        approx = EqualSizeApproximationModel(table1_small_spec)
+        curve = approx.latency_curve([0.0, 1e-4])
+        assert np.isfinite(curve).all()

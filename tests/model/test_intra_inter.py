@@ -1,0 +1,159 @@
+"""Tests of the intra-cluster (Eq. 3, 23-25) and inter-cluster (Eq. 26-34) components."""
+
+import math
+
+import pytest
+
+from repro.model.inter import inter_cluster_latency, pair_latency
+from repro.model.intra import intra_cluster_latency
+from repro.model.parameters import MessageSpec, ModelParameters
+from repro.model.service_time import tail_drain_time
+from repro.utils import ValidationError
+
+
+def params_at(spec, lambda_g, message=MessageSpec(32, 256)):
+    return ModelParameters(spec=spec, message=message, lambda_g=lambda_g)
+
+
+class TestIntraCluster:
+    def test_zero_load_components(self, tiny_spec):
+        params = params_at(tiny_spec, 0.0)
+        result = intra_cluster_latency(params, 1)
+        assert result.waiting_time == 0.0
+        assert not result.saturated
+        # Zero-load network latency equals M*t_cs for any multi-stage journey
+        # weighted with M*t_cn for the single-stage (same-leaf) journeys.
+        assert result.network_latency > 0
+        assert result.total == pytest.approx(
+            result.network_latency + result.tail_time
+        )
+
+    def test_single_switch_cluster_zero_load_latency(self, tiny_spec):
+        # Cluster 0 has height 1: every internal journey is 2 links, so the
+        # header time is M*t_cn and the tail drains through t_cn only.
+        params = params_at(tiny_spec, 0.0)
+        result = intra_cluster_latency(params, 0)
+        assert result.network_latency == pytest.approx(32 * params.t_cn)
+        assert result.tail_time == pytest.approx(params.t_cn)
+
+    def test_latency_monotone_in_traffic(self, tiny_spec):
+        low = intra_cluster_latency(params_at(tiny_spec, 1e-4), 1)
+        high = intra_cluster_latency(params_at(tiny_spec, 2e-3), 1)
+        assert high.total >= low.total
+        assert high.utilisation > low.utilisation
+
+    def test_saturation_far_beyond_capacity(self, tiny_spec):
+        result = intra_cluster_latency(params_at(tiny_spec, 1.0), 1)
+        assert result.saturated
+        assert math.isinf(result.total)
+
+    def test_larger_messages_have_larger_latency(self, tiny_spec):
+        small = intra_cluster_latency(params_at(tiny_spec, 1e-4, MessageSpec(32, 256)), 1)
+        large = intra_cluster_latency(params_at(tiny_spec, 1e-4, MessageSpec(64, 256)), 1)
+        assert large.total > small.total
+
+    def test_invalid_cluster_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            intra_cluster_latency(params_at(tiny_spec, 0.0), 9)
+
+    def test_rate_overrides_change_the_result(self, tiny_spec):
+        params = params_at(tiny_spec, 1e-3)
+        default = intra_cluster_latency(params, 1)
+        doubled = intra_cluster_latency(
+            params,
+            1,
+            arrival_rate=2 * default.utilisation / default.network_latency,
+        )
+        assert doubled.waiting_time > default.waiting_time
+
+
+class TestPairLatency:
+    def test_zero_load_structure(self, tiny_spec):
+        params = params_at(tiny_spec, 0.0)
+        pair = pair_latency(params, 0, 1)
+        assert pair.waiting_time == 0.0
+        assert pair.concentrator_waiting == 0.0
+        assert not pair.saturated
+        # The inter-cluster journey is longer than any intra-cluster one.
+        intra = intra_cluster_latency(params, 0)
+        assert pair.network_latency + pair.tail_time > intra.network_latency + intra.tail_time
+
+    def test_tail_time_matches_expected_journey_lengths(self, tiny_spec):
+        # For height-1 source and destination clusters (j = l = 1) and the
+        # tiny system's ICN2 (n_c = 1, so h = 1), every journey has
+        # K = 1 + 2 + 1 - 1 = 3 stages.
+        params = params_at(tiny_spec, 0.0)
+        pair = pair_latency(params, 0, 3)
+        assert pair.tail_time == pytest.approx(
+            tail_drain_time(3, t_cs=params.t_cs, t_cn=params.t_cn)
+        )
+
+    def test_symmetry_for_equal_heights(self, tiny_spec):
+        params = params_at(tiny_spec, 1e-4)
+        forward = pair_latency(params, 1, 2)
+        backward = pair_latency(params, 2, 1)
+        assert forward.network_latency == pytest.approx(backward.network_latency)
+        assert forward.total == pytest.approx(backward.total)
+
+    def test_same_cluster_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            pair_latency(params_at(tiny_spec, 0.0), 1, 1)
+
+    def test_monotone_in_traffic(self, tiny_spec):
+        low = pair_latency(params_at(tiny_spec, 1e-4), 0, 1)
+        high = pair_latency(params_at(tiny_spec, 1e-3), 0, 1)
+        assert high.total >= low.total
+
+    def test_saturation_reported(self, tiny_spec):
+        pair = pair_latency(params_at(tiny_spec, 1.0), 0, 1)
+        assert pair.saturated
+        assert math.isinf(pair.total)
+
+    def test_table1_pairs_have_reasonable_zero_load_latency(self, table1_large_spec):
+        params = params_at(table1_large_spec, 0.0)
+        pair = pair_latency(params, 0, 31)
+        # At zero load the header sees exactly the bare serialisation time.
+        assert pair.network_latency == pytest.approx(32 * 0.522)
+        assert pair.network_latency + pair.tail_time < 30.0
+
+
+class TestInterCluster:
+    def test_average_over_partners(self, tiny_spec):
+        params = params_at(tiny_spec, 1e-4)
+        result = inter_cluster_latency(params, 0)
+        pairs = [pair_latency(params, 0, v) for v in (1, 2, 3)]
+        expected_network = sum(p.network_latency for p in pairs) / 3
+        expected_waiting = sum(p.waiting_time for p in pairs) / 3
+        assert result.network_latency == pytest.approx(expected_network)
+        assert result.waiting_time == pytest.approx(expected_waiting)
+        assert result.network_total == pytest.approx(
+            result.waiting_time + result.network_latency + result.tail_time
+        )
+
+    def test_concentrator_waiting_is_average_of_pair_values(self, tiny_spec):
+        params = params_at(tiny_spec, 1e-4)
+        result = inter_cluster_latency(params, 0)
+        pairs = [pair_latency(params, 0, v) for v in (1, 2, 3)]
+        expected = sum(p.concentrator_waiting for p in pairs) / 3
+        assert result.concentrator_waiting == pytest.approx(expected)
+
+    def test_total_includes_concentrators(self, tiny_spec):
+        params = params_at(tiny_spec, 1e-4)
+        result = inter_cluster_latency(params, 0)
+        assert result.total == pytest.approx(
+            result.network_total + result.concentrator_waiting
+        )
+
+    def test_saturation_flag_propagates(self, tiny_spec):
+        result = inter_cluster_latency(params_at(tiny_spec, 1.0), 0)
+        assert result.saturated
+        assert math.isinf(result.total)
+
+    def test_zero_load_has_no_waiting(self, table1_small_spec):
+        result = inter_cluster_latency(params_at(table1_small_spec, 0.0), 0)
+        assert result.waiting_time == 0.0
+        assert result.concentrator_waiting == 0.0
+
+    def test_invalid_cluster_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            inter_cluster_latency(params_at(tiny_spec, 0.0), 7)

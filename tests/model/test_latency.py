@@ -1,0 +1,142 @@
+"""Tests of the full latency model (Eq. 35-36) and its predictions."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model import MessageSpec, MultiClusterLatencyModel
+from repro.model.parameters import PAPER_MESSAGE_SPECS
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils import ValidationError
+
+
+class TestEvaluate:
+    def test_prediction_structure(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        prediction = model.evaluate(1e-4)
+        assert len(prediction.clusters) == tiny_spec.num_clusters
+        assert sum(prediction.weights) == pytest.approx(1.0)
+        assert prediction.lambda_g == 1e-4
+        assert not prediction.saturated
+
+    def test_weights_follow_cluster_sizes(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        prediction = model.evaluate(0.0)
+        expected = tuple(size / tiny_spec.total_nodes for size in tiny_spec.cluster_sizes)
+        assert prediction.weights == pytest.approx(expected)
+
+    def test_mean_is_weighted_average_of_cluster_means(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        prediction = model.evaluate(2e-4)
+        manual = sum(
+            weight * cluster.mean
+            for weight, cluster in zip(prediction.weights, prediction.clusters)
+        )
+        assert prediction.mean_latency == pytest.approx(manual)
+
+    def test_equal_height_clusters_share_predictions(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        prediction = model.evaluate(1e-4)
+        # Clusters 0 and 3 have the same height, as do 1 and 2.
+        assert prediction.cluster_mean(0) == pytest.approx(prediction.cluster_mean(3))
+        assert prediction.cluster_mean(1) == pytest.approx(prediction.cluster_mean(2))
+
+    def test_cluster_mean_accessor(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        prediction = model.evaluate(1e-4)
+        assert prediction.cluster_mean(1) == prediction.clusters[1].mean
+
+    def test_breakdown_sums_to_mean(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        breakdown = model.evaluate(2e-4).breakdown()
+        component_sum = sum(value for key, value in breakdown.items() if key != "mean_latency")
+        assert component_sum == pytest.approx(breakdown["mean_latency"])
+
+    def test_breakdown_when_saturated(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        breakdown = model.evaluate(1.0).breakdown()
+        assert math.isinf(breakdown["mean_latency"])
+
+    def test_negative_traffic_rejected(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        with pytest.raises(ValidationError):
+            model.evaluate(-1e-3)
+
+
+class TestCurves:
+    def test_zero_load_latency_positive_and_finite(self, table1_large_spec, table1_small_spec):
+        for spec in (table1_large_spec, table1_small_spec):
+            model = MultiClusterLatencyModel(spec)
+            assert 0 < model.zero_load_latency < 100
+
+    def test_latency_curve_is_monotone_before_saturation(self, table1_small_spec):
+        model = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        lambdas = np.linspace(0.0, 3e-4, 7)
+        curve = model.latency_curve(lambdas)
+        finite = curve[np.isfinite(curve)]
+        assert (np.diff(finite) >= -1e-9).all()
+
+    def test_curve_saturates_eventually(self, table1_small_spec):
+        model = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        curve = model.latency_curve([0.0, 1e-3, 1e-2])
+        assert math.isinf(curve[-1])
+
+    def test_larger_flits_increase_latency_and_hasten_saturation(self, table1_large_spec):
+        small = MultiClusterLatencyModel(table1_large_spec, MessageSpec(32, 256))
+        large = MultiClusterLatencyModel(table1_large_spec, MessageSpec(32, 512))
+        assert large.zero_load_latency > small.zero_load_latency
+        # At a load the small-flit system still handles, the large-flit one
+        # is either saturated or strictly slower.
+        load = 2e-4
+        small_latency = small.mean_latency(load)
+        large_latency = large.mean_latency(load)
+        assert math.isinf(large_latency) or large_latency > small_latency
+
+    def test_longer_messages_increase_latency(self, table1_small_spec):
+        short = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        long = MultiClusterLatencyModel(table1_small_spec, MessageSpec(64, 256))
+        assert long.zero_load_latency > short.zero_load_latency
+
+    def test_all_four_paper_message_specs_evaluate(self, table1_large_spec):
+        for message in PAPER_MESSAGE_SPECS:
+            model = MultiClusterLatencyModel(table1_large_spec, message)
+            assert np.isfinite(model.zero_load_latency)
+
+    def test_larger_system_saturates_before_smaller_system(
+        self, table1_large_spec, table1_small_spec
+    ):
+        """The N=1120 organisation saturates at lower offered traffic than N=544."""
+        from repro.model import saturation_point
+
+        message = MessageSpec(32, 256)
+        large = MultiClusterLatencyModel(table1_large_spec, message)
+        small = MultiClusterLatencyModel(table1_small_spec, message)
+        assert saturation_point(large, upper_bound=1e-3) < saturation_point(
+            small, upper_bound=2e-3
+        )
+
+
+class TestClusterHeterogeneityEffects:
+    def test_small_clusters_see_higher_external_share(self, table1_large_spec):
+        model = MultiClusterLatencyModel(table1_large_spec)
+        prediction = model.evaluate(5e-5)
+        small = prediction.clusters[0]      # N_i = 8
+        large = prediction.clusters[31]     # N_i = 128
+        assert small.outgoing_probability > large.outgoing_probability
+
+    def test_homogeneous_system_has_identical_cluster_means(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(2, 2, 2, 2))
+        model = MultiClusterLatencyModel(spec)
+        prediction = model.evaluate(1e-4)
+        means = [cluster.mean for cluster in prediction.clusters]
+        assert max(means) == pytest.approx(min(means))
+
+
+@given(lambda_g=st.floats(min_value=0.0, max_value=5e-4))
+@settings(max_examples=25, deadline=None)
+def test_latency_never_below_zero_load(tiny_spec, lambda_g):
+    model = MultiClusterLatencyModel(tiny_spec)
+    latency = model.mean_latency(lambda_g)
+    assert math.isinf(latency) or latency >= model.zero_load_latency - 1e-9

@@ -1,0 +1,89 @@
+"""Tests of the parameter containers (timing, message geometry, bundles)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.model.parameters import (
+    MessageSpec,
+    ModelParameters,
+    PAPER_MESSAGE_SPECS,
+    PAPER_TIMING,
+    TimingParameters,
+)
+from repro.utils import ValidationError
+
+
+class TestTimingParameters:
+    def test_paper_defaults(self):
+        assert PAPER_TIMING.alpha_net == 0.02
+        assert PAPER_TIMING.alpha_sw == 0.01
+        assert PAPER_TIMING.bandwidth == 500.0
+        assert PAPER_TIMING.beta_net == pytest.approx(0.002)
+
+    def test_link_timing_matches_eq_14_15(self):
+        timing = PAPER_TIMING.link_timing(256)
+        assert timing.t_cn == pytest.approx(0.02 + 0.5 * 256 * 0.002)
+        assert timing.t_cs == pytest.approx(0.01 + 256 * 0.002)
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValidationError):
+            TimingParameters(alpha_net=0.0)
+        with pytest.raises(ValidationError):
+            TimingParameters(bandwidth=-1.0)
+
+
+class TestMessageSpec:
+    def test_total_bytes(self):
+        assert MessageSpec(32, 256).total_bytes == 8192
+
+    def test_describe_mentions_both_dimensions(self):
+        text = MessageSpec(64, 512).describe()
+        assert "M=64" in text and "Lm=512" in text
+
+    def test_paper_specs_cover_the_four_figure_curves(self):
+        combos = {(spec.length_flits, spec.flit_bytes) for spec in PAPER_MESSAGE_SPECS}
+        assert combos == {(32, 256), (32, 512), (64, 256), (64, 512)}
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            MessageSpec(0, 256)
+        with pytest.raises(ValidationError):
+            MessageSpec(32, -1)
+
+
+class TestModelParameters:
+    def test_properties_derive_from_components(self, tiny_spec):
+        params = ModelParameters(spec=tiny_spec, message=MessageSpec(32, 256))
+        assert params.t_cn == pytest.approx(0.276)
+        assert params.t_cs == pytest.approx(0.522)
+        assert params.message_length == 32
+
+    def test_negative_traffic_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            ModelParameters(spec=tiny_spec, lambda_g=-1e-4)
+
+    def test_with_traffic_returns_modified_copy(self, tiny_spec):
+        params = ModelParameters(spec=tiny_spec, lambda_g=0.0)
+        other = params.with_traffic(1e-3)
+        assert other.lambda_g == 1e-3
+        assert params.lambda_g == 0.0
+        assert other.spec is params.spec
+
+    def test_with_message_returns_modified_copy(self, tiny_spec):
+        params = ModelParameters(spec=tiny_spec)
+        other = params.with_message(MessageSpec(64, 512))
+        assert other.message_length == 64
+        assert params.message_length == 32
+
+    def test_sweep_builds_one_bundle_per_rate(self, tiny_spec):
+        params = ModelParameters(spec=tiny_spec)
+        bundles = params.sweep([0.0, 1e-4, 2e-4])
+        assert [bundle.lambda_g for bundle in bundles] == [0.0, 1e-4, 2e-4]
+
+    @given(flit_bytes=st.sampled_from([64, 128, 256, 512, 1024]))
+    def test_t_cs_exceeds_half_flit_time(self, tiny_spec, flit_bytes):
+        params = ModelParameters(spec=tiny_spec, message=MessageSpec(32, flit_bytes))
+        # Switch-switch channels transmit the full flit; node channels only
+        # half of it (Eq. 14 vs 15), so t_cs > t_cn whenever Lm*beta > alpha
+        # differences, which holds for every paper configuration.
+        assert params.t_cs > params.t_cn - params.timing.alpha_net

@@ -1,0 +1,110 @@
+"""Tests of the journey-length distribution (Eq. 4, 8, 9)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.probabilities import (
+    average_ascending_links,
+    average_message_distance,
+    destinations_at_distance,
+    link_probability,
+    link_probability_vector,
+)
+from repro.topology import MPortNTree, distance_histogram, mean_internode_distance
+from repro.utils import ValidationError
+
+TREES = [(2, 1), (2, 3), (4, 1), (4, 2), (4, 3), (4, 5), (8, 1), (8, 2), (8, 3), (6, 2)]
+
+
+@pytest.mark.parametrize("m,n", TREES)
+def test_probabilities_sum_to_one(m, n):
+    assert link_probability_vector(m, n).sum() == pytest.approx(1.0)
+
+
+@pytest.mark.parametrize("m,n", TREES)
+def test_probabilities_are_non_negative(m, n):
+    assert (link_probability_vector(m, n) >= 0).all()
+
+
+@pytest.mark.parametrize("m,n", [(4, 2), (4, 3), (8, 2), (2, 3), (6, 2)])
+def test_probabilities_match_topology_enumeration(m, n):
+    """Eq. 4 must agree with brute-force counting over the real topology."""
+    tree = MPortNTree(m, n)
+    histogram = distance_histogram(tree, exhaustive=True)
+    total_pairs = tree.num_nodes * (tree.num_nodes - 1)
+    for j in range(1, n + 1):
+        expected = histogram.get(2 * j, 0) / total_pairs
+        assert link_probability(m, n, j) == pytest.approx(expected)
+
+
+def test_single_level_tree_always_crosses_two_links():
+    assert link_probability(8, 1, 1) == pytest.approx(1.0)
+
+
+def test_explicit_small_case():
+    # m=4 (k=2), n=2, N=8: 1 destination at distance 2, 6 at distance 4.
+    assert link_probability(4, 2, 1) == pytest.approx(1.0 / 7.0)
+    assert link_probability(4, 2, 2) == pytest.approx(6.0 / 7.0)
+    assert destinations_at_distance(4, 2, 1) == 1
+    assert destinations_at_distance(4, 2, 2) == 6
+
+
+def test_j_beyond_height_rejected():
+    with pytest.raises(ValidationError):
+        link_probability(4, 2, 3)
+    with pytest.raises(ValidationError):
+        destinations_at_distance(4, 2, 3)
+
+
+def test_invalid_arity_rejected():
+    with pytest.raises(ValidationError):
+        link_probability(5, 2, 1)
+
+
+@pytest.mark.parametrize("m,n", TREES)
+def test_average_distance_matches_topology(m, n):
+    """Eq. 8/9 must agree with the topology's mean inter-node distance."""
+    tree = MPortNTree(m, n)
+    assert average_message_distance(m, n) == pytest.approx(mean_internode_distance(tree))
+
+
+@pytest.mark.parametrize("m,n", TREES)
+def test_average_distance_bounds(m, n):
+    d_avg = average_message_distance(m, n)
+    assert 2.0 <= d_avg <= 2.0 * n
+
+
+def test_average_distance_increases_with_height():
+    assert average_message_distance(4, 3) > average_message_distance(4, 2)
+    assert average_message_distance(8, 3) > average_message_distance(8, 2)
+
+
+def test_average_ascending_links_is_half_the_distance():
+    assert average_ascending_links(8, 3) == pytest.approx(average_message_distance(8, 3) / 2)
+
+
+def test_vector_is_cached():
+    assert link_probability_vector(8, 3) is link_probability_vector(8, 3)
+
+
+@given(
+    m=st.sampled_from([2, 4, 6, 8, 10]),
+    n=st.integers(min_value=1, max_value=6),
+)
+@settings(max_examples=60, deadline=None)
+def test_destination_counts_total_to_n_minus_one(m, n):
+    total_nodes = 2 * (m // 2) ** n
+    counted = sum(destinations_at_distance(m, n, j) for j in range(1, n + 1))
+    assert counted == total_nodes - 1
+
+
+@given(
+    m=st.sampled_from([4, 8, 16]),
+    n=st.integers(min_value=2, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_most_traffic_crosses_the_root_for_fat_trees(m, n):
+    """With k >= 2 more than half the destinations are behind the root level."""
+    vector = link_probability_vector(m, n)
+    assert vector[-1] > 0.5

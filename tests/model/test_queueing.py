@@ -1,0 +1,121 @@
+"""Tests of the M/G/1 source queues and concentrator queues (Eq. 19-23, 30, 33)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.queueing import (
+    QueueSaturated,
+    concentrator_waiting_time,
+    is_stable,
+    mg1_waiting_time,
+    saturation_arrival_rate,
+    source_queue_waiting_time,
+    utilisation,
+)
+from repro.utils import ValidationError
+
+
+class TestMG1:
+    def test_zero_arrivals_no_waiting(self):
+        assert mg1_waiting_time(0.0, 10.0, 4.0) == 0.0
+
+    def test_md1_special_case(self):
+        # Deterministic service (variance 0) halves the M/M/1 waiting time.
+        lam, service = 0.05, 10.0
+        rho = lam * service
+        expected = lam * service**2 / (2 * (1 - rho))
+        assert mg1_waiting_time(lam, service, 0.0) == pytest.approx(expected)
+
+    def test_mm1_special_case(self):
+        # Exponential service (variance = mean^2) gives rho*x/(1-rho).
+        lam, service = 0.04, 10.0
+        rho = lam * service
+        expected = rho * service / (1 - rho)
+        assert mg1_waiting_time(lam, service, service**2) == pytest.approx(expected)
+
+    def test_waiting_grows_with_variance(self):
+        low = mg1_waiting_time(0.05, 10.0, 1.0)
+        high = mg1_waiting_time(0.05, 10.0, 100.0)
+        assert high > low
+
+    def test_saturation_raises(self):
+        with pytest.raises(QueueSaturated) as info:
+            mg1_waiting_time(0.2, 10.0, 0.0, name="test queue")
+        assert info.value.utilisation == pytest.approx(2.0)
+        assert "test queue" in str(info.value)
+
+    def test_exact_saturation_raises(self):
+        with pytest.raises(QueueSaturated):
+            mg1_waiting_time(0.1, 10.0, 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            mg1_waiting_time(-0.1, 10.0, 0.0)
+        with pytest.raises(ValidationError):
+            mg1_waiting_time(0.1, 0.0, 0.0)
+        with pytest.raises(ValidationError):
+            mg1_waiting_time(0.1, 10.0, -1.0)
+
+    @given(
+        lam=st.floats(min_value=0.0, max_value=0.09),
+        service=st.floats(min_value=0.1, max_value=10.0),
+        variance=st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_waiting_is_non_negative_below_saturation(self, lam, service, variance):
+        if lam * service >= 1.0:
+            return
+        assert mg1_waiting_time(lam, service, variance) >= 0.0
+
+
+class TestSourceQueue:
+    def test_variance_follows_draper_ghosh(self):
+        # Eq. 22: sigma^2 = (S - M t_cn)^2.
+        lam, network_latency, minimum = 0.01, 20.0, 8.832
+        expected = mg1_waiting_time(lam, network_latency, (network_latency - minimum) ** 2)
+        assert source_queue_waiting_time(lam, network_latency, minimum) == pytest.approx(expected)
+
+    def test_no_waiting_at_zero_load(self):
+        assert source_queue_waiting_time(0.0, 20.0, 8.832) == 0.0
+
+    def test_saturation_propagates(self):
+        with pytest.raises(QueueSaturated):
+            source_queue_waiting_time(0.1, 20.0, 8.832)
+
+    def test_waiting_increases_with_load(self):
+        low = source_queue_waiting_time(0.001, 20.0, 8.832)
+        high = source_queue_waiting_time(0.04, 20.0, 8.832)
+        assert high > low
+
+
+class TestConcentrator:
+    def test_md1_form(self):
+        # Eq. 33 is an M/D/1 wait with service M*t_cs.
+        lam, service = 0.02, 16.7
+        expected = lam * service**2 / (2 * (1 - lam * service))
+        assert concentrator_waiting_time(lam, service) == pytest.approx(expected)
+
+    def test_zero_load(self):
+        assert concentrator_waiting_time(0.0, 16.7) == 0.0
+
+    def test_saturation(self):
+        with pytest.raises(QueueSaturated):
+            concentrator_waiting_time(0.1, 16.7)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValidationError):
+            concentrator_waiting_time(0.1, 0.0)
+
+
+class TestUtilisationHelpers:
+    def test_utilisation(self):
+        assert utilisation(0.02, 10.0) == pytest.approx(0.2)
+
+    def test_is_stable(self):
+        assert is_stable(0.05, 10.0)
+        assert not is_stable(0.2, 10.0)
+
+    def test_saturation_arrival_rate(self):
+        assert saturation_arrival_rate(20.0) == pytest.approx(0.05)
+        with pytest.raises(ValidationError):
+            saturation_arrival_rate(0.0)

@@ -1,0 +1,72 @@
+"""Tests of saturation-point location and utilisation diagnostics."""
+
+import math
+
+import pytest
+
+from repro.model import (
+    MessageSpec,
+    MultiClusterLatencyModel,
+    saturation_point,
+    utilisation_summary,
+)
+from repro.model.saturation import bottleneck
+from repro.utils import ValidationError
+
+
+class TestSaturationPoint:
+    def test_model_is_stable_just_below_and_saturated_just_above(self, table1_small_spec):
+        model = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        point = saturation_point(model, upper_bound=1e-3)
+        assert math.isfinite(model.mean_latency(point * 0.98))
+        assert math.isinf(model.mean_latency(point * 1.02))
+
+    def test_upper_bound_grows_automatically(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        # Deliberately tiny initial bound: the bracketing loop must extend it.
+        point = saturation_point(model, upper_bound=1e-6)
+        assert point > 1e-6
+        assert math.isinf(model.mean_latency(point * 1.05))
+
+    def test_doubling_message_length_halves_the_saturation_point(self, table1_small_spec):
+        short = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        long = MultiClusterLatencyModel(table1_small_spec, MessageSpec(64, 256))
+        ratio = saturation_point(long, upper_bound=1e-3) / saturation_point(
+            short, upper_bound=1e-3
+        )
+        assert ratio == pytest.approx(0.5, rel=0.15)
+
+    def test_doubling_flit_size_roughly_halves_the_saturation_point(self, table1_small_spec):
+        small = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 256))
+        large = MultiClusterLatencyModel(table1_small_spec, MessageSpec(32, 512))
+        ratio = saturation_point(large, upper_bound=1e-3) / saturation_point(
+            small, upper_bound=1e-3
+        )
+        assert ratio == pytest.approx(0.5, rel=0.2)
+
+    def test_invalid_arguments_rejected(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        with pytest.raises(ValidationError):
+            saturation_point(model, upper_bound=0.0)
+        with pytest.raises(ValidationError):
+            saturation_point(model, upper_bound=1e-3, tolerance=0.0)
+
+
+class TestUtilisationDiagnostics:
+    def test_summary_covers_every_cluster(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        summary = utilisation_summary(model, 1e-4)
+        assert len(summary) == 2 * tiny_spec.num_clusters
+        assert all(value >= 0 for value in summary.values())
+
+    def test_utilisations_grow_with_load(self, tiny_spec):
+        model = MultiClusterLatencyModel(tiny_spec)
+        low = utilisation_summary(model, 1e-5)
+        high = utilisation_summary(model, 1e-3)
+        assert max(high.values()) > max(low.values())
+
+    def test_bottleneck_is_an_ecn1_queue_for_table1(self, table1_large_spec):
+        """In the paper's organisations the external path saturates first."""
+        model = MultiClusterLatencyModel(table1_large_spec, MessageSpec(32, 256))
+        name = bottleneck(model, 1e-4)
+        assert "ecn1" in name

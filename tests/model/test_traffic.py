@@ -1,0 +1,154 @@
+"""Tests of the traffic decomposition (Eq. 5-7, 10-13)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.model.probabilities import average_message_distance
+from repro.model.traffic import (
+    channel_rates,
+    ecn1_channel_rate,
+    ecn1_pair_rate,
+    icn1_channel_rate,
+    icn1_rate,
+    icn2_channel_rate,
+    icn2_pair_rate,
+    network_rates,
+    outgoing_probability,
+)
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils import ValidationError
+
+
+class TestOutgoingProbability:
+    def test_explicit_value(self, tiny_spec):
+        # tiny: sizes (4, 8, 8, 4), N = 24.
+        assert outgoing_probability(tiny_spec, 0) == pytest.approx(20 / 23)
+        assert outgoing_probability(tiny_spec, 1) == pytest.approx(16 / 23)
+
+    def test_larger_clusters_have_lower_outgoing_probability(self, table1_large_spec):
+        p_small = outgoing_probability(table1_large_spec, 0)    # N_i = 8
+        p_large = outgoing_probability(table1_large_spec, 31)   # N_i = 128
+        assert p_small > p_large
+
+    def test_range(self, table1_small_spec):
+        for cluster in range(table1_small_spec.num_clusters):
+            assert 0.0 < outgoing_probability(table1_small_spec, cluster) < 1.0
+
+    def test_bad_cluster_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            outgoing_probability(tiny_spec, 4)
+
+    def test_homogeneous_case_matches_closed_form(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(2, 2, 2, 2))
+        # P_o = (N - N_i)/(N - 1) with N = 32, N_i = 8.
+        assert outgoing_probability(spec, 2) == pytest.approx(24 / 31)
+
+
+class TestAggregateRates:
+    def test_icn1_rate_eq5(self, tiny_spec):
+        lambda_g = 1e-3
+        expected = 8 * (1 - outgoing_probability(tiny_spec, 1)) * lambda_g
+        assert icn1_rate(tiny_spec, 1, lambda_g) == pytest.approx(expected)
+
+    def test_ecn1_pair_rate_eq6_is_symmetric(self, tiny_spec):
+        lambda_g = 1e-3
+        assert ecn1_pair_rate(tiny_spec, 0, 1, lambda_g) == pytest.approx(
+            ecn1_pair_rate(tiny_spec, 1, 0, lambda_g)
+        )
+
+    def test_icn2_pair_rate_eq7_is_symmetric(self, tiny_spec):
+        lambda_g = 1e-3
+        assert icn2_pair_rate(tiny_spec, 0, 2, lambda_g) == pytest.approx(
+            icn2_pair_rate(tiny_spec, 2, 0, lambda_g)
+        )
+
+    def test_equal_size_pair_icn2_rate_equals_cluster_external_rate(self, tiny_spec):
+        # For N_i = N_v the pair ICN2 rate reduces to N_i * P_o * lambda_g.
+        lambda_g = 1e-3
+        expected = 8 * outgoing_probability(tiny_spec, 1) * lambda_g
+        assert icn2_pair_rate(tiny_spec, 1, 2, lambda_g) == pytest.approx(expected)
+
+    def test_rates_scale_linearly_with_traffic(self, tiny_spec):
+        assert icn1_rate(tiny_spec, 0, 2e-3) == pytest.approx(2 * icn1_rate(tiny_spec, 0, 1e-3))
+        assert ecn1_pair_rate(tiny_spec, 0, 1, 2e-3) == pytest.approx(
+            2 * ecn1_pair_rate(tiny_spec, 0, 1, 1e-3)
+        )
+
+    def test_zero_traffic_means_zero_rates(self, tiny_spec):
+        assert icn1_rate(tiny_spec, 0, 0.0) == 0.0
+        assert ecn1_pair_rate(tiny_spec, 0, 1, 0.0) == 0.0
+        assert icn2_pair_rate(tiny_spec, 0, 1, 0.0) == 0.0
+
+    def test_same_cluster_pair_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            ecn1_pair_rate(tiny_spec, 1, 1, 1e-3)
+        with pytest.raises(ValidationError):
+            icn2_pair_rate(tiny_spec, 2, 2, 1e-3)
+
+    def test_negative_traffic_rejected(self, tiny_spec):
+        with pytest.raises(ValidationError):
+            icn1_rate(tiny_spec, 0, -1e-3)
+
+    def test_total_traffic_conservation(self, table1_small_spec):
+        """Internal plus external generation adds up to N * lambda_g."""
+        spec = table1_small_spec
+        lambda_g = 1e-4
+        internal = sum(
+            icn1_rate(spec, i, lambda_g) for i in range(spec.num_clusters)
+        )
+        external = sum(
+            spec.cluster_size(i) * outgoing_probability(spec, i) * lambda_g
+            for i in range(spec.num_clusters)
+        )
+        assert internal + external == pytest.approx(spec.total_nodes * lambda_g)
+
+
+class TestChannelRates:
+    def test_icn1_channel_rate_eq10(self, tiny_spec):
+        lambda_g = 1e-3
+        height = tiny_spec.cluster_heights[1]
+        expected = (
+            average_message_distance(4, height)
+            * icn1_rate(tiny_spec, 1, lambda_g)
+            / (4 * height * tiny_spec.cluster_size(1))
+        )
+        assert icn1_channel_rate(tiny_spec, 1, lambda_g) == pytest.approx(expected)
+
+    def test_ecn1_channel_rate_eq11(self, tiny_spec):
+        lambda_g = 1e-3
+        height = tiny_spec.cluster_heights[0]
+        expected = (
+            average_message_distance(4, height)
+            * ecn1_pair_rate(tiny_spec, 0, 1, lambda_g)
+            / (4 * height * tiny_spec.cluster_size(0))
+        )
+        assert ecn1_channel_rate(tiny_spec, 0, 1, lambda_g) == pytest.approx(expected)
+
+    def test_icn2_channel_rate_eq12(self, tiny_spec):
+        lambda_g = 1e-3
+        expected = (
+            average_message_distance(4, tiny_spec.icn2_height)
+            * icn2_pair_rate(tiny_spec, 0, 1, lambda_g)
+            / (4 * tiny_spec.icn2_height)
+        )
+        assert icn2_channel_rate(tiny_spec, 0, 1, lambda_g) == pytest.approx(expected)
+
+    def test_channel_rates_bundle_matches_scalars(self, tiny_spec):
+        lambda_g = 2e-3
+        bundle = channel_rates(tiny_spec, 0, 2, lambda_g)
+        assert bundle.icn1 == pytest.approx(icn1_channel_rate(tiny_spec, 0, lambda_g))
+        assert bundle.ecn1 == pytest.approx(ecn1_channel_rate(tiny_spec, 0, 2, lambda_g))
+        assert bundle.icn2 == pytest.approx(icn2_channel_rate(tiny_spec, 0, 2, lambda_g))
+
+    def test_network_rates_bundle_matches_scalars(self, tiny_spec):
+        lambda_g = 2e-3
+        bundle = network_rates(tiny_spec, 0, 2, lambda_g)
+        assert bundle.icn1 == pytest.approx(icn1_rate(tiny_spec, 0, lambda_g))
+        assert bundle.ecn1 == pytest.approx(ecn1_pair_rate(tiny_spec, 0, 2, lambda_g))
+        assert bundle.icn2 == pytest.approx(icn2_pair_rate(tiny_spec, 0, 2, lambda_g))
+
+    @given(lambda_g=st.floats(min_value=0.0, max_value=1e-2))
+    @settings(max_examples=30, deadline=None)
+    def test_channel_rates_are_non_negative(self, tiny_spec, lambda_g):
+        bundle = channel_rates(tiny_spec, 0, 1, lambda_g)
+        assert bundle.icn1 >= 0 and bundle.ecn1 >= 0 and bundle.icn2 >= 0

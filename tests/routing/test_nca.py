@@ -1,0 +1,113 @@
+"""Tests of nearest-common-ancestor helpers."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import ascent_digits, common_prefix_length, nca_level, nca_switch
+from repro.topology import MPortNTree
+from repro.utils import ValidationError
+
+
+class TestCommonPrefixLength:
+    def test_identical(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 3)) == 3
+
+    def test_partial(self):
+        assert common_prefix_length((1, 2, 3), (1, 2, 0)) == 2
+        assert common_prefix_length((1, 2, 3), (0, 2, 3)) == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValidationError):
+            common_prefix_length((1, 2), (1, 2, 3))
+
+
+class TestNcaLevel:
+    def test_same_leaf(self):
+        tree = MPortNTree(4, 2)
+        # Nodes 0 and 1 share leaf switch: NCA at level 0.
+        assert nca_level(tree, 0, 1) == 0
+
+    def test_opposite_halves_meet_at_root(self):
+        tree = MPortNTree(4, 3)
+        assert nca_level(tree, 0, tree.num_nodes - 1) == tree.root_level
+
+    def test_same_node_rejected(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValidationError):
+            nca_level(tree, 3, 3)
+
+    @given(
+        m=st.sampled_from([2, 4, 8]),
+        n=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_level_is_distance_minus_one(self, m, n, data):
+        tree = MPortNTree(m, n)
+        a = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        b = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        if a == b:
+            return
+        assert nca_level(tree, a, b) == tree.nca_distance(a, b) - 1
+
+
+class TestAscentDigits:
+    def test_same_leaf_has_no_ascent(self):
+        tree = MPortNTree(4, 2)
+        assert ascent_digits(tree, 0, 1) == ()
+
+    def test_digit_count_is_j_minus_one(self):
+        tree = MPortNTree(4, 3)
+        for dest in [1, 2, 5, 9, 15]:
+            j = tree.nca_distance(0, dest)
+            assert len(ascent_digits(tree, 0, dest)) == j - 1
+
+    def test_digits_are_valid_up_ports(self):
+        tree = MPortNTree(8, 3)
+        for dest in range(1, tree.num_nodes, 7):
+            for digit in ascent_digits(tree, 0, dest):
+                assert 0 <= digit < tree.k
+
+    def test_same_node_rejected(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValidationError):
+            ascent_digits(tree, 2, 2)
+
+    def test_destination_based_spreading(self):
+        # Two destinations in the same far leaf but with different intra-leaf
+        # digits must ascend through different up ports (that is the load
+        # balancing property).
+        tree = MPortNTree(4, 2)
+        dest_a = tree.node_index((3, 0))
+        dest_b = tree.node_index((3, 1))
+        assert ascent_digits(tree, 0, dest_a) != ascent_digits(tree, 0, dest_b)
+
+
+class TestNcaSwitch:
+    @given(
+        m=st.sampled_from([2, 4, 8]),
+        n=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_switch_is_common_ancestor_at_the_right_level(self, m, n, data):
+        tree = MPortNTree(m, n)
+        a = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        b = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        if a == b:
+            return
+        switch = nca_switch(tree, a, b)
+        assert switch.level == nca_level(tree, a, b)
+        assert tree.is_ancestor(switch, a)
+        assert tree.is_ancestor(switch, b)
+
+    def test_destinations_in_same_leaf_use_distinct_nca_switches(self):
+        tree = MPortNTree(4, 3)
+        # Destinations sharing a leaf switch but differing in the last digit
+        # are reached through different root switches.
+        dest_a = tree.node_index((3, 1, 0))
+        dest_b = tree.node_index((3, 1, 1))
+        switch_a = nca_switch(tree, 0, dest_a)
+        switch_b = nca_switch(tree, 0, dest_b)
+        assert switch_a.level == switch_b.level == tree.root_level
+        assert switch_a != switch_b

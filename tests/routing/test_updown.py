@@ -1,0 +1,184 @@
+"""Tests of the deterministic Up*/Down* router and the Route container."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.routing import Route, UpDownRouter
+from repro.topology import ChannelKind, FatTreeNode, MPortNTree
+from repro.topology.fat_tree import Channel
+from repro.utils import ValidationError
+
+SMALL_TREES = [(2, 1), (2, 3), (4, 1), (4, 2), (4, 3), (8, 2)]
+
+
+def _router(m, n):
+    return UpDownRouter(MPortNTree(m, n))
+
+
+class TestFullRoute:
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_route_length_matches_nca_distance(self, m, n):
+        router = _router(m, n)
+        tree = router.tree
+        step = max(1, tree.num_nodes // 6)
+        for source in range(0, tree.num_nodes, step):
+            for dest in range(tree.num_nodes):
+                if source == dest:
+                    continue
+                route = router.route(source, dest)
+                assert route.num_links == tree.distance(source, dest)
+
+    def test_route_starts_and_ends_at_the_right_nodes(self):
+        router = _router(4, 3)
+        route = router.route(3, 13)
+        assert route.source == FatTreeNode(3)
+        assert route.target == FatTreeNode(13)
+
+    def test_route_structure_injection_up_down_ejection(self):
+        router = _router(4, 3)
+        route = router.route(0, router.tree.num_nodes - 1)
+        kinds = [channel.kind for channel in route]
+        assert kinds[0] == ChannelKind.INJECTION
+        assert kinds[-1] == ChannelKind.EJECTION
+        ups = [k for k in kinds if k == ChannelKind.UP]
+        downs = [k for k in kinds if k == ChannelKind.DOWN]
+        assert len(ups) == len(downs) == router.tree.n - 1
+        # Once the route starts descending it never goes up again.
+        first_down = kinds.index(ChannelKind.DOWN) if downs else len(kinds) - 1
+        assert ChannelKind.UP not in kinds[first_down:]
+
+    def test_ascending_and_descending_counts_are_equal(self):
+        router = _router(8, 2)
+        for dest in range(1, 32, 5):
+            route = router.route(0, dest)
+            assert route.num_ascending == route.num_descending
+
+    def test_same_source_destination_rejected(self):
+        router = _router(4, 2)
+        with pytest.raises(ValidationError):
+            router.route(1, 1)
+
+    def test_out_of_range_node_rejected(self):
+        router = _router(4, 2)
+        with pytest.raises(ValidationError):
+            router.route(0, 99)
+
+    def test_route_is_deterministic(self):
+        router = _router(4, 3)
+        assert router.route(5, 14) == router.route(5, 14)
+
+    def test_highest_level_is_nca_level(self):
+        router = _router(4, 3)
+        tree = router.tree
+        for dest in [1, 3, 9, 15]:
+            route = router.route(0, dest)
+            assert route.highest_level == tree.nca_distance(0, dest) - 1
+
+    @given(
+        m=st.sampled_from([2, 4, 8]),
+        n=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_route_channels_exist_in_topology(self, m, n, data):
+        tree = MPortNTree(m, n)
+        router = UpDownRouter(tree)
+        source = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        dest = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        if source == dest:
+            return
+        all_channels = set(tree.channels())
+        for channel in router.route(source, dest):
+            assert channel in all_channels
+
+    @given(
+        m=st.sampled_from([4, 8]),
+        n=st.integers(min_value=2, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_node_channel_count_is_always_two(self, m, n, data):
+        tree = MPortNTree(m, n)
+        router = UpDownRouter(tree)
+        source = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        dest = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        if source == dest:
+            return
+        route = router.route(source, dest)
+        assert route.node_channels == 2
+        assert route.switch_channels == route.num_links - 2
+
+
+class TestLegs:
+    def test_ascending_leg_has_only_injection_and_up(self):
+        router = _router(4, 3)
+        leg = router.ascending_leg(0, 15)
+        kinds = {channel.kind for channel in leg}
+        assert kinds <= {ChannelKind.INJECTION, ChannelKind.UP}
+        assert leg.num_links == router.tree.nca_distance(0, 15)
+
+    def test_descending_leg_has_only_down_and_ejection(self):
+        router = _router(4, 3)
+        leg = router.descending_leg(0, 15)
+        kinds = {channel.kind for channel in leg}
+        assert kinds <= {ChannelKind.DOWN, ChannelKind.EJECTION}
+        assert leg.num_links == router.tree.nca_distance(0, 15)
+
+    def test_descending_leg_reaches_destination(self):
+        router = _router(8, 2)
+        leg = router.descending_leg(3, 20)
+        assert leg.target == FatTreeNode(20)
+
+    def test_legs_reject_equal_endpoints(self):
+        router = _router(4, 2)
+        with pytest.raises(ValidationError):
+            router.ascending_leg(2, 2)
+        with pytest.raises(ValidationError):
+            router.descending_leg(2, 2)
+
+    def test_leg_lengths_cover_one_to_n(self):
+        router = _router(4, 3)
+        tree = router.tree
+        lengths = {router.ascending_leg(0, peer).num_links for peer in range(1, tree.num_nodes)}
+        assert lengths == set(range(1, tree.n + 1))
+
+    def test_full_route_equals_legs_joined_at_nca(self):
+        # For a full intra-tree journey the ascending leg toward the
+        # destination plus the descending leg from the source-as-peer form
+        # exactly the full route.
+        router = _router(4, 3)
+        source, dest = 2, 13
+        full = router.route(source, dest)
+        up = router.ascending_leg(source, dest)
+        down = router.descending_leg(source, dest)
+        assert up.concatenate(down).channels == full.channels
+
+
+class TestRouteContainer:
+    def test_non_contiguous_route_rejected(self):
+        tree = MPortNTree(4, 2)
+        node_a, node_b = tree.node(0), tree.node(5)
+        leaf_a, leaf_b = tree.leaf_switch_of(node_a), tree.leaf_switch_of(node_b)
+        with pytest.raises(ValidationError):
+            Route(
+                tree.name,
+                (
+                    Channel(node_a, leaf_a, ChannelKind.INJECTION),
+                    Channel(leaf_b, node_b, ChannelKind.EJECTION),
+                ),
+            )
+
+    def test_empty_route_properties_raise(self):
+        route = Route("t", ())
+        with pytest.raises(ValidationError):
+            _ = route.source
+        with pytest.raises(ValidationError):
+            _ = route.target
+        with pytest.raises(ValidationError):
+            _ = route.highest_level
+
+    def test_len_and_iter(self):
+        router = _router(4, 2)
+        route = router.route(0, 7)
+        assert len(route) == route.num_links
+        assert list(iter(route)) == list(route.channels)

@@ -1,0 +1,88 @@
+"""Tests of the simulation configuration and message records."""
+
+import pytest
+
+from repro.sim import Message, MessagePhase, SimulationConfig
+from repro.utils import ValidationError
+
+
+class TestSimulationConfig:
+    def test_defaults_are_consistent(self):
+        config = SimulationConfig()
+        assert config.total_messages == (
+            config.measured_messages + config.warmup_messages + config.drain_messages
+        )
+
+    def test_paper_budget(self):
+        config = SimulationConfig.paper()
+        assert config.measured_messages == 100_000
+        assert config.warmup_messages == 10_000
+        assert config.drain_messages == 10_000
+
+    def test_quick_budget_is_small(self):
+        assert SimulationConfig.quick().total_messages < 3000
+
+    def test_with_seed(self):
+        config = SimulationConfig(seed=0)
+        other = config.with_seed(42)
+        assert other.seed == 42 and config.seed == 0
+        assert other.measured_messages == config.measured_messages
+
+    def test_scaled(self):
+        config = SimulationConfig(measured_messages=1000, warmup_messages=100, drain_messages=100)
+        half = config.scaled(0.5)
+        assert half.measured_messages == 500
+        assert half.warmup_messages == 50
+        with pytest.raises(ValueError):
+            config.scaled(0.0)
+
+    def test_invalid_budgets_rejected(self):
+        with pytest.raises(ValidationError):
+            SimulationConfig(measured_messages=0)
+        with pytest.raises(ValidationError):
+            SimulationConfig(warmup_messages=-1)
+
+
+class TestMessage:
+    def make(self, **overrides):
+        defaults = dict(
+            index=0,
+            source_cluster=0,
+            source_node=1,
+            dest_cluster=2,
+            dest_node=3,
+            length_flits=32,
+            created_at=10.0,
+        )
+        defaults.update(overrides)
+        return Message(**defaults)
+
+    def test_external_flag(self):
+        assert self.make().is_external
+        assert not self.make(dest_cluster=0).is_external
+
+    def test_phase_transitions(self):
+        message = self.make()
+        assert message.phase == MessagePhase.QUEUED
+        message.mark_injected(12.0)
+        assert message.phase == MessagePhase.IN_NETWORK
+        message.mark_delivered(30.0)
+        assert message.phase == MessagePhase.DELIVERED
+
+    def test_latency_components(self):
+        message = self.make()
+        message.mark_injected(12.0)
+        message.mark_delivered(30.0)
+        assert message.latency == pytest.approx(20.0)
+        assert message.queueing_delay == pytest.approx(2.0)
+        assert message.network_latency == pytest.approx(18.0)
+
+    def test_latency_before_delivery_raises(self):
+        message = self.make()
+        with pytest.raises(ValidationError):
+            _ = message.latency
+        with pytest.raises(ValidationError):
+            _ = message.queueing_delay
+        message.mark_injected(11.0)
+        with pytest.raises(ValidationError):
+            _ = message.network_latency

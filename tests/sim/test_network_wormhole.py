@@ -1,0 +1,184 @@
+"""Tests of channel pools, journey construction and the wormhole process."""
+
+import numpy as np
+import pytest
+
+from repro.des import Environment, Resource
+from repro.routing import UpDownRouter
+from repro.sim.message import Message
+from repro.sim.network import ChannelPool
+from repro.sim.wormhole import (
+    Hop,
+    draw_peer,
+    inter_cluster_hops,
+    intra_cluster_hops,
+    wormhole_transfer,
+)
+from repro.topology import ChannelKind, MPortNTree, MultiClusterSpec, MultiClusterSystem
+from repro.utils import ValidationError
+from repro.utils.units import LinkTiming
+
+TIMING = LinkTiming(alpha_net=0.02, alpha_sw=0.01, beta_net=0.002, flit_bytes=256)
+
+
+class TestChannelPool:
+    def test_resources_are_created_lazily_and_cached(self):
+        env = Environment()
+        tree = MPortNTree(4, 2)
+        pool = ChannelPool(env, "ICN1", TIMING)
+        channel = next(iter(tree.channels()))
+        assert pool.touched_channels == 0
+        first = pool.resource(channel)
+        second = pool.resource(channel)
+        assert first is second
+        assert pool.touched_channels == 1
+
+    def test_header_time_by_channel_kind(self):
+        env = Environment()
+        tree = MPortNTree(4, 2)
+        pool = ChannelPool(env, "ICN1", TIMING)
+        for channel in tree.channels():
+            expected = TIMING.t_cn if channel.kind.is_node_channel else TIMING.t_cs
+            assert pool.header_time(channel) == pytest.approx(expected)
+
+    def test_hops_for_route(self):
+        env = Environment()
+        tree = MPortNTree(4, 2)
+        pool = ChannelPool(env, "ICN1", TIMING)
+        route = UpDownRouter(tree).route(0, 7)
+        hops = list(pool.hops_for(route))
+        assert len(hops) == route.num_links
+        assert all(isinstance(resource, Resource) for resource, _ in hops)
+
+    def test_busy_and_queued_counters(self):
+        env = Environment()
+        tree = MPortNTree(4, 2)
+        pool = ChannelPool(env, "ICN1", TIMING)
+        channel = next(iter(tree.channels()))
+        resource = pool.resource(channel)
+        resource.request()
+        resource.request()
+        assert pool.busy_channels() == 1
+        assert pool.queued_requests() == 1
+
+
+class TestJourneyConstruction:
+    def setup_method(self):
+        self.env = Environment()
+        self.tree = MPortNTree(4, 2)
+        self.pool = ChannelPool(self.env, "net", TIMING)
+        self.router = UpDownRouter(self.tree)
+
+    def test_intra_hops_match_route_length(self):
+        hops = intra_cluster_hops(self.pool, self.router, 0, 7)
+        assert len(hops) == self.tree.distance(0, 7)
+
+    def test_inter_hops_structure(self):
+        system = MultiClusterSystem(MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1)))
+        icn2_pool = ChannelPool(self.env, "ICN2", TIMING)
+        source_pool = ChannelPool(self.env, "ECN1-0", TIMING)
+        dest_pool = ChannelPool(self.env, "ECN1-2", TIMING)
+        source_router = UpDownRouter(system.cluster(0).ecn1)
+        dest_router = UpDownRouter(system.cluster(2).ecn1)
+        icn2_router = UpDownRouter(system.icn2)
+        concentrator = Resource(self.env, name="conc0")
+        dispatcher = Resource(self.env, name="disp2")
+        hops = inter_cluster_hops(
+            source_pool=source_pool,
+            source_router=source_router,
+            dest_pool=dest_pool,
+            dest_router=dest_router,
+            icn2_pool=icn2_pool,
+            icn2_router=icn2_router,
+            concentrator=concentrator,
+            dispatcher=dispatcher,
+            source_node=0,
+            exit_peer=3,
+            dest_node=5,
+            entry_peer=0,
+            source_concentrator_node=0,
+            dest_concentrator_node=2,
+            relay_time=TIMING.t_cs,
+        )
+        resources = [hop.resource for hop in hops]
+        assert concentrator in resources
+        assert dispatcher in resources
+        # Ascending leg + concentrator + ICN2 route + dispatcher + descent.
+        ascent = source_router.ascending_leg(0, 3).num_links
+        descent = dest_router.descending_leg(0, 5).num_links
+        icn2 = icn2_router.route(0, 2).num_links
+        assert len(hops) == ascent + 1 + icn2 + 1 + descent
+
+    def test_draw_peer_never_returns_excluded(self):
+        rng = np.random.default_rng(0)
+        draws = {draw_peer(rng, 8, 3) for _ in range(200)}
+        assert 3 not in draws
+        assert draws <= set(range(8))
+
+    def test_draw_peer_needs_two_nodes(self):
+        with pytest.raises(ValidationError):
+            draw_peer(np.random.default_rng(0), 1, 0)
+
+
+class TestWormholeTransfer:
+    def _message(self, length=4):
+        return Message(
+            index=0,
+            source_cluster=0,
+            source_node=0,
+            dest_cluster=0,
+            dest_node=1,
+            length_flits=length,
+            created_at=0.0,
+        )
+
+    def test_unloaded_transfer_time(self):
+        env = Environment()
+        hops = [Hop(Resource(env), 1.0), Hop(Resource(env), 2.0), Hop(Resource(env), 0.5)]
+        message = self._message(length=4)
+        delivered = []
+        env.process(
+            wormhole_transfer(env, message, hops, on_delivered=delivered.append)
+        )
+        env.run()
+        # Header: 1 + 2 + 0.5; body: (4-1) * max(2.0) = 6.
+        assert message.delivered_at == pytest.approx(9.5)
+        assert delivered == [message]
+        assert message.queueing_delay == 0.0
+
+    def test_single_flit_message_has_no_serialisation(self):
+        env = Environment()
+        hops = [Hop(Resource(env), 1.0), Hop(Resource(env), 1.0)]
+        message = self._message(length=1)
+        env.process(wormhole_transfer(env, message, hops))
+        env.run()
+        assert message.delivered_at == pytest.approx(2.0)
+
+    def test_resources_released_after_delivery(self):
+        env = Environment()
+        resources = [Resource(env), Resource(env)]
+        hops = [Hop(resource, 1.0) for resource in resources]
+        env.process(wormhole_transfer(env, self._message(), hops))
+        env.run()
+        assert all(resource.count == 0 for resource in resources)
+
+    def test_blocking_on_a_busy_channel(self):
+        env = Environment()
+        shared = Resource(env)
+        first = self._message()
+        second = self._message()
+        env.process(wormhole_transfer(env, first, [Hop(shared, 1.0)]))
+        env.process(wormhole_transfer(env, second, [Hop(shared, 1.0)]))
+        env.run()
+        # Second message cannot even inject until the first releases: the
+        # first holds the channel for header (1) + serialisation (3) = 4.
+        assert first.delivered_at == pytest.approx(4.0)
+        assert second.injected_at == pytest.approx(4.0)
+        assert second.delivered_at == pytest.approx(8.0)
+        assert second.queueing_delay == pytest.approx(4.0)
+
+    def test_empty_hop_list_rejected(self):
+        env = Environment()
+        with pytest.raises(ValidationError):
+            env.process(wormhole_transfer(env, self._message(), []))
+            env.run()

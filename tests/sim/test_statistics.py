@@ -1,0 +1,81 @@
+"""Tests of the statistics collector and the simulation result record."""
+
+import math
+
+import pytest
+
+from repro.sim.message import Message
+from repro.sim.statistics import StatisticsCollector
+from repro.utils import ValidationError
+
+
+def delivered_message(index, source_cluster, dest_cluster, created, injected, delivered):
+    message = Message(
+        index=index,
+        source_cluster=source_cluster,
+        source_node=0,
+        dest_cluster=dest_cluster,
+        dest_node=1,
+        length_flits=32,
+        created_at=created,
+    )
+    message.mark_injected(injected)
+    message.mark_delivered(delivered)
+    return message
+
+
+class TestStatisticsCollector:
+    def test_record_and_result(self):
+        collector = StatisticsCollector(num_clusters=2)
+        collector.record(delivered_message(0, 0, 1, 0.0, 1.0, 20.0))
+        collector.record(delivered_message(1, 1, 1, 5.0, 5.0, 35.0))
+        result = collector.result(lambda_g=1e-4, saturated=False)
+        assert result.measured_messages == 2
+        assert result.mean_latency == pytest.approx(25.0)
+        assert result.mean_queueing_delay == pytest.approx(0.5)
+        assert result.mean_network_latency == pytest.approx(24.5)
+        assert result.external_fraction == pytest.approx(0.5)
+        assert result.measurement_time == pytest.approx(15.0)
+        assert result.throughput == pytest.approx(2 / 15.0)
+        assert not result.saturated
+
+    def test_per_cluster_statistics(self):
+        collector = StatisticsCollector(num_clusters=2)
+        collector.record(delivered_message(0, 0, 1, 0.0, 0.0, 10.0))
+        collector.record(delivered_message(1, 0, 1, 0.0, 0.0, 30.0))
+        collector.record(delivered_message(2, 1, 1, 0.0, 0.0, 40.0))
+        result = collector.result(lambda_g=1e-4, saturated=False)
+        by_cluster = {stats.cluster: stats for stats in result.clusters}
+        assert by_cluster[0].count == 2
+        assert by_cluster[0].mean_latency == pytest.approx(20.0)
+        assert by_cluster[1].count == 1
+
+    def test_unmeasured_message_rejected(self):
+        collector = StatisticsCollector(num_clusters=1)
+        message = delivered_message(0, 0, 0, 0.0, 0.0, 1.0)
+        message.measured = False
+        with pytest.raises(ValidationError):
+            collector.record(message)
+
+    def test_empty_collector_reports_saturation(self):
+        collector = StatisticsCollector(num_clusters=1)
+        result = collector.result(lambda_g=1e-4, saturated=False)
+        assert result.saturated
+        assert math.isinf(result.mean_latency)
+        assert result.measured_messages == 0
+
+    def test_confidence_interval_brackets_mean(self):
+        collector = StatisticsCollector(num_clusters=1)
+        for index in range(100):
+            collector.record(delivered_message(index, 0, 0, 0.0, 0.0, 10.0 + index % 7))
+        result = collector.result(lambda_g=1e-4, saturated=False)
+        low, high = result.confidence_interval
+        assert low < result.mean_latency < high
+
+    def test_summary_is_json_friendly(self):
+        collector = StatisticsCollector(num_clusters=1)
+        collector.record(delivered_message(0, 0, 0, 0.0, 0.0, 10.0))
+        summary = collector.result(lambda_g=2e-4, saturated=False).summary()
+        assert summary["lambda_g"] == 2e-4
+        assert summary["measured_messages"] == 1
+        assert isinstance(summary["saturated"], bool)

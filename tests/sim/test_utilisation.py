@@ -1,0 +1,102 @@
+"""Tests of channel-utilisation accounting (resources, pools, simulator)."""
+
+import pytest
+
+from repro.des import Environment, Resource
+from repro.model import MessageSpec
+from repro.sim import MultiClusterSimulator, SimulationConfig
+from repro.sim.network import ChannelPool
+from repro.topology import MPortNTree, MultiClusterSpec
+from repro.utils.units import LinkTiming
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+FAST = SimulationConfig(measured_messages=600, warmup_messages=60, drain_messages=60, seed=1)
+TIMING = LinkTiming(alpha_net=0.02, alpha_sw=0.01, beta_net=0.002, flit_bytes=256)
+
+
+class TestResourceBusyTime:
+    def test_busy_time_accumulates_on_release(self):
+        env = Environment()
+        resource = Resource(env)
+
+        def user(env, hold):
+            with resource.request() as request:
+                yield request
+                yield env.timeout(hold)
+
+        env.process(user(env, 3.0))
+        env.process(user(env, 2.0))
+        env.run()
+        assert resource.busy_time == pytest.approx(5.0)
+
+    def test_unreleased_holder_not_counted_yet(self):
+        env = Environment()
+        resource = Resource(env)
+        resource.request()
+        env.run()
+        assert resource.busy_time == 0.0
+
+
+class TestPoolUtilisation:
+    def test_idle_pool_reports_zero(self):
+        env = Environment()
+        pool = ChannelPool(env, "net", TIMING)
+        assert pool.utilisation(10.0) == (0.0, 0.0)
+        assert pool.utilisation(0.0) == (0.0, 0.0)
+
+    def test_single_busy_channel(self):
+        env = Environment()
+        tree = MPortNTree(4, 2)
+        pool = ChannelPool(env, "net", TIMING)
+        channel = next(iter(tree.channels()))
+        resource = pool.resource(channel)
+
+        def user(env):
+            with resource.request() as request:
+                yield request
+                yield env.timeout(4.0)
+            yield env.timeout(6.0)
+
+        env.process(user(env))
+        env.run()
+        mean, peak = pool.utilisation(10.0)
+        assert mean == pytest.approx(0.4)
+        assert peak == pytest.approx(0.4)
+
+
+class TestSimulatorUtilisation:
+    @pytest.fixture(scope="class")
+    def result(self):
+        simulator = MultiClusterSimulator(TINY, MessageSpec(32, 256), config=FAST)
+        return simulator.run(6e-4)
+
+    def test_all_networks_reported(self, result):
+        assert {"ICN1", "ECN1", "ICN2", "concentrators"} <= set(result.channel_utilisation)
+
+    def test_utilisations_are_fractions(self, result):
+        for mean, peak in result.channel_utilisation.values():
+            assert 0.0 <= mean <= peak <= 1.0
+
+    def test_bottleneck_named(self, result):
+        assert result.bottleneck() in result.channel_utilisation
+
+    def test_utilisation_grows_with_load(self):
+        simulator = MultiClusterSimulator(TINY, MessageSpec(32, 256), config=FAST)
+        low = simulator.run(1e-4).channel_utilisation
+        high = simulator.run(1.2e-3).channel_utilisation
+        assert high["ECN1"][1] > low["ECN1"][1]
+        assert high["concentrators"][1] > low["concentrators"][1]
+
+    def test_bottleneck_is_external_path_under_uniform_traffic(self, result):
+        """Uniform traffic loads the ECN1/ICN2/concentrator side, not the ICN1."""
+        utilisation = result.channel_utilisation
+        assert utilisation["ICN1"][1] < max(
+            utilisation["ECN1"][1], utilisation["ICN2"][1], utilisation["concentrators"][1]
+        )
+
+    def test_bottleneck_without_data_is_none(self):
+        from repro.sim.statistics import StatisticsCollector
+
+        collector = StatisticsCollector(num_clusters=1)
+        empty = collector.result(lambda_g=1e-4, saturated=False)
+        assert empty.bottleneck() is None

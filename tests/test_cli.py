@@ -1,0 +1,121 @@
+"""Tests of the command-line interface (model-only paths for speed)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_all_subcommands_registered(self):
+        parser = build_parser()
+        actions = {
+            action.dest: action
+            for action in parser._subparsers._group_actions  # noqa: SLF001 - argparse introspection
+        }
+        choices = set(actions["command"].choices)
+        assert {"table1", "fig3", "fig4", "sweep", "saturation", "ablation", "report"} <= choices
+
+    def test_missing_command_errors(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        output = capsys.readouterr().out
+        assert "1120" in output and "544" in output
+
+    def test_saturation(self, capsys):
+        assert main(["saturation", "--nodes", "544"]) == 0
+        output = capsys.readouterr().out
+        assert "saturation offered traffic" in output
+
+    def test_fig4_model_only(self, capsys):
+        assert main(["fig4", "--no-sim", "--points", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "Lm=256" in output and "Lm=512" in output
+
+    def test_fig3_model_only_with_csv(self, tmp_path, capsys):
+        assert main(["fig3", "--no-sim", "--points", "3", "--csv-dir", str(tmp_path)]) == 0
+        assert len(list(tmp_path.glob("fig3_*.csv"))) == 4
+        assert "wrote:" in capsys.readouterr().out
+
+    def test_sweep_model_only(self, tmp_path, capsys):
+        csv_path = tmp_path / "sweep.csv"
+        code = main(
+            [
+                "sweep",
+                "--ports",
+                "4",
+                "--heights",
+                "1",
+                "2",
+                "2",
+                "1",
+                "--max-traffic",
+                "1e-3",
+                "--points",
+                "3",
+                "--no-sim",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists()
+        assert "model_latency" in capsys.readouterr().out
+
+    def test_sweep_with_quick_simulation(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--ports",
+                "4",
+                "--heights",
+                "1",
+                "1",
+                "1",
+                "1",
+                "--max-traffic",
+                "4e-4",
+                "--points",
+                "2",
+                "--budget",
+                "quick",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "sim_latency" in output
+
+    def test_sweep_invalid_organisation_reports_error(self, capsys):
+        code = main(
+            [
+                "sweep",
+                "--ports",
+                "4",
+                "--heights",
+                "1",
+                "1",
+                "1",
+                "--max-traffic",
+                "1e-3",
+                "--no-sim",
+            ]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_ablation(self, capsys):
+        assert main(["ablation", "--nodes", "544", "--points", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "equal-size approximation" in output
+        assert "zero-variance" in output
+
+    def test_report_model_only_to_file(self, tmp_path, capsys):
+        target = tmp_path / "EXPERIMENTS.generated.md"
+        assert main(["report", "--no-sim", "--points", "3", "--output", str(target)]) == 0
+        assert target.exists()
+        content = target.read_text()
+        assert "Figure 3" in content and "Figure 4" in content

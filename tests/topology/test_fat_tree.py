@@ -1,0 +1,306 @@
+"""Tests of the m-port n-tree topology (Eq. 1-2 and its structure)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import (
+    ChannelKind,
+    FatTreeNode,
+    FatTreeSwitch,
+    MPortNTree,
+    num_nodes_formula,
+    num_switches_formula,
+)
+from repro.utils import ValidationError
+
+# (m, n) combinations small enough for exhaustive checks but covering the
+# degenerate n=1 case and both paper switch arities.
+SMALL_TREES = [(2, 1), (2, 2), (2, 3), (4, 1), (4, 2), (4, 3), (8, 1), (8, 2), (6, 2)]
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_formula_counts_match_class_counts(m, n):
+    tree = MPortNTree(m, n)
+    assert tree.num_nodes == num_nodes_formula(m, n)
+    assert tree.num_switches == num_switches_formula(m, n)
+
+
+def test_paper_sizes():
+    # The paper's Table 1 building blocks.
+    assert num_nodes_formula(8, 1) == 8
+    assert num_nodes_formula(8, 2) == 32
+    assert num_nodes_formula(8, 3) == 128
+    assert num_nodes_formula(4, 3) == 16
+    assert num_nodes_formula(4, 4) == 32
+    assert num_nodes_formula(4, 5) == 64
+    # Eq. 2 examples.
+    assert num_switches_formula(8, 3) == 5 * 16
+    assert num_switches_formula(4, 5) == 9 * 16
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_switch_level_counts(m, n):
+    tree = MPortNTree(m, n)
+    per_level = [sum(1 for _ in tree.switches_at_level(level)) for level in range(n)]
+    assert per_level == [tree.switches_per_level(level) for level in range(n)]
+    assert sum(per_level) == tree.num_switches
+    # Root level has half as many switches as the other levels (unless n=1).
+    if n > 1:
+        assert per_level[-1] * 2 == per_level[0]
+
+
+class TestValidation:
+    def test_odd_port_count_rejected(self):
+        with pytest.raises(ValidationError):
+            MPortNTree(5, 2)
+
+    def test_zero_levels_rejected(self):
+        with pytest.raises(ValidationError):
+            MPortNTree(4, 0)
+
+    def test_node_index_out_of_range(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValidationError):
+            tree.node_address(tree.num_nodes)
+        with pytest.raises(ValidationError):
+            tree.node_address(-1)
+
+    def test_bad_node_address_rejected(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValidationError):
+            tree.node_index((0,))  # too short
+        with pytest.raises(ValidationError):
+            tree.node_index((4, 0))  # first digit out of range
+        with pytest.raises(ValidationError):
+            tree.node_index((0, 2))  # later digit out of range
+
+    def test_bad_switch_address_rejected(self):
+        tree = MPortNTree(4, 3)
+        with pytest.raises(ValidationError):
+            tree.switch(3, (0, 0))  # level out of range
+        with pytest.raises(ValidationError):
+            tree.switch(0, (0,))  # wrong length
+        with pytest.raises(ValidationError):
+            tree.switch(2, (2, 0))  # root digit out of range
+        # Level-0 switches may use the extended first digit.
+        assert tree.switch(0, (3, 1)) == FatTreeSwitch(0, (3, 1))
+
+    def test_level_out_of_range(self):
+        tree = MPortNTree(4, 2)
+        with pytest.raises(ValidationError):
+            list(tree.switches_at_level(2))
+
+
+class TestAddressing:
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_node_address_round_trip(self, m, n):
+        tree = MPortNTree(m, n)
+        for index in range(tree.num_nodes):
+            assert tree.node_index(tree.node_address(index)) == index
+
+    def test_node_addresses_are_unique_and_valid(self):
+        tree = MPortNTree(4, 3)
+        addresses = {tree.node_address(i) for i in range(tree.num_nodes)}
+        assert len(addresses) == tree.num_nodes
+        for address in addresses:
+            assert 0 <= address[0] < tree.m
+            assert all(0 <= digit < tree.k for digit in address[1:])
+
+    def test_explicit_small_tree_addresses(self):
+        tree = MPortNTree(4, 2)  # k=2, 8 nodes
+        assert tree.node_address(0) == (0, 0)
+        assert tree.node_address(1) == (0, 1)
+        assert tree.node_address(2) == (1, 0)
+        assert tree.node_address(7) == (3, 1)
+
+
+class TestConnectivity:
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_every_node_has_a_leaf_switch_serving_it(self, m, n):
+        tree = MPortNTree(m, n)
+        for node in tree.nodes():
+            leaf = tree.leaf_switch_of(node)
+            assert leaf.level == 0
+            assert node in tree.nodes_of_leaf_switch(leaf)
+            assert tree.is_ancestor(leaf, node)
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_leaf_switches_partition_the_nodes(self, m, n):
+        tree = MPortNTree(m, n)
+        seen = []
+        for leaf in tree.switches_at_level(0):
+            seen.extend(node.index for node in tree.nodes_of_leaf_switch(leaf))
+        assert sorted(seen) == list(range(tree.num_nodes))
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_up_down_consistency(self, m, n):
+        tree = MPortNTree(m, n)
+        for level in range(n - 1):
+            for switch in tree.switches_at_level(level):
+                for upper in tree.up_switches(switch):
+                    assert switch in tree.down_switches(upper)
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_port_budget_respected(self, m, n):
+        tree = MPortNTree(m, n)
+        for switch in tree.switches():
+            if switch.level == 0:
+                down = len(tree.nodes_of_leaf_switch(switch))
+            else:
+                down = len(tree.down_switches(switch))
+            up = len(tree.up_switches(switch))
+            assert down + up <= m
+            if switch.level == tree.root_level:
+                assert up == 0
+                assert down == m or (n == 1 and down == m)
+            else:
+                assert up == m // 2
+                assert down == m // 2
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_channel_count_matches_formula(self, m, n):
+        tree = MPortNTree(m, n)
+        channels = list(tree.channels())
+        assert len(channels) == tree.num_channels
+        assert len(channels) == 2 * tree.num_links
+        assert tree.num_links == n * tree.num_nodes
+
+    def test_channel_kinds(self):
+        tree = MPortNTree(4, 2)
+        kinds = [channel.kind for channel in tree.channels()]
+        assert kinds.count(ChannelKind.INJECTION) == tree.num_nodes
+        assert kinds.count(ChannelKind.EJECTION) == tree.num_nodes
+        assert kinds.count(ChannelKind.UP) == kinds.count(ChannelKind.DOWN)
+
+    def test_channel_reversal(self):
+        tree = MPortNTree(4, 2)
+        for channel in tree.channels():
+            reverse = channel.reversed()
+            assert reverse.source == channel.target
+            assert reverse.target == channel.source
+            assert reverse.reversed() == channel
+
+    def test_node_channel_kind_flag(self):
+        assert ChannelKind.INJECTION.is_node_channel
+        assert ChannelKind.EJECTION.is_node_channel
+        assert not ChannelKind.UP.is_node_channel
+        assert not ChannelKind.DOWN.is_node_channel
+
+    def test_parent_toward_and_child_toward(self):
+        tree = MPortNTree(4, 3)
+        node = tree.node(13)
+        leaf = tree.leaf_switch_of(node)
+        parent = tree.parent_toward(leaf, 1)
+        assert parent.level == 1
+        assert leaf in tree.down_switches(parent)
+        child = tree.child_toward(parent, node)
+        assert child == leaf
+
+    def test_parent_toward_invalid_digit(self):
+        tree = MPortNTree(4, 2)
+        leaf = tree.leaf_switch_of(0)
+        with pytest.raises(ValidationError):
+            tree.parent_toward(leaf, tree.k)
+
+    def test_parent_of_root_rejected(self):
+        tree = MPortNTree(4, 2)
+        root = next(tree.switches_at_level(tree.root_level))
+        with pytest.raises(ValidationError):
+            tree.parent_toward(root, 0)
+
+    def test_child_of_leaf_rejected(self):
+        tree = MPortNTree(4, 2)
+        leaf = tree.leaf_switch_of(0)
+        with pytest.raises(ValidationError):
+            tree.child_toward(leaf, 0)
+
+    def test_nodes_of_non_leaf_switch_rejected(self):
+        tree = MPortNTree(4, 2)
+        root = next(tree.switches_at_level(1))
+        with pytest.raises(ValidationError):
+            tree.nodes_of_leaf_switch(root)
+
+
+class TestDistances:
+    def test_same_node_distance_zero(self):
+        tree = MPortNTree(4, 2)
+        assert tree.nca_distance(3, 3) == 0
+        assert tree.distance(3, 3) == 0
+
+    def test_same_leaf_switch_distance(self):
+        tree = MPortNTree(4, 2)
+        # Nodes 0 and 1 share leaf switch (0,): 2 links apart.
+        assert tree.distance(0, 1) == 2
+
+    def test_cross_tree_distance_is_diameter(self):
+        tree = MPortNTree(4, 3)
+        assert tree.distance(0, tree.num_nodes - 1) == 2 * tree.n
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_distance_symmetry(self, m, n):
+        tree = MPortNTree(m, n)
+        nodes = list(range(0, tree.num_nodes, max(1, tree.num_nodes // 8)))
+        for a in nodes:
+            for b in nodes:
+                assert tree.distance(a, b) == tree.distance(b, a)
+
+    @pytest.mark.parametrize("m,n", SMALL_TREES)
+    def test_distance_range(self, m, n):
+        tree = MPortNTree(m, n)
+        for a in range(min(tree.num_nodes, 16)):
+            for b in range(min(tree.num_nodes, 16)):
+                distance = tree.distance(a, b)
+                if a == b:
+                    assert distance == 0
+                else:
+                    assert 2 <= distance <= 2 * n
+                    assert distance % 2 == 0
+
+    def test_n1_tree_all_pairs_distance_two(self):
+        tree = MPortNTree(8, 1)
+        for a in range(tree.num_nodes):
+            for b in range(tree.num_nodes):
+                if a != b:
+                    assert tree.distance(a, b) == 2
+
+    @given(
+        m=st.sampled_from([2, 4, 6, 8]),
+        n=st.integers(min_value=1, max_value=3),
+        data=st.data(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_nca_is_common_ancestor(self, m, n, data):
+        tree = MPortNTree(m, n)
+        a = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        b = data.draw(st.integers(min_value=0, max_value=tree.num_nodes - 1))
+        j = tree.nca_distance(a, b)
+        if j == 0:
+            assert a == b
+            return
+        # There must exist a level-(j-1) switch that is an ancestor of both
+        # nodes, and no lower-level switch may be a common ancestor.
+        common_levels = [
+            switch.level
+            for switch in tree.switches()
+            if tree.is_ancestor(switch, a) and tree.is_ancestor(switch, b)
+        ]
+        assert min(common_levels) == j - 1
+
+
+class TestDunder:
+    def test_equality_is_structural(self):
+        assert MPortNTree(4, 2) == MPortNTree(4, 2)
+        assert MPortNTree(4, 2) != MPortNTree(4, 3)
+        assert hash(MPortNTree(4, 2)) == hash(MPortNTree(4, 2))
+
+    def test_equality_with_other_types(self):
+        assert MPortNTree(4, 2) != "tree"
+
+    def test_node_and_switch_ordering(self):
+        assert FatTreeNode(1) < FatTreeNode(2)
+        assert FatTreeSwitch(0, (0,)) < FatTreeSwitch(1, (0,))
+
+    def test_shared_tree_cache(self):
+        from repro.topology.fat_tree import shared_tree
+
+        assert shared_tree(4, 2) is shared_tree(4, 2)

@@ -1,0 +1,98 @@
+"""Tests of the networkx exports (structure cross-checks)."""
+
+import networkx as nx
+import pytest
+
+from repro.topology import (
+    MPortNTree,
+    MultiClusterSpec,
+    MultiClusterSystem,
+    multicluster_to_networkx,
+    tree_to_networkx,
+)
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (4, 1), (4, 2), (4, 3), (8, 2)])
+def test_tree_graph_node_and_edge_counts(m, n):
+    tree = MPortNTree(m, n)
+    graph = tree_to_networkx(tree)
+    assert graph.number_of_nodes() == tree.num_nodes + tree.num_switches
+    assert graph.number_of_edges() == tree.num_links
+
+
+@pytest.mark.parametrize("m,n", [(2, 2), (4, 2), (4, 3), (8, 2)])
+def test_tree_graph_is_connected(m, n):
+    tree = MPortNTree(m, n)
+    graph = tree_to_networkx(tree)
+    assert nx.is_connected(graph)
+
+
+def test_tree_graph_shortest_paths_match_nca_distance():
+    tree = MPortNTree(4, 3)
+    graph = tree_to_networkx(tree)
+    label = tree.name
+    # Sample a handful of pairs; shortest path in the graph equals 2*j.
+    pairs = [(0, 1), (0, 5), (0, 15), (3, 12), (8, 9)]
+    for a, b in pairs:
+        expected = tree.distance(a, b)
+        actual = nx.shortest_path_length(graph, (label, "node", a), (label, "node", b))
+        assert actual == expected
+
+
+def test_tree_graph_directed_doubles_edges():
+    tree = MPortNTree(4, 2)
+    graph = tree_to_networkx(tree, directed=True)
+    assert graph.is_directed()
+    assert graph.number_of_edges() == tree.num_channels
+
+
+def test_tree_graph_node_attributes():
+    tree = MPortNTree(4, 2)
+    graph = tree_to_networkx(tree, prefix="t")
+    kinds = nx.get_node_attributes(graph, "kind")
+    assert sum(1 for kind in kinds.values() if kind == "node") == tree.num_nodes
+    assert sum(1 for kind in kinds.values() if kind == "switch") == tree.num_switches
+    levels = {
+        data["level"]
+        for _, data in graph.nodes(data=True)
+        if data["kind"] == "switch"
+    }
+    assert levels == set(range(tree.n))
+
+
+def test_degree_sequence_respects_port_budget():
+    tree = MPortNTree(4, 3)
+    graph = tree_to_networkx(tree)
+    for key, data in graph.nodes(data=True):
+        if data["kind"] == "switch":
+            assert graph.degree(key) <= tree.m
+        else:
+            assert graph.degree(key) == 1
+
+
+class TestMultiClusterGraph:
+    def setup_method(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 1, 1))
+        self.system = MultiClusterSystem(spec)
+
+    def test_graph_is_connected(self):
+        graph = multicluster_to_networkx(self.system)
+        assert nx.is_connected(graph)
+
+    def test_concentrators_are_marked(self):
+        graph = multicluster_to_networkx(self.system)
+        concentrators = [
+            key for key, data in graph.nodes(data=True) if data.get("kind") == "concentrator"
+        ]
+        assert len(concentrators) == self.system.num_clusters
+
+    def test_without_icn1_is_still_connected(self):
+        graph = multicluster_to_networkx(self.system, include_icn1=False)
+        assert nx.is_connected(graph)
+
+    def test_same_host_edges_present_with_icn1(self):
+        graph = multicluster_to_networkx(self.system, include_icn1=True)
+        same_host = [
+            (a, b) for a, b, data in graph.edges(data=True) if data.get("kind") == "same-host"
+        ]
+        assert len(same_host) == self.system.total_nodes

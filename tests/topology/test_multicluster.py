@@ -1,0 +1,168 @@
+"""Tests of the heterogeneous multi-cluster system construction."""
+
+import pytest
+
+from repro.topology import ClusterSpec, MultiClusterSpec, MultiClusterSystem
+from repro.utils import ValidationError
+
+
+def table1_large() -> MultiClusterSpec:
+    """Table 1, first organisation: N=1120, C=32, m=8."""
+    return MultiClusterSpec.from_groups(
+        m=8,
+        groups=[ClusterSpec(n=1, count=12), ClusterSpec(n=2, count=16), ClusterSpec(n=3, count=4)],
+        name="N=1120",
+    )
+
+
+def table1_small() -> MultiClusterSpec:
+    """Table 1, second organisation: N=544, C=16, m=4."""
+    return MultiClusterSpec.from_groups(
+        m=4,
+        groups=[ClusterSpec(n=3, count=8), ClusterSpec(n=4, count=3), ClusterSpec(n=5, count=5)],
+        name="N=544",
+    )
+
+
+class TestClusterSpec:
+    def test_heights_expansion(self):
+        assert ClusterSpec(n=2, count=3).heights() == [2, 2, 2]
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterSpec(n=0, count=1)
+        with pytest.raises(ValidationError):
+            ClusterSpec(n=1, count=0)
+
+
+class TestMultiClusterSpec:
+    def test_table1_large_matches_paper(self):
+        spec = table1_large()
+        assert spec.num_clusters == 32
+        assert spec.total_nodes == 1120
+        assert spec.cluster_sizes[:12] == (8,) * 12
+        assert spec.cluster_sizes[12:28] == (32,) * 16
+        assert spec.cluster_sizes[28:] == (128,) * 4
+        assert spec.icn2_height == 2  # C = 32 = 2 * 4^2
+        assert not spec.is_homogeneous
+
+    def test_table1_small_matches_paper(self):
+        spec = table1_small()
+        assert spec.num_clusters == 16
+        assert spec.total_nodes == 544
+        assert spec.cluster_sizes[:8] == (16,) * 8
+        assert spec.cluster_sizes[8:11] == (32,) * 3
+        assert spec.cluster_sizes[11:] == (64,) * 5
+        assert spec.icn2_height == 3  # C = 16 = 2 * 2^3
+        assert not spec.is_homogeneous
+
+    def test_homogeneous_flag(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(2, 2, 2, 2))
+        assert spec.is_homogeneous
+
+    def test_invalid_cluster_count_rejected(self):
+        # C = 3 cannot be the node count of a 4-port tree.
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=4, cluster_heights=(1, 1, 1))
+        # C = 6 is not 2 * 2^n_c either.
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=4, cluster_heights=(1,) * 6)
+
+    def test_single_cluster_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=4, cluster_heights=(2,))
+
+    def test_empty_heights_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=4, cluster_heights=())
+
+    def test_odd_arity_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=3, cluster_heights=(1, 1))
+
+    def test_bad_height_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiClusterSpec(m=4, cluster_heights=(1, 0, 1, 1))
+
+    def test_cluster_size_bounds_checked(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))
+        with pytest.raises(ValidationError):
+            spec.cluster_size(4)
+
+    def test_describe_mentions_groups(self):
+        description = table1_large().describe()
+        assert "C=32" in description
+        assert "n=1" in description and "n=3" in description
+
+    def test_from_groups_equals_explicit(self):
+        explicit = MultiClusterSpec(m=4, cluster_heights=(2, 2, 3, 3))
+        grouped = MultiClusterSpec.from_groups(
+            m=4, groups=[ClusterSpec(2, 2), ClusterSpec(3, 2)]
+        )
+        assert explicit.cluster_heights == grouped.cluster_heights
+
+
+class TestMultiClusterSystem:
+    def test_small_system_construction(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 2, 1))
+        system = MultiClusterSystem(spec)
+        assert system.num_clusters == 4
+        assert system.total_nodes == 4 + 4 + 8 + 4
+        assert system.cluster_sizes == (4, 4, 8, 4)
+        assert system.icn2.num_nodes == 4
+        assert len(system.concentrators) == 4
+
+    def test_cluster_networks_have_cluster_size(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1))
+        system = MultiClusterSystem(spec)
+        for cluster in system.clusters:
+            assert cluster.icn1.num_nodes == cluster.num_nodes
+            assert cluster.ecn1.num_nodes == cluster.num_nodes
+
+    def test_global_index_round_trip(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 1, 1))
+        system = MultiClusterSystem(spec)
+        seen = set()
+        for cluster_index, node in system.nodes():
+            global_index = system.global_index(cluster_index, node.index)
+            assert system.locate(global_index) == (cluster_index, node.index)
+            seen.add(global_index)
+        assert seen == set(range(system.total_nodes))
+
+    def test_global_index_bounds(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))
+        system = MultiClusterSystem(spec)
+        with pytest.raises(ValidationError):
+            system.global_index(0, 4)
+        with pytest.raises(ValidationError):
+            system.global_index(4, 0)
+        with pytest.raises(ValidationError):
+            system.locate(system.total_nodes)
+
+    def test_cluster_of_and_same_cluster(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 1, 1))
+        system = MultiClusterSystem(spec)
+        assert system.cluster_of(0) == 0
+        assert system.cluster_of(4) == 1
+        assert system.same_cluster(4, 5)
+        assert not system.same_cluster(0, 4)
+
+    def test_concentrators_sit_on_icn2_nodes(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))
+        system = MultiClusterSystem(spec)
+        for concentrator in system.concentrators:
+            assert concentrator.icn2_node.index == concentrator.cluster_index
+            assert system.concentrator(concentrator.cluster_index) is concentrator
+
+    def test_total_switches_adds_all_networks(self):
+        spec = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))
+        system = MultiClusterSystem(spec)
+        expected = sum(c.icn1.num_switches + c.ecn1.num_switches for c in system.clusters)
+        expected += system.icn2.num_switches
+        assert system.total_switches == expected
+
+    def test_table1_systems_build(self):
+        for spec in (table1_large(), table1_small()):
+            system = MultiClusterSystem(spec)
+            assert system.total_nodes == spec.total_nodes
+            assert system.icn2.num_nodes == spec.num_clusters

@@ -1,0 +1,87 @@
+"""Tests of derived topology properties (distances, bisection, counts)."""
+
+import pytest
+
+from repro.topology import (
+    MPortNTree,
+    MultiClusterSpec,
+    MultiClusterSystem,
+    bisection_channels,
+    channel_count,
+    diameter,
+    distance_histogram,
+    link_count,
+    mean_internode_distance,
+)
+from repro.topology.properties import is_full_bisection, multicluster_summary
+from repro.utils import ValidationError
+
+SMALL_TREES = [(2, 1), (2, 2), (4, 1), (4, 2), (4, 3), (8, 1), (8, 2), (6, 2)]
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_link_and_channel_counts(m, n):
+    tree = MPortNTree(m, n)
+    assert link_count(tree) == n * tree.num_nodes
+    assert channel_count(tree) == 2 * link_count(tree)
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_diameter(m, n):
+    tree = MPortNTree(m, n)
+    assert diameter(tree) == 2 * n
+    # The diameter is attained by some pair.
+    exhaustive = distance_histogram(tree, exhaustive=True)
+    assert max(exhaustive) == 2 * n
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_distance_histogram_closed_form_matches_enumeration(m, n):
+    tree = MPortNTree(m, n)
+    assert distance_histogram(tree) == distance_histogram(tree, exhaustive=True)
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_histogram_counts_all_ordered_pairs(m, n):
+    tree = MPortNTree(m, n)
+    total_pairs = sum(distance_histogram(tree).values())
+    assert total_pairs == tree.num_nodes * (tree.num_nodes - 1)
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_mean_distance_matches_enumeration(m, n):
+    tree = MPortNTree(m, n)
+    histogram = distance_histogram(tree, exhaustive=True)
+    total_pairs = sum(histogram.values())
+    brute_force = sum(d * count for d, count in histogram.items()) / total_pairs
+    assert mean_internode_distance(tree) == pytest.approx(brute_force)
+
+
+def test_mean_distance_needs_two_nodes():
+    # Every valid m-port n-tree has at least 2 nodes, so trigger the guard
+    # through a synthetic subclass that pretends to be smaller.
+    tree = MPortNTree(2, 1)
+    assert tree.num_nodes == 2
+    assert mean_internode_distance(tree) == pytest.approx(2.0)
+
+
+@pytest.mark.parametrize("m,n", SMALL_TREES)
+def test_full_bisection_bandwidth(m, n):
+    tree = MPortNTree(m, n)
+    assert bisection_channels(tree) == tree.num_nodes // 2
+    assert is_full_bisection(tree)
+
+
+def test_mean_distance_grows_with_tree_height():
+    assert mean_internode_distance(MPortNTree(4, 3)) > mean_internode_distance(MPortNTree(4, 2))
+
+
+def test_multicluster_summary_fields():
+    spec = MultiClusterSpec(m=4, cluster_heights=(1, 2, 1, 1), name="tiny")
+    system = MultiClusterSystem(spec)
+    summary = multicluster_summary(system)
+    assert summary["name"] == "tiny"
+    assert summary["clusters"] == 4
+    assert summary["total_nodes"] == system.total_nodes
+    assert summary["heterogeneous"] is True
+    assert summary["icn2_height"] == 1

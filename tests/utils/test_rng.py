@@ -1,0 +1,71 @@
+"""Tests of deterministic random-stream management."""
+
+import numpy as np
+import pytest
+
+from repro.utils import RandomStreams, ValidationError, spawn_rng
+
+
+class TestSpawnRng:
+    def test_same_seed_same_stream(self):
+        a = spawn_rng(42).random(10)
+        b = spawn_rng(42).random(10)
+        assert np.array_equal(a, b)
+
+    def test_different_indices_give_different_streams(self):
+        a = spawn_rng(42, index=0).random(10)
+        b = spawn_rng(42, index=1).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_give_different_streams(self):
+        a = spawn_rng(1).random(10)
+        b = spawn_rng(2).random(10)
+        assert not np.array_equal(a, b)
+
+    def test_negative_index_rejected(self):
+        with pytest.raises(ValidationError):
+            spawn_rng(42, index=-1)
+
+
+class TestRandomStreams:
+    def test_same_key_returns_same_generator_object(self):
+        streams = RandomStreams(seed=7)
+        assert streams.get("arrivals", 3) is streams.get("arrivals", 3)
+
+    def test_reproducible_across_instances(self):
+        a = RandomStreams(seed=7).get("arrivals", 3).random(5)
+        b = RandomStreams(seed=7).get("arrivals", 3).random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_keys_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("arrivals", 0).random(100)
+        b = streams.get("destinations", 0).random(100)
+        assert not np.array_equal(a, b)
+
+    def test_different_node_indices_are_independent(self):
+        streams = RandomStreams(seed=7)
+        a = streams.get("arrivals", 0).random(100)
+        b = streams.get("arrivals", 1).random(100)
+        assert not np.array_equal(a, b)
+
+    def test_empty_key_rejected(self):
+        streams = RandomStreams(seed=7)
+        with pytest.raises(ValidationError):
+            streams.get()
+
+    def test_seed_property_and_repr(self):
+        streams = RandomStreams(seed=11)
+        assert streams.seed == 11
+        streams.get("x")
+        assert "seed=11" in repr(streams)
+
+    def test_fresh_returns_generator(self):
+        streams = RandomStreams(seed=3)
+        rng = streams.fresh()
+        assert isinstance(rng, np.random.Generator)
+
+    def test_none_seed_supported(self):
+        streams = RandomStreams(seed=None)
+        values = streams.get("anything").random(3)
+        assert values.shape == (3,)

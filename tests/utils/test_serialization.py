@@ -1,0 +1,75 @@
+"""Tests of JSON serialisation helpers."""
+
+import dataclasses
+from enum import Enum
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.utils import dump_json, load_json, to_jsonable
+
+
+@dataclasses.dataclass
+class _Point:
+    x: float
+    y: float
+
+
+class _Color(Enum):
+    RED = "red"
+
+
+class TestToJsonable:
+    def test_primitives_pass_through(self):
+        for value in [None, True, 3, 2.5, "s"]:
+            assert to_jsonable(value) == value
+
+    def test_numpy_scalars_converted(self):
+        assert to_jsonable(np.int64(3)) == 3
+        assert isinstance(to_jsonable(np.int64(3)), int)
+        assert to_jsonable(np.float64(2.5)) == 2.5
+        assert isinstance(to_jsonable(np.float64(2.5)), float)
+
+    def test_numpy_arrays_become_lists(self):
+        assert to_jsonable(np.array([1, 2, 3])) == [1, 2, 3]
+        assert to_jsonable(np.array([[1.0, 2.0]])) == [[1.0, 2.0]]
+
+    def test_dataclasses_become_dicts(self):
+        assert to_jsonable(_Point(1.0, 2.0)) == {"x": 1.0, "y": 2.0}
+
+    def test_enums_become_values(self):
+        assert to_jsonable(_Color.RED) == "red"
+
+    def test_nested_containers(self):
+        obj = {"points": [_Point(0.0, 1.0)], "tags": ("a", "b"), "n": np.int32(2)}
+        assert to_jsonable(obj) == {"points": [{"x": 0.0, "y": 1.0}], "tags": ["a", "b"], "n": 2}
+
+    def test_paths_become_strings(self):
+        assert to_jsonable(Path("/tmp/x")) == "/tmp/x"
+
+    def test_sets_become_lists(self):
+        assert sorted(to_jsonable({1, 2, 3})) == [1, 2, 3]
+
+    def test_custom_to_jsonable_hook(self):
+        class WithHook:
+            def to_jsonable(self):
+                return {"kind": "custom"}
+
+        assert to_jsonable(WithHook()) == {"kind": "custom"}
+
+    def test_unserialisable_object_raises(self):
+        with pytest.raises(TypeError):
+            to_jsonable(object())
+
+    def test_dict_keys_coerced_to_strings(self):
+        assert to_jsonable({1: "a"}) == {"1": "a"}
+
+
+class TestDumpLoad:
+    def test_round_trip(self, tmp_path):
+        payload = {"config": _Point(1.5, -2.0), "values": np.arange(3)}
+        path = dump_json(payload, tmp_path / "sub" / "result.json")
+        assert path.exists()
+        loaded = load_json(path)
+        assert loaded == {"config": {"x": 1.5, "y": -2.0}, "values": [0, 1, 2]}

@@ -1,0 +1,77 @@
+"""Tests of the table/CSV rendering helpers."""
+
+import pytest
+
+from repro.utils import ResultTable, ValidationError, format_csv, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_basic_rendering(self):
+        text = format_table(["a", "b"], [[1, 2], [3, 4]])
+        lines = text.splitlines()
+        assert lines[0].split("|")[0].strip() == "a"
+        assert len(lines) == 4  # header + separator + 2 rows
+
+    def test_title_is_prepended(self):
+        text = format_table(["x"], [[1]], title="Table 1")
+        assert text.splitlines()[0] == "Table 1"
+
+    def test_floats_are_formatted_with_precision(self):
+        text = format_table(["v"], [[1.23456789]], precision=3)
+        assert "1.23" in text and "1.2345" not in text
+
+    def test_mismatched_row_raises(self):
+        with pytest.raises(ValidationError):
+            format_table(["a", "b"], [[1]])
+
+    def test_columns_are_aligned(self):
+        text = format_table(["name", "v"], [["long-name", 1], ["x", 22]])
+        lines = text.splitlines()
+        # All rows have the separator at the same position.
+        positions = {line.index("|") for line in lines if "|" in line}
+        assert len(positions) == 1
+
+
+class TestFormatCsv:
+    def test_header_and_rows(self):
+        csv_text = format_csv(["a", "b"], [[1, 2]])
+        lines = csv_text.strip().splitlines()
+        assert lines[0] == "a,b"
+        assert lines[1] == "1,2"
+
+    def test_write_csv_creates_parent_dirs(self, tmp_path):
+        target = tmp_path / "nested" / "out.csv"
+        path = write_csv(target, ["a"], [[1], [2]])
+        assert path.exists()
+        assert path.read_text().strip().splitlines() == ["a", "1", "2"]
+
+
+class TestResultTable:
+    def test_add_row_and_column_access(self):
+        table = ResultTable(headers=["traffic", "latency"])
+        table.add_row(0.001, 25.0)
+        table.add_row(0.002, 40.0)
+        assert len(table) == 2
+        assert table.column("latency") == [25.0, 40.0]
+
+    def test_add_row_wrong_arity_raises(self):
+        table = ResultTable(headers=["a", "b"])
+        with pytest.raises(ValidationError):
+            table.add_row(1)
+
+    def test_unknown_column_raises(self):
+        table = ResultTable(headers=["a"])
+        with pytest.raises(ValidationError):
+            table.column("zzz")
+
+    def test_text_and_csv_rendering(self):
+        table = ResultTable(headers=["a"], title="T")
+        table.add_row(1)
+        assert "T" in table.to_text()
+        assert table.to_csv().startswith("a")
+
+    def test_save_csv(self, tmp_path):
+        table = ResultTable(headers=["a"])
+        table.add_row(5)
+        path = table.save_csv(tmp_path / "t.csv")
+        assert path.read_text().strip().splitlines() == ["a", "5"]

@@ -1,0 +1,92 @@
+"""Tests of unit conversions and the LinkTiming container (Eq. 14-15)."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils import (
+    TimeUnit,
+    ValidationError,
+    bandwidth_to_beta,
+    beta_to_bandwidth,
+    bytes_to_flits,
+    flits_to_bytes,
+)
+from repro.utils.units import LinkTiming
+
+
+class TestBandwidthConversions:
+    def test_paper_bandwidth_gives_expected_beta(self):
+        # The paper uses a network bandwidth of 500 bytes per time unit.
+        assert bandwidth_to_beta(500.0) == pytest.approx(0.002)
+
+    def test_round_trip(self):
+        assert beta_to_bandwidth(bandwidth_to_beta(123.0)) == pytest.approx(123.0)
+
+    @pytest.mark.parametrize("bad", [0, -5])
+    def test_rejects_non_positive(self, bad):
+        with pytest.raises(ValidationError):
+            bandwidth_to_beta(bad)
+        with pytest.raises(ValidationError):
+            beta_to_bandwidth(bad)
+
+    @given(st.floats(min_value=1e-6, max_value=1e9))
+    def test_round_trip_property(self, bandwidth):
+        assert beta_to_bandwidth(bandwidth_to_beta(bandwidth)) == pytest.approx(bandwidth)
+
+
+class TestFlitConversions:
+    def test_flits_to_bytes(self):
+        assert flits_to_bytes(32, 256) == 8192
+
+    def test_bytes_to_flits_rounds_up(self):
+        assert bytes_to_flits(8192, 256) == 32
+        assert bytes_to_flits(8193, 256) == 33
+        assert bytes_to_flits(1, 256) == 1
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ValidationError):
+            flits_to_bytes(0, 256)
+        with pytest.raises(ValidationError):
+            bytes_to_flits(10, 0)
+
+    @given(st.integers(min_value=1, max_value=10**6), st.integers(min_value=1, max_value=4096))
+    def test_conversion_inverse_property(self, flits, flit_bytes):
+        # Converting flits -> bytes -> flits always returns the original count.
+        assert bytes_to_flits(flits_to_bytes(flits, flit_bytes), flit_bytes) == flits
+
+
+class TestLinkTiming:
+    def test_paper_values_lm_256(self):
+        timing = LinkTiming(alpha_net=0.02, alpha_sw=0.01, beta_net=0.002, flit_bytes=256)
+        # Eq. 14: t_cn = alpha_net + (Lm/2) * beta_net
+        assert timing.t_cn == pytest.approx(0.02 + 0.5 * 256 * 0.002)
+        # Eq. 15: t_cs = alpha_sw + Lm * beta_net
+        assert timing.t_cs == pytest.approx(0.01 + 256 * 0.002)
+
+    def test_paper_values_lm_512(self):
+        timing = LinkTiming(alpha_net=0.02, alpha_sw=0.01, beta_net=0.002, flit_bytes=512)
+        assert timing.t_cn == pytest.approx(0.532)
+        assert timing.t_cs == pytest.approx(1.034)
+
+    def test_larger_flits_take_longer(self):
+        small = LinkTiming(0.02, 0.01, 0.002, 256)
+        large = LinkTiming(0.02, 0.01, 0.002, 512)
+        assert large.t_cn > small.t_cn
+        assert large.t_cs > small.t_cs
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValidationError):
+            LinkTiming(alpha_net=0.0, alpha_sw=0.01, beta_net=0.002, flit_bytes=256)
+        with pytest.raises(ValidationError):
+            LinkTiming(alpha_net=0.02, alpha_sw=0.01, beta_net=0.002, flit_bytes=0)
+
+    def test_frozen(self):
+        timing = LinkTiming(0.02, 0.01, 0.002, 256)
+        with pytest.raises(AttributeError):
+            timing.alpha_net = 1.0  # type: ignore[misc]
+
+
+def test_time_unit_labels():
+    assert TimeUnit.ABSTRACT.label() == "time-unit"
+    assert TimeUnit.MICROSECONDS.label() == "us"
+    assert TimeUnit.NANOSECONDS.label() == "ns"

@@ -1,0 +1,50 @@
+"""Tests of the arrival processes."""
+
+import numpy as np
+import pytest
+
+from repro.utils import ValidationError
+from repro.workloads import DeterministicArrivals, PoissonArrivals
+
+
+class TestPoissonArrivals:
+    def test_rate_property(self):
+        assert PoissonArrivals(0.01).rate == 0.01
+
+    def test_mean_interarrival_matches_rate(self):
+        process = PoissonArrivals(0.02)
+        rng = np.random.default_rng(0)
+        samples = [process.next_interarrival(rng) for _ in range(20000)]
+        assert np.mean(samples) == pytest.approx(50.0, rel=0.05)
+
+    def test_interarrivals_are_memoryless_like(self):
+        """Coefficient of variation of an exponential distribution is 1."""
+        process = PoissonArrivals(0.1)
+        rng = np.random.default_rng(1)
+        samples = np.array([process.next_interarrival(rng) for _ in range(20000)])
+        assert np.std(samples) / np.mean(samples) == pytest.approx(1.0, abs=0.05)
+
+    def test_reproducible_given_seeded_generator(self):
+        process = PoissonArrivals(0.01)
+        a = [process.next_interarrival(np.random.default_rng(7)) for _ in range(3)]
+        b = [process.next_interarrival(np.random.default_rng(7)) for _ in range(3)]
+        assert a == b
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            PoissonArrivals(0.0)
+
+    def test_describe(self):
+        assert "0.01" in PoissonArrivals(0.01).describe()
+
+
+class TestDeterministicArrivals:
+    def test_constant_interarrival(self):
+        process = DeterministicArrivals(0.25)
+        rng = np.random.default_rng(0)
+        assert process.next_interarrival(rng) == 4.0
+        assert process.next_interarrival(rng) == 4.0
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValidationError):
+            DeterministicArrivals(-1.0)

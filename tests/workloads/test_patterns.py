@@ -1,0 +1,191 @@
+"""Tests of the traffic patterns (destination distributions)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.topology import MultiClusterSpec, MultiClusterSystem
+from repro.utils import ValidationError
+from repro.workloads import (
+    ClusterLocalTraffic,
+    HotspotTraffic,
+    PermutationTraffic,
+    TrafficPattern,
+    UniformTraffic,
+)
+
+
+@pytest.fixture(scope="module")
+def system() -> MultiClusterSystem:
+    return MultiClusterSystem(MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1)))
+
+
+def draw_many(pattern, system, source_cluster, source_node, count=4000, seed=1):
+    rng = np.random.default_rng(seed)
+    samples = []
+    for _ in range(count):
+        sample = pattern.sample_destination(rng, system, source_cluster, source_node)
+        TrafficPattern.validate_sample(system, source_cluster, source_node, sample)
+        samples.append(sample)
+    return samples
+
+
+class TestUniformTraffic:
+    def test_never_returns_the_source(self, system):
+        samples = draw_many(UniformTraffic(), system, 1, 3, count=2000)
+        assert all(not (s.cluster == 1 and s.node == 3) for s in samples)
+
+    def test_all_other_nodes_are_reachable(self, system):
+        samples = draw_many(UniformTraffic(), system, 0, 0, count=6000)
+        seen = {(s.cluster, s.node) for s in samples}
+        expected = {
+            (cluster_index, node.index)
+            for cluster_index, node in system.nodes()
+            if not (cluster_index == 0 and node.index == 0)
+        }
+        assert seen == expected
+
+    def test_cluster_shares_match_cluster_sizes(self, system):
+        samples = draw_many(UniformTraffic(), system, 0, 0, count=12000)
+        counts = np.bincount([s.cluster for s in samples], minlength=4)
+        frequencies = counts / counts.sum()
+        expected = np.array([3, 8, 8, 4]) / 23  # cluster 0 loses the source node
+        assert np.allclose(frequencies, expected, atol=0.02)
+
+    def test_describe(self):
+        assert UniformTraffic().describe() == "uniform"
+
+
+class TestHotspotTraffic:
+    def test_zero_fraction_behaves_like_uniform(self, system):
+        samples = draw_many(HotspotTraffic(hot_cluster=2, fraction=0.0), system, 0, 0)
+        hot_share = sum(1 for s in samples if s.cluster == 2) / len(samples)
+        assert hot_share == pytest.approx(8 / 23, abs=0.03)
+
+    def test_hot_cluster_receives_the_extra_share(self, system):
+        samples = draw_many(HotspotTraffic(hot_cluster=2, fraction=0.5), system, 0, 0)
+        hot_share = sum(1 for s in samples if s.cluster == 2) / len(samples)
+        expected = 0.5 + 0.5 * 8 / 23
+        assert hot_share == pytest.approx(expected, abs=0.03)
+
+    def test_hot_node_mode_targets_single_node(self, system):
+        pattern = HotspotTraffic(hot_cluster=1, fraction=1.0, hot_node=5)
+        samples = draw_many(pattern, system, 0, 0, count=500)
+        assert all(s.cluster == 1 and s.node == 5 for s in samples)
+
+    def test_hot_node_never_sends_to_itself(self, system):
+        pattern = HotspotTraffic(hot_cluster=1, fraction=1.0, hot_node=5)
+        samples = draw_many(pattern, system, 1, 5, count=500)
+        assert all(not (s.cluster == 1 and s.node == 5) for s in samples)
+
+    def test_source_inside_hot_cluster_excluded(self, system):
+        pattern = HotspotTraffic(hot_cluster=1, fraction=1.0)
+        samples = draw_many(pattern, system, 1, 2, count=2000)
+        assert all(s.cluster == 1 for s in samples)
+        assert all(s.node != 2 for s in samples)
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            HotspotTraffic(hot_cluster=0, fraction=1.5)
+
+    def test_invalid_hot_node_rejected(self, system):
+        pattern = HotspotTraffic(hot_cluster=0, fraction=1.0, hot_node=99)
+        rng = np.random.default_rng(0)
+        with pytest.raises(ValidationError):
+            pattern.sample_destination(rng, system, 1, 0)
+
+    def test_describe_mentions_target(self):
+        assert "cluster 2" in HotspotTraffic(2, 0.3).describe()
+        assert "node 7" in HotspotTraffic(2, 0.3, hot_node=7).describe()
+
+
+class TestClusterLocalTraffic:
+    def test_fraction_one_keeps_traffic_inside(self, system):
+        samples = draw_many(ClusterLocalTraffic(1.0), system, 1, 0, count=1000)
+        assert all(s.cluster == 1 for s in samples)
+
+    def test_fraction_zero_sends_everything_outside(self, system):
+        samples = draw_many(ClusterLocalTraffic(0.0), system, 1, 0, count=1000)
+        assert all(s.cluster != 1 for s in samples)
+
+    def test_intermediate_fraction_is_respected(self, system):
+        samples = draw_many(ClusterLocalTraffic(0.7), system, 2, 3, count=8000)
+        local_share = sum(1 for s in samples if s.cluster == 2) / len(samples)
+        assert local_share == pytest.approx(0.7, abs=0.03)
+
+    def test_remote_destinations_cover_other_clusters(self, system):
+        samples = draw_many(ClusterLocalTraffic(0.0), system, 0, 0, count=4000)
+        assert {s.cluster for s in samples} == {1, 2, 3}
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValidationError):
+            ClusterLocalTraffic(-0.2)
+
+    def test_describe(self):
+        assert "0.25" in ClusterLocalTraffic(0.25).describe()
+
+
+class TestPermutationTraffic:
+    def test_mapping_is_a_derangement(self, system):
+        pattern = PermutationTraffic(seed=3)
+        mapping = dict(pattern.mapping(system))
+        assert sorted(mapping.keys()) == list(range(system.total_nodes))
+        assert sorted(mapping.values()) == list(range(system.total_nodes))
+        assert all(source != dest for source, dest in mapping.items())
+
+    def test_samples_follow_the_fixed_mapping(self, system):
+        pattern = PermutationTraffic(seed=3)
+        rng = np.random.default_rng(0)
+        sample_a = pattern.sample_destination(rng, system, 0, 1)
+        sample_b = pattern.sample_destination(rng, system, 0, 1)
+        assert sample_a == sample_b
+        partner = pattern.partner_of(system, system.global_index(0, 1))
+        assert system.locate(partner) == (sample_a.cluster, sample_a.node)
+
+    def test_same_seed_same_permutation(self, system):
+        assert PermutationTraffic(seed=7).mapping(system) == PermutationTraffic(seed=7).mapping(
+            system
+        )
+
+    def test_different_seeds_differ(self, system):
+        assert PermutationTraffic(seed=1).mapping(system) != PermutationTraffic(seed=2).mapping(
+            system
+        )
+
+    def test_describe(self):
+        assert "seed=5" in PermutationTraffic(seed=5).describe()
+
+
+class TestValidateSample:
+    def test_rejects_source_as_destination(self, system):
+        from repro.workloads.base import DestinationSample
+
+        with pytest.raises(ValidationError):
+            TrafficPattern.validate_sample(system, 0, 0, DestinationSample(0, 0))
+
+    def test_rejects_out_of_range_node(self, system):
+        from repro.workloads.base import DestinationSample
+
+        with pytest.raises(ValidationError):
+            TrafficPattern.validate_sample(system, 0, 0, DestinationSample(1, 99))
+
+
+@given(
+    fraction=st.floats(min_value=0.0, max_value=1.0),
+    source=st.tuples(st.integers(0, 3), st.integers(0, 3)),
+)
+@settings(max_examples=25, deadline=None)
+def test_patterns_always_produce_valid_samples(fraction, source):
+    system = MultiClusterSystem(MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1)))
+    rng = np.random.default_rng(0)
+    source_cluster, source_node = source
+    patterns = [
+        UniformTraffic(),
+        HotspotTraffic(hot_cluster=2, fraction=fraction),
+        ClusterLocalTraffic(fraction),
+        PermutationTraffic(seed=0),
+    ]
+    for pattern in patterns:
+        for _ in range(20):
+            sample = pattern.sample_destination(rng, system, source_cluster, source_node)
+            TrafficPattern.validate_sample(system, source_cluster, source_node, sample)
