@@ -42,6 +42,11 @@ def parse_args() -> argparse.Namespace:
     )
     parser.add_argument("--out", type=Path, default=Path("results"))
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan simulation points out over all cores (identical results)",
+    )
     return parser.parse_args()
 
 
@@ -63,6 +68,7 @@ def main() -> None:
             num_points=args.points,
             run_simulation=not args.no_sim,
             simulation_config=config,
+            parallel=args.parallel,
         )
         for table in figure_to_table(result):
             print(table.to_text())

@@ -61,6 +61,23 @@ def main() -> None:
     print(f"zero-load latency : {model.zero_load_latency:.1f} time units")
     print(f"saturation point  : {saturation:.6f} messages/node/time-unit (model)")
     print()
+
+    # ------------------------------------------------- the declarative route
+    # The same comparison as one declarative call through the unified API
+    # (repro.api): scenarios are JSON round-trippable and parallel=True
+    # spreads simulation points over the cores with identical results.
+    from repro import api
+
+    runset = api.run(
+        api.scenario("table1/544", points=3, seed=42),
+        engines=("model", "sim"),
+    )
+    for record in runset.series("sim"):
+        print(
+            f"api: lambda_g={record.lambda_g:g} -> {record.latency:.1f} "
+            f"(seed={record.metadata['seed']})"
+        )
+    print()
     print("Next steps: examples/model_vs_simulation.py reproduces the paper's")
     print("figures; examples/design_space_exploration.py uses the model to size")
     print("a new system; see README.md for the full API tour.")

@@ -12,9 +12,22 @@ The package provides, as importable building blocks:
   flit-level wormhole **simulator** used for validation (:mod:`repro.sim`),
 * **workloads** (:mod:`repro.workloads`) and the **experiment harness**
   (:mod:`repro.experiments`) that regenerates Table 1 and Figures 3-4,
+* the **unified scenario/engine API** (:mod:`repro.api`): declarative
+  :class:`~repro.api.Scenario` objects (JSON round-trippable), pluggable
+  analysis/simulation engines and a parallel :func:`repro.api.run`,
 * a command line, ``repro-multicluster`` (:mod:`repro.cli`).
 
-Quick start::
+Quick start — one declarative call runs the model and the simulator over the
+same scenario (``parallel=True`` spreads simulation points over the cores)::
+
+    from repro import api
+
+    result = api.run(api.scenario("fig3", points=8),
+                     engines=("model", "sim"), parallel=True)
+    for record in result.series("sim"):
+        print(record.lambda_g, record.latency, record.metadata["seed"])
+
+or, at the building-block level::
 
     from repro import MessageSpec, MultiClusterLatencyModel, table1_system
 
@@ -22,6 +35,8 @@ Quick start::
     print(model.mean_latency(2e-4))
 """
 
+from repro import api
+from repro.api import RunRecord, RunSet, Scenario, run, scenario
 from repro.experiments.configs import table1_system
 from repro.model.latency import MultiClusterLatencyModel
 from repro.model.parameters import MessageSpec, ModelParameters, TimingParameters
@@ -29,10 +44,11 @@ from repro.sim.config import SimulationConfig
 from repro.sim.simulator import MultiClusterSimulator
 from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "__version__",
+    "api",
     "ClusterSpec",
     "MessageSpec",
     "ModelParameters",
@@ -40,7 +56,12 @@ __all__ = [
     "MultiClusterSimulator",
     "MultiClusterSpec",
     "MultiClusterSystem",
+    "RunRecord",
+    "RunSet",
+    "Scenario",
     "SimulationConfig",
     "TimingParameters",
+    "run",
+    "scenario",
     "table1_system",
 ]

@@ -2,6 +2,9 @@
 
 Sub-commands mirror the experiment harness:
 
+* ``run``        — evaluate a named or JSON-file scenario under any set of
+  engines through the unified API (:mod:`repro.api`), optionally in
+  parallel; ``run --list`` shows the registered scenario names;
 * ``table1``     — print the Table 1 system organisations;
 * ``fig3`` / ``fig4`` — regenerate the validation figures (analysis and,
   unless ``--no-sim``, simulation), print the series and optionally write
@@ -12,8 +15,8 @@ Sub-commands mirror the experiment harness:
 * ``ablation``   — run the heterogeneity and variance ablations;
 * ``report``     — regenerate the full EXPERIMENTS.md content.
 
-Every command is pure text output (tables / CSV); nothing requires a plotting
-stack.
+Every command is pure text output (tables / CSV / JSON); nothing requires a
+plotting stack.
 """
 
 from __future__ import annotations
@@ -25,8 +28,9 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
+from repro import api
 from repro.experiments.ablation import heterogeneity_ablation, variance_ablation
-from repro.experiments.compare import compare_model_and_simulation
+from repro.experiments.compare import compare_model_and_simulation, compare_runset
 from repro.experiments.configs import FIGURE_SPECS, table1_specs, table1_system
 from repro.experiments.figures import run_figure
 from repro.experiments.report import (
@@ -38,18 +42,21 @@ from repro.experiments.report import (
     sweep_to_table,
     table1_to_table,
 )
-from repro.experiments.sweep import latency_sweep
+from repro.experiments.sweep import latency_sweep, sweep_result_from_runset
 from repro.experiments.table1 import table1_rows
 from repro.model.latency import MultiClusterLatencyModel
 from repro.model.parameters import MessageSpec
 from repro.model.saturation import saturation_point
 from repro.sim.config import SimulationConfig
+from repro.utils.serialization import dump_json
 from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.validation import ValidationError
 
 
 def build_parser() -> argparse.ArgumentParser:
     """The top-level argument parser (exposed for tests and docs)."""
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro-multicluster",
         description=(
@@ -57,7 +64,52 @@ def build_parser() -> argparse.ArgumentParser:
             "heterogeneous multi-cluster systems (ICPP Workshops 2006 reproduction)."
         ),
     )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {__version__}"
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="evaluate a named scenario or a scenario JSON file through repro.api",
+    )
+    run_parser.add_argument(
+        "scenario",
+        nargs="?",
+        default=None,
+        help="registered scenario name (see --list) or path to a scenario .json file",
+    )
+    run_parser.add_argument(
+        "--list", action="store_true", help="list the registered scenario names and exit"
+    )
+    run_parser.add_argument(
+        "--engines",
+        default="model,sim",
+        help="comma-separated engine names (default: model,sim)",
+    )
+    run_parser.add_argument(
+        "--points",
+        type=int,
+        default=8,
+        help="operating points for named scenarios (default 8; ignored for files)",
+    )
+    run_parser.add_argument(
+        "--csv", type=Path, default=None, help="write the result table to CSV"
+    )
+    run_parser.add_argument(
+        "--json", type=Path, default=None, help="write the full run set to JSON"
+    )
+    run_parser.add_argument(
+        "--save-scenario",
+        type=Path,
+        default=None,
+        help="write the resolved scenario itself to a JSON file (replayable via run)",
+    )
+    _add_simulation_options(run_parser, include_no_sim=False)
+    # For `run`, budget/seed default to None sentinels: a scenario loaded
+    # from a JSON file keeps its saved sim config unless a flag is given
+    # explicitly (named scenarios fall back to quick/0).
+    run_parser.set_defaults(budget=None, seed=None)
 
     subparsers.add_parser("table1", help="print the Table 1 system organisations")
 
@@ -120,10 +172,13 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _add_simulation_options(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument(
-        "--no-sim", action="store_true", help="analytical model only (much faster)"
-    )
+def _add_simulation_options(
+    parser: argparse.ArgumentParser, *, include_no_sim: bool = True
+) -> None:
+    if include_no_sim:
+        parser.add_argument(
+            "--no-sim", action="store_true", help="analytical model only (much faster)"
+        )
     parser.add_argument(
         "--budget",
         choices=("quick", "default", "paper"),
@@ -131,14 +186,21 @@ def _add_simulation_options(parser: argparse.ArgumentParser) -> None:
         help="simulation message budget (quick=1.5k, default=10k, paper=100k measured)",
     )
     parser.add_argument("--seed", type=int, default=0, help="simulation random seed")
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan simulation points out over a process pool (identical results)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for --parallel (default: CPU count)",
+    )
 
 
 def _simulation_config(args: argparse.Namespace) -> SimulationConfig:
-    if args.budget == "paper":
-        return SimulationConfig.paper(seed=args.seed)
-    if args.budget == "default":
-        return SimulationConfig(seed=args.seed)
-    return SimulationConfig.quick(seed=args.seed)
+    return api.simulation_budget(args.budget, args.seed)
 
 
 def _message(args: argparse.Namespace) -> MessageSpec:
@@ -148,6 +210,67 @@ def _message(args: argparse.Namespace) -> MessageSpec:
 # --------------------------------------------------------------------------- #
 # Command implementations
 # --------------------------------------------------------------------------- #
+def _resolve_run_scenario(args: argparse.Namespace) -> "api.Scenario":
+    """Name-or-file resolution for the ``run`` subcommand."""
+    target = args.scenario
+    path = Path(target)
+    if target.endswith(".json") or path.exists():
+        if not path.exists():
+            raise ValidationError(f"scenario file not found: {path}")
+        try:
+            scenario = api.Scenario.from_json(path)
+        except (TypeError, ValueError, KeyError) as error:
+            raise ValidationError(f"invalid scenario file {path}: {error}") from error
+        # The file's saved sim config is authoritative; explicit --budget /
+        # --seed flags override it for replays at a different budget.
+        if args.budget is not None:
+            seed = args.seed if args.seed is not None else scenario.sim.seed
+            return scenario.with_sim(api.simulation_budget(args.budget, seed))
+        if args.seed is not None:
+            return scenario.with_seed(args.seed)
+        return scenario
+    return api.scenario(
+        target,
+        points=args.points,
+        budget=args.budget if args.budget is not None else "quick",
+        seed=args.seed if args.seed is not None else 0,
+    )
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.list:
+        print("registered scenarios:")
+        for name in api.scenario_names():
+            print(f"  {name}")
+        return 0
+    if args.scenario is None:
+        raise ValidationError("a scenario name or .json file is required (or --list)")
+    scenario = _resolve_run_scenario(args)
+    engines = tuple(name.strip() for name in args.engines.split(",") if name.strip())
+    if args.save_scenario is not None:
+        path = scenario.to_json(args.save_scenario)
+        print(f"wrote scenario: {path}")
+    runset = api.run(
+        scenario, engines=engines, parallel=args.parallel, max_workers=args.workers
+    )
+    print(runset.describe())
+    print()
+    table = sweep_to_table(sweep_result_from_runset(runset))
+    print(table.to_text())
+    if "model" in runset.engines and "sim" in runset.engines:
+        print()
+        print(agreement_to_text(compare_runset(runset)))
+    print()
+    print(f"engine wall-clock total: {runset.total_wall_clock_seconds():.2f} s")
+    if args.csv is not None:
+        path = table.save_csv(args.csv)
+        print(f"wrote: {path}")
+    if args.json is not None:
+        path = dump_json(runset, args.json)
+        print(f"wrote: {path}")
+    return 0
+
+
 def _cmd_table1(_: argparse.Namespace) -> int:
     print(table1_to_table(table1_rows()).to_text())
     for spec in table1_specs():
@@ -163,6 +286,8 @@ def _cmd_figure(args: argparse.Namespace, figure: str) -> int:
         num_points=args.points,
         run_simulation=not args.no_sim,
         simulation_config=config,
+        parallel=args.parallel,
+        max_workers=args.workers,
     )
     for table in figure_to_table(result):
         print(table.to_text())
@@ -186,6 +311,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         offered,
         run_simulation=not args.no_sim,
         simulation_config=_simulation_config(args),
+        parallel=args.parallel,
+        max_workers=args.workers,
     )
     table = sweep_to_table(sweep)
     print(table.to_text())
@@ -229,12 +356,16 @@ def _cmd_report(args: argparse.Namespace) -> int:
             num_points=args.points,
             run_simulation=not args.no_sim,
             simulation_config=config,
+            parallel=args.parallel,
+            max_workers=args.workers,
         ),
         "Figure 4 (N=544)": run_figure(
             "fig4",
             num_points=args.points,
             run_simulation=not args.no_sim,
             simulation_config=config,
+            parallel=args.parallel,
+            max_workers=args.workers,
         ),
     }
     agreements = {}
@@ -259,6 +390,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(list(argv) if argv is not None else None)
     try:
+        if args.command == "run":
+            return _cmd_run(args)
         if args.command == "table1":
             return _cmd_table1(args)
         if args.command in ("fig3", "fig4"):

@@ -27,10 +27,19 @@ from repro.experiments.configs import (
     table1_specs,
     table1_system,
 )
-from repro.experiments.sweep import OperatingPoint, SweepResult, latency_sweep
-from repro.experiments.figures import FigureResult, run_figure
+from repro.experiments.sweep import (
+    OperatingPoint,
+    SweepResult,
+    latency_sweep,
+    sweep_result_from_runset,
+)
+from repro.experiments.figures import FigureResult, panel_scenario, run_figure
 from repro.experiments.table1 import table1_rows
-from repro.experiments.compare import AgreementReport, compare_model_and_simulation
+from repro.experiments.compare import (
+    AgreementReport,
+    compare_model_and_simulation,
+    compare_runset,
+)
 from repro.experiments.ablation import (
     heterogeneity_ablation,
     traffic_pattern_ablation,
@@ -51,11 +60,14 @@ __all__ = [
     "OperatingPoint",
     "SweepResult",
     "latency_sweep",
+    "sweep_result_from_runset",
     "FigureResult",
+    "panel_scenario",
     "run_figure",
     "table1_rows",
     "AgreementReport",
     "compare_model_and_simulation",
+    "compare_runset",
     "heterogeneity_ablation",
     "traffic_pattern_ablation",
     "variance_ablation",

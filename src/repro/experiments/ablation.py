@@ -19,11 +19,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, Optional, Sequence, Tuple
 
-from repro.model.homogeneous import EqualSizeApproximationModel
-from repro.model.latency import MultiClusterLatencyModel
+from repro import api
 from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
 from repro.sim.config import SimulationConfig
-from repro.sim.simulator import MultiClusterSimulator
 from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.validation import ValidationError
 from repro.workloads.base import TrafficPattern
@@ -70,6 +68,35 @@ class AblationResult:
         return sum(values) / len(values) if values else math.nan
 
 
+def _two_engine_ablation(
+    scenario: api.Scenario,
+    reference_engine: api.Engine,
+    variant_engine: api.Engine,
+    *,
+    name: str,
+    reference_label: str,
+    variant_label: str,
+) -> AblationResult:
+    """Run one scenario under two engines and pair their curves point-wise."""
+    runset = api.run(scenario, engines=(reference_engine, variant_engine))
+    reference = runset.series(reference_engine.name)
+    variant = runset.series(variant_engine.name)
+    points = tuple(
+        AblationPoint(
+            lambda_g=float(lambda_g),
+            reference=reference[index].latency,
+            variant=variant[index].latency,
+        )
+        for index, lambda_g in enumerate(scenario.offered_traffic)
+    )
+    return AblationResult(
+        name=name,
+        reference_label=reference_label,
+        variant_label=variant_label,
+        points=points,
+    )
+
+
 def heterogeneity_ablation(
     spec: MultiClusterSpec,
     message: MessageSpec,
@@ -79,21 +106,21 @@ def heterogeneity_ablation(
 ) -> AblationResult:
     """Exact heterogeneous model vs the equal-cluster-size approximation."""
     _check_traffic(offered_traffic)
-    exact = MultiClusterLatencyModel(spec, message, timing)
-    approximate = EqualSizeApproximationModel(spec, message, timing)
-    points = tuple(
-        AblationPoint(
-            lambda_g=float(value),
-            reference=exact.mean_latency(value),
-            variant=approximate.mean_latency(value),
-        )
-        for value in offered_traffic
+    scenario = api.Scenario(
+        system=spec,
+        message=message,
+        timing=timing,
+        offered_traffic=tuple(float(v) for v in offered_traffic),
     )
-    return AblationResult(
+    variant = api.equal_size_engine()
+    equivalent_height = variant.model_for(scenario).equivalent_height
+    return _two_engine_ablation(
+        scenario,
+        api.AnalyticalEngine(),
+        variant,
         name=f"heterogeneity ({spec.name or spec.total_nodes})",
         reference_label="heterogeneity-aware model",
-        variant_label=f"equal-size approximation (n={approximate.equivalent_height})",
-        points=points,
+        variant_label=f"equal-size approximation (n={equivalent_height})",
     )
 
 
@@ -106,23 +133,19 @@ def variance_ablation(
 ) -> AblationResult:
     """Draper-Ghosh source-queue variance (Eq. 22) vs deterministic service."""
     _check_traffic(offered_traffic)
-    draper = MultiClusterLatencyModel(spec, message, timing)
-    deterministic = MultiClusterLatencyModel(
-        spec, message, timing, variance_approximation="zero"
+    scenario = api.Scenario(
+        system=spec,
+        message=message,
+        timing=timing,
+        offered_traffic=tuple(float(v) for v in offered_traffic),
     )
-    points = tuple(
-        AblationPoint(
-            lambda_g=float(value),
-            reference=draper.mean_latency(value),
-            variant=deterministic.mean_latency(value),
-        )
-        for value in offered_traffic
-    )
-    return AblationResult(
+    return _two_engine_ablation(
+        scenario,
+        api.AnalyticalEngine(),
+        api.AnalyticalEngine(variance_approximation="zero", name="model/zero-variance"),
         name=f"variance approximation ({spec.name or spec.total_nodes})",
         reference_label="Draper-Ghosh variance (Eq. 22)",
         variant_label="zero-variance (M/D/1) source queues",
-        points=points,
     )
 
 
@@ -134,6 +157,7 @@ def traffic_pattern_ablation(
     *,
     timing: TimingParameters = PAPER_TIMING,
     simulation_config: SimulationConfig = SimulationConfig(),
+    parallel: bool = False,
 ) -> Dict[str, AblationResult]:
     """Simulated latency under alternative traffic patterns vs the uniform model.
 
@@ -143,28 +167,36 @@ def traffic_pattern_ablation(
     where the published model stops being a good predictor.
     """
     _check_traffic(offered_traffic)
-    model = MultiClusterLatencyModel(spec, message, timing)
-    reference_curve = [model.mean_latency(value) for value in offered_traffic]
+    scenario = api.Scenario(
+        system=spec,
+        message=message,
+        timing=timing,
+        offered_traffic=tuple(float(v) for v in offered_traffic),
+        sim=simulation_config,
+    )
+    reference_curve = api.run(scenario, engines=(api.AnalyticalEngine(),)).curve("model")
     results: Dict[str, AblationResult] = {}
     for label, pattern in patterns.items():
-        simulator = MultiClusterSimulator(
-            spec, message, timing, config=simulation_config, pattern=pattern
+        runset = api.run(
+            scenario,
+            engines=(api.SimulationEngine(pattern=pattern),),
+            parallel=parallel,
         )
-        points = []
-        for value, reference in zip(offered_traffic, reference_curve):
-            simulated = simulator.run(value)
-            points.append(
-                AblationPoint(
-                    lambda_g=float(value),
-                    reference=reference,
-                    variant=simulated.mean_latency,
-                )
+        points = tuple(
+            AblationPoint(
+                lambda_g=float(value),
+                reference=float(reference),
+                variant=record.latency,
             )
+            for value, reference, record in zip(
+                offered_traffic, reference_curve, runset.series("sim")
+            )
+        )
         results[label] = AblationResult(
             name=f"traffic pattern: {label}",
             reference_label="uniform-traffic analytical model",
             variant_label=f"simulation under {label}",
-            points=tuple(points),
+            points=points,
         )
     return results
 

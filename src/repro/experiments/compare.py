@@ -12,7 +12,8 @@ import math
 from dataclasses import dataclass
 from typing import Tuple
 
-from repro.experiments.sweep import SweepResult
+from repro import api
+from repro.experiments.sweep import SweepResult, sweep_result_from_runset
 from repro.utils.validation import ValidationError
 
 
@@ -94,6 +95,24 @@ def compare_model_and_simulation(
         model_saturation=sweep.model_saturation_point(),
         simulation_blowup=simulation_blowup,
     )
+
+
+def compare_runset(
+    runset: api.RunSet,
+    *,
+    model_engine: str = "model",
+    simulation_engine: str = "sim",
+    blowup_factor: float = 5.0,
+) -> AgreementReport:
+    """Agreement metrics straight from a :class:`repro.api.RunSet`.
+
+    The run set must contain both the analytical and the simulation series
+    (the default engines of :func:`repro.api.run`).
+    """
+    sweep = sweep_result_from_runset(
+        runset, model_engine=model_engine, simulation_engine=simulation_engine
+    )
+    return compare_model_and_simulation(sweep, blowup_factor=blowup_factor)
 
 
 def saturation_shift(report: AgreementReport) -> float:

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
+from repro import api
 from repro.experiments.configs import FigureSpec, figure_panels
-from repro.experiments.sweep import SweepResult, latency_sweep
+from repro.experiments.sweep import SweepResult, sweep_result_from_runset
 from repro.model.parameters import MessageSpec
 from repro.sim.config import SimulationConfig
 from repro.utils.validation import ValidationError
@@ -45,24 +46,41 @@ class FigureResult:
         )
 
 
+def panel_scenario(
+    panel: FigureSpec,
+    message: MessageSpec,
+    *,
+    num_points: Optional[int] = None,
+    simulation_config: SimulationConfig = SimulationConfig(),
+) -> api.Scenario:
+    """The :class:`repro.api.Scenario` of one series of one panel."""
+    return api.Scenario(
+        system=panel.system,
+        message=message,
+        offered_traffic=tuple(float(v) for v in panel.offered_traffic(num_points)),
+        sim=simulation_config,
+        name=f"{panel.figure}/M{message.length_flits}-Lm{message.flit_bytes}",
+    )
+
+
 def run_panel(
     panel: FigureSpec,
     *,
     num_points: Optional[int] = None,
     run_simulation: bool = True,
     simulation_config: SimulationConfig = SimulationConfig(),
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> Dict[Tuple[int, int], SweepResult]:
     """All series of one panel (one sweep per flit size)."""
     sweeps: Dict[Tuple[int, int], SweepResult] = {}
-    offered = panel.offered_traffic(num_points)
+    engines = ("model", "sim") if run_simulation else ("model",)
     for message in panel.message_specs():
-        sweeps[(message.length_flits, message.flit_bytes)] = latency_sweep(
-            panel.system,
-            message,
-            offered,
-            run_simulation=run_simulation,
-            simulation_config=simulation_config,
+        scenario = panel_scenario(
+            panel, message, num_points=num_points, simulation_config=simulation_config
         )
+        runset = api.run(scenario, engines=engines, parallel=parallel, max_workers=max_workers)
+        sweeps[(message.length_flits, message.flit_bytes)] = sweep_result_from_runset(runset)
     return sweeps
 
 
@@ -72,13 +90,16 @@ def run_figure(
     num_points: Optional[int] = None,
     run_simulation: bool = True,
     simulation_config: SimulationConfig = SimulationConfig(),
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> FigureResult:
     """Regenerate ``"fig3"`` (N=1120) or ``"fig4"`` (N=544) as data.
 
     With ``run_simulation=False`` only the analysis curves are produced,
     which takes well under a second; the full analysis-plus-simulation
     reproduction at the paper's message budget is available through
-    ``simulation_config=SimulationConfig.paper()`` and takes minutes.
+    ``simulation_config=SimulationConfig.paper()`` and takes minutes (or
+    ``parallel=True`` to spread the points over the machine's cores).
     """
     sweeps: Dict[Tuple[int, int], SweepResult] = {}
     for panel in figure_panels(figure):
@@ -88,6 +109,8 @@ def run_figure(
                 num_points=num_points,
                 run_simulation=run_simulation,
                 simulation_config=simulation_config,
+                parallel=parallel,
+                max_workers=max_workers,
             )
         )
     return FigureResult(figure=figure, sweeps=sweeps)

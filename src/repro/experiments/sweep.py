@@ -2,9 +2,11 @@
 
 A sweep evaluates the analytical model at every operating point and, unless
 disabled, also runs the wormhole simulator there, producing one
-:class:`OperatingPoint` per offered-traffic value.  The sweep is the shared
-engine behind the figure reproductions, the ablations, the CLI and the
-benchmark harness.
+:class:`OperatingPoint` per offered-traffic value.  Sweeps are executed
+through the unified scenario/engine API (:mod:`repro.api`);
+:func:`latency_sweep` is kept as the established convenience entry point and
+:func:`sweep_result_from_runset` converts any API :class:`~repro.api.RunSet`
+into the :class:`SweepResult` shape the report/figure layers consume.
 """
 
 from __future__ import annotations
@@ -15,10 +17,9 @@ from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.model.latency import MultiClusterLatencyModel
+from repro import api
 from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
 from repro.sim.config import SimulationConfig
-from repro.sim.simulator import MultiClusterSimulator
 from repro.sim.statistics import SimulationResult
 from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.validation import ValidationError
@@ -102,6 +103,44 @@ class SweepResult:
         return f"{self.spec_name}, {self.message.describe()}"
 
 
+def sweep_result_from_runset(
+    runset: api.RunSet,
+    *,
+    model_engine: str = "model",
+    simulation_engine: str = "sim",
+) -> SweepResult:
+    """Convert an API :class:`~repro.api.RunSet` into a :class:`SweepResult`.
+
+    The run set may lack either engine: a missing model series yields ``nan``
+    model latencies, a missing simulation series yields ``simulated=None``
+    points (exactly the shapes the tables and agreement metrics already
+    handle).
+    """
+    engines = runset.engines
+    model_series = (
+        runset.series(model_engine) if model_engine in engines else None
+    )
+    sim_series = (
+        runset.series(simulation_engine) if simulation_engine in engines else None
+    )
+    points = []
+    for index, lambda_g in enumerate(runset.scenario.offered_traffic):
+        model_latency = model_series[index].latency if model_series is not None else math.nan
+        simulated = sim_series[index].simulation if sim_series is not None else None
+        points.append(
+            OperatingPoint(
+                lambda_g=float(lambda_g),
+                model_latency=float(model_latency),
+                simulated=simulated,
+            )
+        )
+    return SweepResult(
+        spec_name=runset.scenario.spec_label,
+        message=runset.scenario.message,
+        points=tuple(points),
+    )
+
+
 def latency_sweep(
     spec: MultiClusterSpec,
     message: MessageSpec,
@@ -112,8 +151,13 @@ def latency_sweep(
     simulation_config: SimulationConfig = SimulationConfig(),
     pattern: Optional[TrafficPattern] = None,
     variance_approximation: str = "draper-ghosh",
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
 ) -> SweepResult:
     """Evaluate model (and optionally simulator) over ``offered_traffic``.
+
+    This is a thin convenience wrapper over the unified API: it builds a
+    :class:`repro.api.Scenario` and dispatches to :func:`repro.api.run`.
 
     Parameters
     ----------
@@ -134,32 +178,22 @@ def latency_sweep(
         analytical curve always uses the paper's uniform-traffic model, so a
         non-uniform pattern here shows how far the published model drifts
         under other workloads.
+    parallel:
+        Fan the simulation points out over a process pool (identical
+        results, lower wall-clock on multi-core machines).
     """
     if len(offered_traffic) == 0:
         raise ValidationError("offered_traffic must contain at least one value")
-    model = MultiClusterLatencyModel(
-        spec, message, timing, variance_approximation=variance_approximation
-    )
-    simulator = None
-    if run_simulation:
-        simulator = MultiClusterSimulator(
-            spec, message, timing, config=simulation_config, pattern=pattern
-        )
-    points = []
-    for lambda_g in offered_traffic:
-        if lambda_g <= 0:
-            raise ValidationError("offered traffic values must be > 0")
-        model_latency = model.mean_latency(lambda_g)
-        simulated = simulator.run(lambda_g) if simulator is not None else None
-        points.append(
-            OperatingPoint(
-                lambda_g=float(lambda_g),
-                model_latency=float(model_latency),
-                simulated=simulated,
-            )
-        )
-    return SweepResult(
-        spec_name=spec.name or f"N={spec.total_nodes}",
+    scenario = api.Scenario(
+        system=spec,
         message=message,
-        points=tuple(points),
+        timing=timing,
+        offered_traffic=tuple(float(value) for value in offered_traffic),
+        sim=simulation_config,
+        variance_approximation=variance_approximation,
     )
+    engines: list = [api.AnalyticalEngine()]
+    if run_simulation:
+        engines.append(api.SimulationEngine(pattern=pattern))
+    runset = api.run(scenario, engines=engines, parallel=parallel, max_workers=max_workers)
+    return sweep_result_from_runset(runset)

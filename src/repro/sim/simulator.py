@@ -106,6 +106,7 @@ class MultiClusterSimulator:
             saturated=state.timed_out,
             wall_clock_seconds=elapsed,
             channel_utilisation=state.channel_utilisation(),
+            seed=run_config.seed,
         )
 
     def latency_curve(

@@ -53,6 +53,10 @@ class SimulationResult:
     #: network name (ICN1/ECN1 pools, "ICN2", "concentrators"); empty when
     #: utilisation accounting was not requested
     channel_utilisation: Dict[str, Tuple[float, float]] = field(default_factory=dict)
+    #: root RNG seed the run was executed with (None when seeded from OS
+    #: entropy); together with the configuration it makes the run reproducible
+    #: from its serialised form
+    seed: Optional[int] = None
 
     def bottleneck(self) -> Optional[str]:
         """Name of the network with the busiest single channel (None if unknown)."""
@@ -73,6 +77,8 @@ class SimulationResult:
             "external_fraction": self.external_fraction,
             "throughput": self.throughput,
             "saturated": self.saturated,
+            "seed": self.seed,
+            "wall_clock_seconds": self.wall_clock_seconds,
         }
 
 
@@ -117,6 +123,7 @@ class StatisticsCollector:
         saturated: bool,
         wall_clock_seconds: float = 0.0,
         channel_utilisation: Optional[Dict[str, Tuple[float, float]]] = None,
+        seed: Optional[int] = None,
     ) -> SimulationResult:
         """Finalise the statistics into a :class:`SimulationResult`."""
         utilisation = channel_utilisation or {}
@@ -136,6 +143,7 @@ class StatisticsCollector:
                 saturated=True,
                 wall_clock_seconds=wall_clock_seconds,
                 channel_utilisation=utilisation,
+                seed=seed,
             )
         clusters = tuple(
             ClusterStatistics(
@@ -165,4 +173,5 @@ class StatisticsCollector:
             saturated=saturated,
             wall_clock_seconds=wall_clock_seconds,
             channel_utilisation=utilisation,
+            seed=seed,
         )

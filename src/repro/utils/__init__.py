@@ -31,6 +31,7 @@ from repro.utils.tables import (
 )
 from repro.utils.serialization import (
     to_jsonable,
+    from_jsonable,
     dump_json,
     load_json,
 )
@@ -56,6 +57,7 @@ __all__ = [
     "write_csv",
     "ResultTable",
     "to_jsonable",
+    "from_jsonable",
     "dump_json",
     "load_json",
 ]

@@ -12,11 +12,24 @@ seed via ``SeedSequence.spawn`` so that
 
 from __future__ import annotations
 
+import zlib
 from typing import Dict, Hashable
 
 import numpy as np
 
 from repro.utils.validation import ValidationError
+
+
+def _stable_key_hash(part: Hashable) -> int:
+    """A process-independent 32-bit hash of one stream-key component.
+
+    Python's built-in ``hash`` is salted per process for strings, which
+    would make "the same seed reproduces the same run" hold only within a
+    single interpreter; stream keys are therefore hashed over their ``repr``
+    instead, so serialized experiment records (scenario + seed) replay bit
+    for bit in any process — including process-pool workers.
+    """
+    return zlib.crc32(repr(part).encode("utf-8"))
 
 
 def spawn_rng(seed: int | None, index: int = 0) -> np.random.Generator:
@@ -62,7 +75,7 @@ class RandomStreams:
         if key not in self._cache:
             material = [self._root.entropy if self._root.entropy is not None else 0]
             for part in key:
-                material.append(abs(hash(part)) % (2**32))
+                material.append(_stable_key_hash(part))
             self._cache[key] = np.random.default_rng(np.random.SeedSequence(material))
         return self._cache[key]
 

@@ -1,15 +1,22 @@
-"""JSON serialisation of experiment results.
+"""JSON serialisation of experiment inputs and results.
 
 Experiment records contain dataclasses, numpy scalars/arrays and nested
 containers; :func:`to_jsonable` flattens them into plain Python structures so
 results can be written to disk and re-loaded for later comparison
 (EXPERIMENTS.md is generated from such records).
+
+:func:`from_jsonable` is the typed inverse for *inputs*: given a target
+dataclass (or container/primitive annotation) it rebuilds the original object
+tree from the plain structures, which is what gives
+:class:`repro.api.Scenario` its JSON round trip.
 """
 
 from __future__ import annotations
 
 import dataclasses
 import json
+import types
+import typing
 from enum import Enum
 from pathlib import Path
 from typing import Any
@@ -40,6 +47,73 @@ def to_jsonable(obj: Any) -> Any:
     if hasattr(obj, "to_jsonable"):
         return to_jsonable(obj.to_jsonable())
     raise TypeError(f"cannot serialise object of type {type(obj).__name__}")
+
+
+def from_jsonable(cls: Any, data: Any) -> Any:
+    """Rebuild an object of type ``cls`` from :func:`to_jsonable` output.
+
+    ``cls`` may be a dataclass, a parametrised container annotation
+    (``Tuple[int, ...]``, ``Dict[str, float]``, ``Optional[...]``/unions), an
+    :class:`~enum.Enum`, :class:`~pathlib.Path` or a JSON primitive type.
+    Dataclass fields are reconstructed recursively from their type hints, so
+    nested frozen dataclasses (the shape of every spec in this package) round
+    trip without any per-class loading code.
+    """
+    if cls is Any or cls is None:
+        return data
+    origin = typing.get_origin(cls)
+    if origin is None:
+        if dataclasses.is_dataclass(cls) and isinstance(cls, type):
+            if not isinstance(data, dict):
+                raise TypeError(
+                    f"expected a mapping to rebuild {cls.__name__}, got {type(data).__name__}"
+                )
+            hints = typing.get_type_hints(cls)
+            kwargs = {}
+            for field in dataclasses.fields(cls):
+                if not field.init or field.name not in data:
+                    continue
+                kwargs[field.name] = from_jsonable(hints[field.name], data[field.name])
+            return cls(**kwargs)
+        if isinstance(cls, type) and issubclass(cls, Enum):
+            return cls(data)
+        if isinstance(cls, type) and issubclass(cls, Path):
+            return Path(data)
+        if cls is float and data is not None:
+            return float(data)
+        if cls in (int, str, bool) and data is not None:
+            return cls(data)
+        if data is None or not isinstance(cls, type) or isinstance(data, cls):
+            return data
+        raise TypeError(f"cannot rebuild objects of type {cls!r}")
+    if origin in (typing.Union, types.UnionType):
+        arms = typing.get_args(cls)
+        if type(None) in arms and data is None:
+            return None
+        last_error: Exception | None = None
+        for arm in arms:
+            if arm is type(None):
+                continue
+            try:
+                return from_jsonable(arm, data)
+            except (TypeError, ValueError, KeyError) as error:
+                last_error = error
+        raise TypeError(f"no union arm of {cls} accepts {data!r}") from last_error
+    if origin is tuple:
+        args = typing.get_args(cls)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(from_jsonable(args[0], item) for item in data)
+        return tuple(from_jsonable(arm, item) for arm, item in zip(args, data))
+    if origin is list:
+        (item_type,) = typing.get_args(cls) or (Any,)
+        return [from_jsonable(item_type, item) for item in data]
+    if origin in (dict, typing.Mapping):
+        key_type, value_type = typing.get_args(cls) or (Any, Any)
+        return {
+            from_jsonable(key_type, key): from_jsonable(value_type, value)
+            for key, value in data.items()
+        }
+    raise TypeError(f"cannot rebuild objects of type {cls!r}")
 
 
 def dump_json(obj: Any, path: str | Path, *, indent: int = 2) -> Path:

@@ -13,11 +13,28 @@ class TestParser:
             for action in parser._subparsers._group_actions  # noqa: SLF001 - argparse introspection
         }
         choices = set(actions["command"].choices)
-        assert {"table1", "fig3", "fig4", "sweep", "saturation", "ablation", "report"} <= choices
+        assert {
+            "run",
+            "table1",
+            "fig3",
+            "fig4",
+            "sweep",
+            "saturation",
+            "ablation",
+            "report",
+        } <= choices
 
     def test_missing_command_errors(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            main(["--version"])
+        assert excinfo.value.code == 0
+        assert __version__ in capsys.readouterr().out
 
 
 class TestCommands:
@@ -119,3 +136,94 @@ class TestCommands:
         assert target.exists()
         content = target.read_text()
         assert "Figure 3" in content and "Figure 4" in content
+
+
+class TestRunCommand:
+    def test_list_scenarios(self, capsys):
+        assert main(["run", "--list"]) == 0
+        output = capsys.readouterr().out
+        for name in ("fig3", "fig4", "table1/1120", "table1/544", "hotspot", "heterogeneous"):
+            assert name in output
+
+    def test_run_requires_a_scenario(self, capsys):
+        assert main(["run"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_unknown_scenario_reports_error(self, capsys):
+        assert main(["run", "no-such-scenario"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_run_malformed_scenario_file_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"bogus": 1}')
+        assert main(["run", str(bad)]) == 2
+        assert "invalid scenario file" in capsys.readouterr().err
+
+    def test_run_named_scenario_model_only(self, capsys):
+        assert main(["run", "heterogeneous", "--engines", "model", "--points", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "model_latency" in output
+        assert "heterogeneous" in output
+
+    def test_run_save_scenario_then_replay_from_file(self, tmp_path, capsys):
+        saved = tmp_path / "scenario.json"
+        assert (
+            main(
+                [
+                    "run",
+                    "heterogeneous",
+                    "--engines",
+                    "model",
+                    "--points",
+                    "2",
+                    "--save-scenario",
+                    str(saved),
+                ]
+            )
+            == 0
+        )
+        assert saved.exists()
+        capsys.readouterr()
+        assert main(["run", str(saved), "--engines", "model"]) == 0
+        assert "model_latency" in capsys.readouterr().out
+
+    def test_run_replay_keeps_the_saved_sim_config(self, tmp_path, capsys):
+        """A replayed scenario file keeps its saved budget/seed unless overridden."""
+        from repro import api
+        from repro.cli import _resolve_run_scenario, build_parser
+
+        saved = tmp_path / "paper.json"
+        api.scenario("heterogeneous", points=2, budget="paper", seed=7).to_json(saved)
+        args = build_parser().parse_args(["run", str(saved)])
+        scenario = _resolve_run_scenario(args)
+        assert scenario.sim.measured_messages == 100_000
+        assert scenario.sim.seed == 7
+        # Explicit flags still override the file for replays.
+        args = build_parser().parse_args(["run", str(saved), "--budget", "quick"])
+        assert _resolve_run_scenario(args).sim.measured_messages == 1_500
+        assert _resolve_run_scenario(args).sim.seed == 7
+        args = build_parser().parse_args(["run", str(saved), "--seed", "11"])
+        replayed = _resolve_run_scenario(args)
+        assert replayed.sim.measured_messages == 100_000
+        assert replayed.sim.seed == 11
+
+    def test_run_with_simulation_writes_outputs(self, tmp_path, capsys):
+        csv_path = tmp_path / "run.csv"
+        json_path = tmp_path / "run.json"
+        code = main(
+            [
+                "run",
+                "heterogeneous",
+                "--points",
+                "2",
+                "--csv",
+                str(csv_path),
+                "--json",
+                str(json_path),
+            ]
+        )
+        assert code == 0
+        assert csv_path.exists() and json_path.exists()
+        output = capsys.readouterr().out
+        assert "sim_latency" in output
+        assert "mean |relative error|" in output

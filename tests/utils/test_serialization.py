@@ -3,17 +3,26 @@
 import dataclasses
 from enum import Enum
 from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
 
 import numpy as np
 import pytest
 
-from repro.utils import dump_json, load_json, to_jsonable
+from repro.utils import dump_json, from_jsonable, load_json, to_jsonable
 
 
 @dataclasses.dataclass
 class _Point:
     x: float
     y: float
+
+
+@dataclasses.dataclass(frozen=True)
+class _Nested:
+    label: str
+    points: Tuple[_Point, ...]
+    weight: Optional[float] = None
+    extras: Dict[str, Any] = dataclasses.field(default_factory=dict)
 
 
 class _Color(Enum):
@@ -64,6 +73,57 @@ class TestToJsonable:
 
     def test_dict_keys_coerced_to_strings(self):
         assert to_jsonable({1: "a"}) == {"1": "a"}
+
+
+class TestFromJsonable:
+    def test_primitives_and_any(self):
+        assert from_jsonable(int, 3) == 3
+        assert from_jsonable(float, 2) == 2.0
+        assert isinstance(from_jsonable(float, 2), float)
+        assert from_jsonable(str, "s") == "s"
+        assert from_jsonable(Any, {"k": 1}) == {"k": 1}
+
+    def test_flat_dataclass(self):
+        assert from_jsonable(_Point, {"x": 1.0, "y": 2.0}) == _Point(1.0, 2.0)
+
+    def test_nested_dataclass_round_trip(self):
+        original = _Nested(
+            label="n",
+            points=(_Point(0.0, 1.0), _Point(2.0, 3.0)),
+            weight=0.5,
+            extras={"note": "hi", "count": 2},
+        )
+        assert from_jsonable(_Nested, to_jsonable(original)) == original
+
+    def test_optional_none_round_trip(self):
+        original = _Nested(label="n", points=())
+        rebuilt = from_jsonable(_Nested, to_jsonable(original))
+        assert rebuilt.weight is None
+
+    def test_variadic_tuple_annotation(self):
+        assert from_jsonable(Tuple[int, ...], [1, 2, 3]) == (1, 2, 3)
+
+    def test_fixed_tuple_annotation(self):
+        assert from_jsonable(Tuple[int, str], [1, "a"]) == (1, "a")
+
+    def test_dict_annotation(self):
+        assert from_jsonable(Dict[str, float], {"a": 1}) == {"a": 1.0}
+
+    def test_enum_and_path(self):
+        assert from_jsonable(_Color, "red") is _Color.RED
+        assert from_jsonable(Path, "/tmp/x") == Path("/tmp/x")
+
+    def test_pep604_union(self):
+        assert from_jsonable(int | None, None) is None
+        assert from_jsonable(int | None, 3) == 3
+
+    def test_non_mapping_for_dataclass_raises(self):
+        with pytest.raises(TypeError):
+            from_jsonable(_Point, [1.0, 2.0])
+
+    def test_unsupported_annotation_raises(self):
+        with pytest.raises(TypeError):
+            from_jsonable(frozenset, [1, 2])  # no origin handler registered
 
 
 class TestDumpLoad:
