@@ -1,0 +1,37 @@
+"""Benchmark: raw throughput of the compiled simulator core.
+
+Runs the fixed ``BENCH_simulator.json`` scenario set (the same measurement
+``repro-multicluster bench`` records as the repo's perf-trajectory artifact)
+and prints the per-scenario messages/second.  The assertions are smoke-level
+only — the harness must execute and deliver every message — so the benchmark
+stays meaningful under the tiny CI budgets.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from benchmarks.conftest import bench_points
+from repro.experiments.bench import BENCH_SCENARIOS, bench_to_text, run_bench
+
+
+def _bench_budget_name() -> str:
+    budget = os.environ.get("REPRO_BENCH_BUDGET", "quick").lower()
+    return budget if budget in ("quick", "default", "paper") else "quick"
+
+
+@pytest.mark.benchmark(group="simulator-core")
+def test_compiled_core_throughput(benchmark):
+    def run():
+        return run_bench(points=bench_points(), budget=_bench_budget_name())
+
+    payload = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(bench_to_text(payload))
+    assert set(payload["scenarios"]) == set(BENCH_SCENARIOS)
+    for name, entry in payload["scenarios"].items():
+        assert entry["messages_per_second"] > 0, name
+        assert entry["measured_messages"] > 0, name
+        assert entry["wall_clock_seconds"] > 0, name

@@ -411,6 +411,16 @@ class AnalyticalEngine:
 class SimulationEngine:
     """The flit-level wormhole simulator (Section 4) as an engine.
 
+    The simulator runs on the compiled network core: constructing it pulls
+    the organisation's dense channel-id space and precompiled route tables
+    from module-level caches (:func:`repro.topology.compile.compile_system`,
+    :func:`repro.routing.compile.compile_system_routes`), so a sweep
+    compiles once and every operating point replays the tables.
+    :meth:`prepare` triggers that compilation eagerly; :func:`run` calls it
+    before fanning points out over a process pool, so forked workers inherit
+    the compiled tables instead of recompiling (and spawn-start workers
+    compile at most once per process thanks to the same caches).
+
     Parameters
     ----------
     pattern:
@@ -451,6 +461,10 @@ class SimulationEngine:
             )
             self._cached_for = scenario
         return self._simulator
+
+    def prepare(self, scenario: Scenario) -> None:
+        """Compile the scenario's network core ahead of evaluation/fan-out."""
+        self.simulator_for(scenario)
 
     def evaluate(self, scenario: Scenario, lambda_g: float) -> RunRecord:
         simulator = self.simulator_for(scenario)
@@ -559,6 +573,14 @@ def run(
             else:
                 results[(engine_index, point_index)] = engine.evaluate(scenario, lambda_g)
     if pool_tasks:
+        # Compile before forking: engines that expose prepare() (the
+        # simulation engine's compiled network core) build their module-level
+        # caches in the parent, so fork-started workers inherit them and
+        # spawn-started workers compile once per process, not once per point.
+        for engine_index in sorted({key[0] for key in pool_tasks}):
+            prepare = getattr(engine_objs[engine_index], "prepare", None)
+            if prepare is not None:
+                prepare(scenario)
         workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
         workers = max(1, min(workers, len(pool_tasks)))
         with ProcessPoolExecutor(max_workers=workers) as executor:

@@ -13,7 +13,10 @@ Sub-commands mirror the experiment harness:
   expressed as ``m`` plus per-cluster tree heights;
 * ``saturation`` — locate the saturation point of an organisation;
 * ``ablation``   — run the heterogeneity and variance ablations;
-* ``report``     — regenerate the full EXPERIMENTS.md content.
+* ``report``     — regenerate the full EXPERIMENTS.md content;
+* ``bench``      — run the fixed simulator benchmark set and write the
+  machine-readable ``BENCH_simulator.json`` perf artifact (optionally
+  comparing against a previous artifact via ``--baseline``).
 
 Every command is pure text output (tables / CSV / JSON); nothing requires a
 plotting stack.
@@ -167,6 +170,43 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument("--points", type=int, default=6)
     report_parser.add_argument(
         "--output", type=Path, default=None, help="write the Markdown report to this file"
+    )
+
+    bench_parser = subparsers.add_parser(
+        "bench",
+        help="run the fixed simulator benchmark set and write BENCH_simulator.json",
+    )
+    bench_parser.add_argument(
+        "--output",
+        type=Path,
+        default=Path("BENCH_simulator.json"),
+        help="where to write the benchmark JSON (default: BENCH_simulator.json)",
+    )
+    bench_parser.add_argument(
+        "--budget",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="simulation message budget per operating point",
+    )
+    bench_parser.add_argument("--seed", type=int, default=0, help="simulation random seed")
+    bench_parser.add_argument(
+        "--points", type=int, default=3, help="operating points per scenario (default 3)"
+    )
+    bench_parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=None,
+        help="previous BENCH_simulator.json to compute speedups against",
+    )
+    bench_parser.add_argument(
+        "--baseline-label",
+        default="baseline",
+        help="label recorded for the --baseline run",
+    )
+    bench_parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="tiny message budget: exercise the harness without timing claims",
     )
 
     return parser
@@ -385,6 +425,31 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.experiments.bench import (
+        attach_baseline,
+        bench_to_text,
+        load_baseline,
+        run_bench,
+        write_bench,
+    )
+
+    baseline = None
+    if args.baseline is not None:
+        if not args.baseline.exists():
+            raise ValidationError(f"baseline file not found: {args.baseline}")
+        baseline = load_baseline(args.baseline)
+    payload = run_bench(
+        points=args.points, budget=args.budget, seed=args.seed, smoke=args.smoke
+    )
+    if baseline is not None:
+        payload = attach_baseline(payload, baseline, label=args.baseline_label)
+    print(bench_to_text(payload))
+    path = write_bench(payload, args.output)
+    print(f"wrote: {path}")
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``repro-multicluster`` console script."""
     parser = build_parser()
@@ -404,6 +469,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_ablation(args)
         if args.command == "report":
             return _cmd_report(args)
+        if args.command == "bench":
+            return _cmd_bench(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)

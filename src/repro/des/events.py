@@ -25,7 +25,13 @@ class Event:
     Events move through three stages: *untriggered* (just created),
     *triggered* (scheduled in the event queue with a value) and *processed*
     (callbacks have run).  ``succeed``/``fail`` trigger the event.
+
+    Events are slotted: a simulation run allocates one event per channel
+    grant and per header-flit timeout, so the per-instance ``__dict__`` is
+    dropped to keep the hot path allocation-light.
     """
+
+    __slots__ = ("env", "callbacks", "_value", "_ok", "_defused")
 
     def __init__(self, env: "Environment") -> None:
         self.env = env
@@ -112,6 +118,8 @@ class Event:
 class Timeout(Event):
     """An event that fires ``delay`` time units after its creation."""
 
+    __slots__ = ("delay",)
+
     def __init__(self, env: "Environment", delay: float, value: Any = None) -> None:
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
@@ -127,6 +135,8 @@ class Timeout(Event):
 
 class Initialize(Event):
     """Internal event used to start a freshly created process."""
+
+    __slots__ = ()
 
     def __init__(self, env: "Environment", process: "Process") -> None:
         super().__init__(env)
@@ -148,6 +158,8 @@ class Process(Event):
     value (or fails with its unhandled exception), so processes can wait for
     each other simply by yielding them.
     """
+
+    __slots__ = ("_generator", "_target")
 
     def __init__(self, env: "Environment", generator: Generator[Event, Any, Any]) -> None:
         if not hasattr(generator, "send") or not hasattr(generator, "throw"):
@@ -229,6 +241,8 @@ class Process(Event):
 class ConditionValue:
     """Ordered mapping of the events that triggered a condition to their values."""
 
+    __slots__ = ("events",)
+
     def __init__(self, events: Iterable[Event]) -> None:
         self.events: List[Event] = list(events)
 
@@ -269,6 +283,8 @@ class ConditionValue:
 class Condition(Event):
     """Base class for composite events (:class:`AllOf` / :class:`AnyOf`)."""
 
+    __slots__ = ("_events", "_count")
+
     def __init__(self, env: "Environment", events: Iterable[Event]) -> None:
         super().__init__(env)
         self._events = list(events)
@@ -302,12 +318,16 @@ class Condition(Event):
 class AllOf(Condition):
     """Succeeds once *all* component events have succeeded."""
 
+    __slots__ = ()
+
     def _evaluate(self, count: int) -> bool:
         return count == len(self._events)
 
 
 class AnyOf(Condition):
     """Succeeds as soon as *any* component event has succeeded."""
+
+    __slots__ = ()
 
     def _evaluate(self, count: int) -> bool:
         return count >= 1

@@ -37,6 +37,8 @@ class Request(Event):
     normally obtain requests through :meth:`Resource.request` and yield them.
     """
 
+    __slots__ = ("resource", "issued_at", "granted_at")
+
     def __init__(self, resource: "Resource") -> None:
         super().__init__(resource.env)
         self.resource = resource
@@ -68,6 +70,8 @@ class Request(Event):
 class PriorityRequest(Request):
     """A :class:`Request` with an explicit priority (smaller = more urgent)."""
 
+    __slots__ = ("priority",)
+
     def __init__(self, resource: "PriorityResource", priority: int = 0) -> None:
         self.priority = priority
         super().__init__(resource)
@@ -79,6 +83,8 @@ class Release(Event):
     Yielding the release event lets a process synchronise on the release being
     processed; it always succeeds immediately.
     """
+
+    __slots__ = ("resource", "request")
 
     def __init__(self, resource: "Resource", request: Request) -> None:
         super().__init__(resource.env)
@@ -221,6 +227,8 @@ class PriorityResource(Resource):
 class StorePut(Event):
     """A pending put into a :class:`Store` (waits while the store is full)."""
 
+    __slots__ = ("item",)
+
     def __init__(self, store: "Store", item: Any) -> None:
         super().__init__(store.env)
         self.item = item
@@ -230,6 +238,8 @@ class StorePut(Event):
 
 class StoreGet(Event):
     """A pending get from a :class:`Store` (waits while the store is empty)."""
+
+    __slots__ = ("filter_fn",)
 
     def __init__(self, store: "Store", filter_fn: Callable[[Any], bool] | None = None) -> None:
         super().__init__(store.env)

@@ -1,0 +1,156 @@
+"""Machine-readable simulator benchmark (the ``BENCH_simulator.json`` artifact).
+
+The ROADMAP's north star is a simulator that runs "as fast as the hardware
+allows"; that is only a meaningful claim if every PR measures it the same
+way.  This module defines that measurement: a small **fixed scenario set**
+(the paper's two Table 1 organisations plus the heterogeneous integration
+system) run sequentially through :class:`repro.api.SimulationEngine` at a
+fixed budget and seed, reporting wall-clock seconds and delivered
+messages/second per scenario.
+
+``repro-multicluster bench`` runs it and writes ``BENCH_simulator.json``;
+passing ``--baseline`` (typically the artifact committed by an earlier PR)
+adds per-scenario speedup ratios.  The JSON schema is intentionally tiny and
+stable so the perf trajectory stays machine-readable across PRs::
+
+    {
+      "schema": 1,
+      "budget": "quick", "points": 3, "seed": 0,
+      "scenarios": {"fig3": {"wall_clock_seconds": ..,
+                             "messages_per_second": .., ...}, ...},
+      "baseline": {"label": .., "scenarios": {...}},   # when compared
+      "speedup": {"fig3": 2.2, ...}                    # when compared
+    }
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterable
+
+from repro import api
+from repro.utils.serialization import dump_json, load_json
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "BENCH_SCENARIOS",
+    "run_bench",
+    "attach_baseline",
+    "write_bench",
+]
+
+#: The fixed scenario set every PR benchmarks (order is report order).
+BENCH_SCENARIOS = ("fig3", "fig4", "heterogeneous")
+
+#: Default operating-point count per scenario.
+BENCH_POINTS = 3
+
+
+def run_bench(
+    scenarios: Iterable[str] = BENCH_SCENARIOS,
+    *,
+    points: int = BENCH_POINTS,
+    budget: str = "quick",
+    seed: int = 0,
+    smoke: bool = False,
+) -> Dict[str, Any]:
+    """Run the benchmark scenario set and return the JSON payload.
+
+    ``smoke=True`` shrinks the budget to a few hundred messages — enough to
+    execute every code path (CI keeps the harness from rotting) while making
+    no timing claims; smoke payloads are marked so they are never mistaken
+    for a trajectory point.
+    """
+    sim = api.simulation_budget(budget, seed)
+    if smoke:
+        sim = sim.scaled(200 / sim.measured_messages)
+    payload: Dict[str, Any] = {
+        "schema": 1,
+        "generated_unix": int(time.time()),
+        "budget": budget,
+        "points": int(points),
+        "seed": int(seed),
+        "smoke": bool(smoke),
+        "scenarios": {},
+    }
+    for name in scenarios:
+        scenario = api.scenario(name, points=points, sim=sim)
+        setup_started = time.perf_counter()
+        engine = api.SimulationEngine()
+        engine.simulator_for(scenario)  # compile outside the timed region
+        setup_seconds = time.perf_counter() - setup_started
+        wall = 0.0
+        measured = 0
+        for lambda_g in scenario.offered_traffic:
+            record = engine.evaluate(scenario, lambda_g)
+            result = record.simulation
+            wall += result.wall_clock_seconds
+            measured += result.measured_messages
+        if wall <= 0:
+            raise ValidationError(
+                f"benchmark scenario {name!r} reported no wall-clock time"
+            )  # pragma: no cover - perf_counter is monotonic
+        payload["scenarios"][name] = {
+            "points": int(points),
+            "measured_messages": measured,
+            "wall_clock_seconds": round(wall, 4),
+            "messages_per_second": round(measured / wall, 1),
+            "setup_seconds": round(setup_seconds, 4),
+        }
+    return payload
+
+
+def attach_baseline(
+    payload: Dict[str, Any],
+    baseline: Dict[str, Any],
+    *,
+    label: str = "baseline",
+) -> Dict[str, Any]:
+    """Merge a previous run into ``payload`` and compute speedup ratios."""
+    baseline_scenarios = baseline.get("scenarios", baseline)
+    payload["baseline"] = {"label": label, "scenarios": baseline_scenarios}
+    speedup: Dict[str, float] = {}
+    for name, current in payload["scenarios"].items():
+        reference = baseline_scenarios.get(name)
+        if not reference:
+            continue
+        before = reference.get("messages_per_second")
+        if before:
+            speedup[name] = round(current["messages_per_second"] / before, 2)
+    payload["speedup"] = speedup
+    return payload
+
+
+def write_bench(payload: Dict[str, Any], path: str | Path) -> Path:
+    """Write the payload as JSON and return the path."""
+    return dump_json(payload, path)
+
+
+def load_baseline(path: str | Path) -> Dict[str, Any]:
+    """Load a baseline payload written by :func:`write_bench`."""
+    data = load_json(path)
+    if not isinstance(data, dict):
+        raise ValidationError(f"baseline file {path} does not hold a JSON object")
+    return data
+
+
+def bench_to_text(payload: Dict[str, Any]) -> str:
+    """Human-readable summary of a benchmark payload."""
+    lines = []
+    tag = " (smoke: no timing claims)" if payload.get("smoke") else ""
+    lines.append(
+        f"simulator benchmark — budget={payload['budget']}, "
+        f"points={payload['points']}, seed={payload['seed']}{tag}"
+    )
+    speedup = payload.get("speedup", {})
+    for name, entry in payload["scenarios"].items():
+        line = (
+            f"  {name:<14} {entry['measured_messages']:>6} msgs  "
+            f"{entry['wall_clock_seconds']:>8.3f} s  "
+            f"{entry['messages_per_second']:>9.1f} msg/s"
+        )
+        if name in speedup:
+            line += f"  ({speedup[name]:.2f}x vs {payload['baseline']['label']})"
+        lines.append(line)
+    return "\n".join(lines)

@@ -18,7 +18,10 @@ Modules
   channel-by-channel routes (full routes, ascending-only and descending-only
   legs for the concentrator/dispatcher journeys);
 * :mod:`repro.routing.table` — precomputed routing tables plus traffic-load
-  accounting used to verify the balanced-traffic claim.
+  accounting used to verify the balanced-traffic claim;
+* :mod:`repro.routing.compile` — the same deterministic routes frozen into
+  integer-indexed tables over the compiled channel-id space (what the
+  wormhole simulator's hot path consumes).
 """
 
 from repro.routing.nca import (
@@ -29,6 +32,12 @@ from repro.routing.nca import (
 )
 from repro.routing.updown import Route, UpDownRouter
 from repro.routing.table import RoutingTable, channel_load_histogram
+from repro.routing.compile import (
+    CompiledSystemRoutes,
+    CompiledTreeRoutes,
+    compile_system_routes,
+    compile_tree_routes,
+)
 
 __all__ = [
     "ascent_digits",
@@ -39,4 +48,8 @@ __all__ = [
     "UpDownRouter",
     "RoutingTable",
     "channel_load_histogram",
+    "CompiledSystemRoutes",
+    "CompiledTreeRoutes",
+    "compile_system_routes",
+    "compile_tree_routes",
 ]

@@ -1,0 +1,228 @@
+"""Precompiled integer route tables for the wormhole hot path.
+
+:class:`~repro.routing.updown.UpDownRouter` is the routing source of truth:
+it produces explicit, validated :class:`Channel` sequences, and the
+analytical model's stage accounting is checked against it.  But rebuilding
+that object chain for every simulated message is the single largest cost of
+a simulation run.  This module walks the router **once per tree shape** and
+freezes its output into integer-indexed route tables:
+
+* :class:`CompiledTreeRoutes` — for one ``(m, n)`` shape: the full
+  node-to-node routes plus the ascending and descending ECN1 legs, each as a
+  tuple of dense channel ids (ids from
+  :func:`repro.topology.compile.compile_tree`).  Shape tables are cached at
+  module level: every same-shape cluster of every spec shares them, across
+  sweep points and across process-pool workers.
+* :class:`CompiledSystemRoutes` — for one :class:`MultiClusterSpec`: the
+  shape tables rebased into the global channel-id space of
+  :func:`repro.topology.compile.compile_system`, plus the concentrator and
+  dispatcher pseudo-channel slots.  Building a journey becomes tuple
+  concatenation of precomputed id tuples — no per-message ``Route``,
+  ``Channel`` or address arithmetic survives on the hot path.
+
+Every compiled route round-trips: ``decompile(...)`` maps a compiled id
+tuple back to the exact ``Channel`` sequence, and the test suite asserts
+equality with a freshly routed :class:`Route` for heterogeneous specs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.routing.updown import UpDownRouter
+from repro.topology.compile import CompiledSystem, compile_system, compile_tree
+from repro.topology.fat_tree import Channel, shared_tree
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "CompiledTreeRoutes",
+    "CompiledSystemRoutes",
+    "compile_tree_routes",
+    "compile_system_routes",
+    "decompile",
+    "clear_route_caches",
+]
+
+IdTuple = Tuple[int, ...]
+
+
+class CompiledTreeRoutes:
+    """All deterministic routes of one tree shape as dense-id tuples.
+
+    Tables are flat lists indexed by ``source * num_nodes + other`` (the
+    diagonal entries are ``None`` — a message to oneself never routes):
+
+    * ``full[s * N + d]`` — the 2j-link route from node ``s`` to node ``d``;
+    * ``full_has_switch[...]`` — True when that route crosses at least one
+      switch-switch channel (it always crosses node channels), which is all
+      the simulator needs to find the slowest hop of an intra-cluster
+      journey;
+    * ``ascending[s * N + p]`` — the ECN1 ascending leg from ``s`` towards
+      exit peer ``p`` (injection + up channels);
+    * ``descending[p * N + d]`` — the ECN1 descending leg entered at the NCA
+      of entry peer ``p`` and ``d`` (down + ejection channels).
+    """
+
+    __slots__ = ("m", "n", "num_nodes", "full", "full_has_switch", "ascending", "descending")
+
+    def __init__(self, m: int, n: int) -> None:
+        self.m = int(m)
+        self.n = int(n)
+        tree = shared_tree(m, n)
+        compiled = compile_tree(m, n)
+        router = UpDownRouter(tree)
+        ids = compiled.channel_ids
+        num_nodes = tree.num_nodes
+        self.num_nodes = num_nodes
+
+        full: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
+        has_switch: List[bool] = [False] * (num_nodes * num_nodes)
+        ascending: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
+        descending: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
+        for source in range(num_nodes):
+            base = source * num_nodes
+            for other in range(num_nodes):
+                if other == source:
+                    continue
+                route = router.route(source, other)
+                full[base + other] = tuple(ids[channel] for channel in route)
+                has_switch[base + other] = any(
+                    not channel.kind.is_node_channel for channel in route
+                )
+                ascending[base + other] = tuple(
+                    ids[channel] for channel in router.ascending_leg(source, other)
+                )
+                # descending is keyed (entry peer, destination) = (source,
+                # other) here: the leg from the NCA of `source` and `other`
+                # down to `other`.
+                descending[base + other] = tuple(
+                    ids[channel] for channel in router.descending_leg(source, other)
+                )
+        self.full = full
+        self.full_has_switch = has_switch
+        self.ascending = ascending
+        self.descending = descending
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledTreeRoutes(m={self.m}, n={self.n}, nodes={self.num_nodes})"
+
+
+_TREE_ROUTES: Dict[Tuple[int, int], CompiledTreeRoutes] = {}
+
+
+def compile_tree_routes(m: int, n: int) -> CompiledTreeRoutes:
+    """The (cached) route tables of the ``(m, n)`` tree shape."""
+    key = (int(m), int(n))
+    routes = _TREE_ROUTES.get(key)
+    if routes is None:
+        routes = _TREE_ROUTES[key] = CompiledTreeRoutes(m, n)
+    return routes
+
+
+def _rebase(table: List[IdTuple | None], offset: int) -> List[IdTuple | None]:
+    """A shape-local id table shifted into a global channel-id block."""
+    if offset == 0:
+        return table
+    return [
+        None if entry is None else tuple(cid + offset for cid in entry)
+        for entry in table
+    ]
+
+
+class CompiledSystemRoutes:
+    """Global-id route tables for every journey of one multi-cluster spec.
+
+    Attributes (all indexed with local node indices; ``N_c`` is the node
+    count of cluster ``c``):
+
+    * ``intra[c][s * N_c + d]`` — ICN1 route ids of cluster ``c``;
+    * ``intra_has_switch[c][...]`` — slowest-hop flag for those routes;
+    * ``ascend[c][s * N_c + p]`` — ECN1 ascending-leg ids of cluster ``c``;
+    * ``descend[c][p * N_c + d]`` — ECN1 descending-leg ids of cluster ``c``;
+    * ``icn2[sc * C + dc]`` — ICN2 route ids between two concentrators;
+    * ``concentrator[c]`` / ``dispatcher[c]`` — relay pseudo-channel slots.
+    """
+
+    __slots__ = (
+        "core",
+        "intra",
+        "intra_has_switch",
+        "ascend",
+        "descend",
+        "icn2",
+        "concentrator",
+        "dispatcher",
+    )
+
+    def __init__(self, core: CompiledSystem) -> None:
+        self.core = core
+        spec = core.spec
+        intra: List[List[IdTuple | None]] = []
+        intra_has_switch: List[List[bool]] = []
+        ascend: List[List[IdTuple | None]] = []
+        descend: List[List[IdTuple | None]] = []
+        for index, height in enumerate(spec.cluster_heights):
+            shape = compile_tree_routes(spec.m, height)
+            intra.append(_rebase(shape.full, core.icn1_offsets[index]))
+            intra_has_switch.append(shape.full_has_switch)
+            ascend.append(_rebase(shape.ascending, core.ecn1_offsets[index]))
+            descend.append(_rebase(shape.descending, core.ecn1_offsets[index]))
+        icn2_shape = compile_tree_routes(spec.m, spec.icn2_height)
+        self.intra = intra
+        self.intra_has_switch = intra_has_switch
+        self.ascend = ascend
+        self.descend = descend
+        self.icn2 = _rebase(icn2_shape.full, core.icn2_offset)
+        self.concentrator = tuple(
+            core.concentrator_slot(index) for index in range(spec.num_clusters)
+        )
+        self.dispatcher = tuple(
+            core.dispatcher_slot(index) for index in range(spec.num_clusters)
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledSystemRoutes({self.core!r})"
+
+
+_SYSTEM_ROUTES: Dict[MultiClusterSpec, CompiledSystemRoutes] = {}
+
+#: Rebased system tables are the largest compiled artifact (O(sum N_i^2)
+#: tuples per spec); bound the cache so sweeps over many organisations
+#: cannot pin unbounded memory for the process lifetime.
+_SYSTEM_ROUTE_CACHE_LIMIT = 64
+
+
+def compile_system_routes(spec: MultiClusterSpec) -> CompiledSystemRoutes:
+    """The (cached) global-id route tables of ``spec``.
+
+    Cached per frozen spec alongside :func:`compile_system`, so repeated
+    sweep points, engines and pool workers pay the compilation once per
+    process.
+    """
+    routes = _SYSTEM_ROUTES.get(spec)
+    if routes is None:
+        if len(_SYSTEM_ROUTES) >= _SYSTEM_ROUTE_CACHE_LIMIT:
+            _SYSTEM_ROUTES.clear()
+        routes = _SYSTEM_ROUTES[spec] = CompiledSystemRoutes(compile_system(spec))
+    return routes
+
+
+def decompile(m: int, n: int, ids: IdTuple) -> Tuple[Channel, ...]:
+    """Map shape-local channel ids back to their :class:`Channel` objects."""
+    compiled = compile_tree(m, n)
+    return tuple(compiled.channel_at(cid) for cid in ids)
+
+
+def route_table_size(m: int, n: int) -> int:
+    """Number of ordered node pairs a shape table holds (diagnostic aid)."""
+    num_nodes = shared_tree(m, n).num_nodes
+    if num_nodes < 2:
+        raise ValidationError("route tables need at least two nodes")
+    return num_nodes * (num_nodes - 1)
+
+
+def clear_route_caches() -> None:
+    """Drop all compiled route tables (test isolation hook)."""
+    _TREE_ROUTES.clear()
+    _SYSTEM_ROUTES.clear()

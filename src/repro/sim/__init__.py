@@ -22,7 +22,7 @@ realisation of the ECN1 exit points).
 
 from repro.sim.config import SimulationConfig
 from repro.sim.message import Message, MessagePhase
-from repro.sim.network import ChannelPool
+from repro.sim.network import ChannelGrant, ChannelPool, FlatChannels
 from repro.sim.statistics import ClusterStatistics, SimulationResult, StatisticsCollector
 from repro.sim.simulator import MultiClusterSimulator
 
@@ -30,7 +30,9 @@ __all__ = [
     "SimulationConfig",
     "Message",
     "MessagePhase",
+    "ChannelGrant",
     "ChannelPool",
+    "FlatChannels",
     "ClusterStatistics",
     "SimulationResult",
     "StatisticsCollector",

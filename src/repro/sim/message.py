@@ -17,13 +17,15 @@ class MessagePhase(str, Enum):
     DELIVERED = "delivered"    # tail flit reached the destination node
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
     """One wormhole message and its timing record.
 
     Times are simulation timestamps; ``None`` until the event happens.
     ``measured`` marks messages inside the measurement window (not warm-up,
-    not drain).
+    not drain).  The dataclass is slotted: a paper-budget run allocates over
+    a hundred thousand messages, and dropping the per-instance ``__dict__``
+    keeps them cheap to create and collect.
     """
 
     index: int

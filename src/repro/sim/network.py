@@ -1,18 +1,29 @@
-"""Channel resources of the simulated networks.
+"""Channel state of the simulated networks.
 
-Every directed channel of every network is a capacity-1 FIFO resource
-(assumption 4: input-buffered switches with a single flit buffer per
-channel).  Resources are created lazily — a 1120-node system has tens of
-thousands of channels but a short run touches only a fraction of them — and
-kept in a pool keyed by ``(network name, channel)`` so that the statistics
-code can inspect utilisation per network.
+Every directed channel of every network is a capacity-1 FIFO contention
+point (assumption 4: input-buffered switches with a single flit buffer per
+channel).  Two equivalent representations live here:
+
+* :class:`ChannelPool` — the object-graph reference implementation: lazily
+  created :class:`~repro.des.Resource` objects keyed by :class:`Channel`.
+  It remains the readable specification of the channel semantics and the
+  backend of the journey-construction helpers in :mod:`repro.sim.wormhole`.
+* :class:`FlatChannels` — the compiled hot path: one flat array of held /
+  queued / accounting state addressed by the dense integer channel ids of
+  :mod:`repro.topology.compile`.  Acquisition and release follow exactly
+  the ``Resource`` FIFO protocol (grant immediately when free, FIFO wake on
+  release, busy time accumulated on release only) so a compiled run is
+  event-for-event identical to an object-path run — it just stops paying a
+  dataclass hash and a ``Resource``/``Request`` allocation per hop.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, Tuple
+from collections import deque
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.des import Environment, Resource
+from repro.des.events import Event
 from repro.topology.fat_tree import Channel, ChannelKind
 from repro.utils.units import LinkTiming
 
@@ -78,3 +89,103 @@ class ChannelPool:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"ChannelPool({self.name!r}, touched={self.touched_channels})"
+
+
+class ChannelGrant(Event):
+    """The slotted event a :class:`FlatChannels` acquisition resolves to.
+
+    Mirrors :class:`~repro.des.resources.Request` in scheduling behaviour
+    (triggered immediately when the channel is free, woken FIFO otherwise)
+    without the per-request bookkeeping attributes the compiled path keeps
+    in flat arrays instead.
+    """
+
+    __slots__ = ()
+
+
+class FlatChannels:
+    """Array-backed capacity-1 FIFO channels addressed by dense slot id.
+
+    One instance covers *every* contention point of a compiled system —
+    all tree channels plus the concentrator/dispatcher pseudo-channels —
+    so the wormhole hot path is integer indexing into five flat arrays.
+
+    The protocol matches :class:`~repro.des.Resource` with capacity 1:
+
+    * :meth:`acquire` returns an event; it is already triggered (scheduled
+      at the current time) when the slot was free, and is parked in the
+      slot's FIFO queue otherwise;
+    * :meth:`release` accumulates the held time into ``busy_time`` and
+      wakes the queue head, granting at the release timestamp — the same
+      event push the object path performs inside ``Request.cancel``.
+    """
+
+    __slots__ = ("env", "num_slots", "holder", "granted_at", "busy_time", "total_grants", "queues")
+
+    def __init__(self, env: Environment, num_slots: int) -> None:
+        self.env = env
+        self.num_slots = num_slots
+        #: grant currently holding each slot (None when free)
+        self.holder: List[Optional[ChannelGrant]] = [None] * num_slots
+        #: timestamp the current holder acquired the slot
+        self.granted_at: List[float] = [0.0] * num_slots
+        #: accumulated held time (updated on release, like ``Resource``)
+        self.busy_time: List[float] = [0.0] * num_slots
+        #: total grants per slot (relay-utilisation filter, diagnostics)
+        self.total_grants: List[int] = [0] * num_slots
+        #: FIFO wait queues, created lazily on first contention
+        self.queues: List[Optional[deque]] = [None] * num_slots
+
+    def acquire(self, slot: int) -> ChannelGrant:
+        """Claim ``slot``; the returned event fires once the claim holds."""
+        grant = ChannelGrant(self.env)
+        if self.holder[slot] is None:
+            self.holder[slot] = grant
+            self.granted_at[slot] = self.env.now
+            self.total_grants[slot] += 1
+            grant._ok = True
+            grant._value = None
+            self.env.schedule(grant)
+        else:
+            queue = self.queues[slot]
+            if queue is None:
+                queue = self.queues[slot] = deque()
+            queue.append(grant)
+        return grant
+
+    def release(self, slot: int, grant: ChannelGrant) -> None:
+        """Release ``slot`` if ``grant`` holds it; withdraw it otherwise."""
+        if self.holder[slot] is grant:
+            now = self.env.now
+            self.busy_time[slot] += now - self.granted_at[slot]
+            queue = self.queues[slot]
+            if queue:
+                successor = queue.popleft()
+                self.holder[slot] = successor
+                self.granted_at[slot] = now
+                self.total_grants[slot] += 1
+                successor._ok = True
+                successor._value = None
+                self.env.schedule(successor)
+            else:
+                self.holder[slot] = None
+        else:
+            queue = self.queues[slot]
+            if queue is not None:
+                try:
+                    queue.remove(grant)
+                except ValueError:
+                    # Withdrawing twice is a no-op, as for ``Request.cancel``.
+                    pass
+
+    # ------------------------------------------------------------ diagnostics
+    def busy_slots(self) -> int:
+        """Number of slots currently held (diagnostic aid)."""
+        return sum(1 for holder in self.holder if holder is not None)
+
+    def queued_requests(self) -> int:
+        """Number of grants currently waiting across all slots."""
+        return sum(len(queue) for queue in self.queues if queue)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"FlatChannels(slots={self.num_slots}, busy={self.busy_slots()})"

@@ -11,6 +11,19 @@ traffic sweep therefore needs nothing more than::
 
 Each run builds a fresh discrete-event environment, so runs are independent
 and reproducible from their seed.
+
+Since the compiled-core refactor the simulator executes on the flat-array
+hot path: the constructor pulls the (module-cached) compiled channel-id
+space of the organisation (:func:`repro.topology.compile.compile_system`)
+and its precompiled route tables
+(:func:`repro.routing.compile.compile_system_routes`), and every message
+process is a :func:`~repro.sim.wormhole.compiled_transfer` acquiring
+channels by dense integer id against :class:`~repro.sim.network.FlatChannels`
+state.  The event sequence is identical to the object-path realisation
+(``ChannelPool`` + ``wormhole_transfer``), which remains in
+:mod:`repro.sim.wormhole` as the readable specification; a golden-seed
+regression test pins the statistics of the two representations to each
+other.
 """
 
 from __future__ import annotations
@@ -18,20 +31,16 @@ from __future__ import annotations
 import time as _time
 from typing import Dict, List, Optional
 
-from repro.des import Environment, Resource
+from repro.des import Environment
 from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
-from repro.routing.updown import UpDownRouter
+from repro.routing.compile import compile_system_routes
 from repro.sim.config import SimulationConfig
 from repro.sim.message import Message
-from repro.sim.network import ChannelPool
+from repro.sim.network import FlatChannels
 from repro.sim.statistics import SimulationResult, StatisticsCollector
-from repro.sim.wormhole import (
-    draw_peer,
-    inter_cluster_hops,
-    intra_cluster_hops,
-    wormhole_transfer,
-)
-from repro.topology.multicluster import MultiClusterSpec, MultiClusterSystem
+from repro.sim.wormhole import compiled_transfer, draw_peer
+from repro.topology.compile import compile_system
+from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.rng import RandomStreams
 from repro.utils.validation import check_positive
 from repro.workloads.base import TrafficPattern
@@ -79,10 +88,19 @@ class MultiClusterSimulator:
         self.arrivals_factory = (
             arrivals_factory if arrivals_factory is not None else PoissonArrivals
         )
-        self.system = MultiClusterSystem(spec)
-        self._icn1_routers = [UpDownRouter(cluster.icn1) for cluster in self.system.clusters]
-        self._ecn1_routers = [UpDownRouter(cluster.ecn1) for cluster in self.system.clusters]
-        self._icn2_router = UpDownRouter(self.system.icn2)
+        #: compiled channel-id space and route tables (module-cached per
+        #: spec: shared across operating points, engines and pool workers)
+        self.core = compile_system(spec)
+        self.routes = compile_system_routes(spec)
+        self.system = self.core.system
+        link_timing = timing.link_timing(message.flit_bytes)
+        self._t_cn = link_timing.t_cn
+        self._t_cs = link_timing.t_cs
+        self._max_header = max(self._t_cn, self._t_cs)
+        #: per-slot flit transfer times (relay slots carry the switch time,
+        #: matching the relay_time of the object-path realisation)
+        self._header_times = self.core.header_times(self._t_cn, self._t_cs)
+        self._cluster_nodes = [cluster.num_nodes for cluster in self.system.clusters]
 
     # ------------------------------------------------------------------ runs
     def run(
@@ -137,25 +155,14 @@ class _RunState:
         self.env = Environment()
         self.streams = RandomStreams(config.seed)
         self.arrivals = simulator.arrivals_factory(lambda_g)
-        link_timing = simulator.timing.link_timing(simulator.message.flit_bytes)
-        self.relay_time = link_timing.t_cs
-        system = simulator.system
-        self.icn1_pools = [
-            ChannelPool(self.env, f"cluster{c.index}/ICN1", link_timing) for c in system.clusters
-        ]
-        self.ecn1_pools = [
-            ChannelPool(self.env, f"cluster{c.index}/ECN1", link_timing) for c in system.clusters
-        ]
-        self.icn2_pool = ChannelPool(self.env, "ICN2", link_timing)
-        self.concentrators = [
-            Resource(self.env, capacity=1, name=f"concentrator{c.index}")
-            for c in system.clusters
-        ]
-        self.dispatchers = [
-            Resource(self.env, capacity=1, name=f"dispatcher{c.index}")
-            for c in system.clusters
-        ]
-        self.collector = StatisticsCollector(num_clusters=system.num_clusters)
+        core = simulator.core
+        self.channels = FlatChannels(self.env, core.total_slots)
+        #: which slots appeared on any built journey, and in which order per
+        #: pool — mirrors the lazy-creation order of the object path's
+        #: ChannelPool dicts so utilisation aggregation sums identically
+        self._touched = bytearray(core.total_slots)
+        self._pool_touch_order: List[List[int]] = [[] for _ in range(core.num_pools)]
+        self.collector = StatisticsCollector(num_clusters=core.spec.num_clusters)
         self.generated = 0
         self.delivered_measured = 0
         self.done = self.env.event()
@@ -170,6 +177,7 @@ class _RunState:
         if not self.done.triggered:
             self.timed_out = True
 
+    # ----------------------------------------------------------- utilisation
     def channel_utilisation(self) -> Dict[str, tuple]:
         """Per-network (mean, max) channel utilisation over the whole run.
 
@@ -181,20 +189,35 @@ class _RunState:
         elapsed = self.env.now
         if elapsed <= 0:
             return {}
+        core = self.simulator.core
+        busy = self.channels.busy_time
+        num_clusters = core.spec.num_clusters
         report: Dict[str, tuple] = {}
-        for label, pools in (("ICN1", self.icn1_pools), ("ECN1", self.ecn1_pools)):
-            values = [pool.utilisation(elapsed) for pool in pools if pool.touched_channels]
+        for label, start in (("ICN1", 0), ("ECN1", num_clusters)):
+            values = []
+            for pool in range(start, start + num_clusters):
+                order = self._pool_touch_order[pool]
+                if not order:
+                    continue
+                fractions = [min(busy[slot] / elapsed, 1.0) for slot in order]
+                values.append((sum(fractions) / len(fractions), max(fractions)))
             if values:
                 report[label] = (
                     sum(mean for mean, _ in values) / len(values),
                     max(peak for _, peak in values),
                 )
-        if self.icn2_pool.touched_channels:
-            report["ICN2"] = self.icn2_pool.utilisation(elapsed)
+        icn2_order = self._pool_touch_order[2 * num_clusters]
+        if icn2_order:
+            fractions = [min(busy[slot] / elapsed, 1.0) for slot in icn2_order]
+            report["ICN2"] = (sum(fractions) / len(fractions), max(fractions))
+        grants = self.channels.total_grants
         relay_fractions = [
-            min(resource.busy_time / elapsed, 1.0)
-            for resource in (*self.concentrators, *self.dispatchers)
-            if resource.total_grants
+            min(busy[slot] / elapsed, 1.0)
+            for slot in (
+                *range(core.concentrator_base, core.concentrator_base + num_clusters),
+                *range(core.dispatcher_base, core.dispatcher_base + num_clusters),
+            )
+            if grants[slot]
         ]
         if relay_fractions:
             report["concentrators"] = (
@@ -209,11 +232,17 @@ class _RunState:
         rng = self.streams.get("arrivals", cluster_index, node_index)
         dest_rng = self.streams.get("destinations", cluster_index, node_index)
         peer_rng = self.streams.get("peers", cluster_index, node_index)
-        system = self.simulator.system
-        pattern = self.simulator.pattern
+        simulator = self.simulator
+        system = simulator.system
+        pattern = simulator.pattern
+        env = self.env
+        config = self.config
+        length_flits = simulator.message.length_flits
+        warmup = config.warmup_messages
+        measured_end = warmup + config.measured_messages
         while True:
-            yield self.env.timeout(self.arrivals.next_interarrival(rng))
-            if self.generated >= self.config.total_messages:
+            yield env.timeout(self.arrivals.next_interarrival(rng))
+            if self.generated >= config.total_messages:
                 return
             index = self.generated
             self.generated += 1
@@ -226,52 +255,71 @@ class _RunState:
                 source_node=node_index,
                 dest_cluster=destination.cluster,
                 dest_node=destination.node,
-                length_flits=self.simulator.message.length_flits,
-                created_at=self.env.now,
-                measured=(
-                    self.config.warmup_messages
-                    <= index
-                    < self.config.warmup_messages + self.config.measured_messages
-                ),
+                length_flits=length_flits,
+                created_at=env.now,
+                measured=warmup <= index < measured_end,
             )
-            hops = self._build_hops(message, peer_rng)
-            self.env.process(
-                wormhole_transfer(
-                    self.env, message, hops, on_delivered=self._on_delivered
+            slots, tail_time = self._build_journey(message, peer_rng)
+            env.process(
+                compiled_transfer(
+                    env,
+                    message,
+                    slots,
+                    self.channels,
+                    simulator._header_times,
+                    tail_time,
+                    on_delivered=self._on_delivered,
                 )
             )
 
-    def _build_hops(self, message: Message, peer_rng):
+    def _touch(self, slots) -> None:
+        """Record journey slots in pool-local first-touch order."""
+        touched = self._touched
+        pool_index = self.simulator.core.pool_index_list
+        order = self._pool_touch_order
+        for slot in slots:
+            if not touched[slot]:
+                touched[slot] = 1
+                order[pool_index[slot]].append(slot)
+
+    def _build_journey(self, message: Message, peer_rng):
+        """The journey's global slot-id tuple and its body serialisation time."""
         simulator = self.simulator
-        system = simulator.system
-        if not message.is_external:
-            return intra_cluster_hops(
-                self.icn1_pools[message.source_cluster],
-                simulator._icn1_routers[message.source_cluster],
-                message.source_node,
-                message.dest_node,
+        routes = simulator.routes
+        source_cluster = message.source_cluster
+        dest_cluster = message.dest_cluster
+        tail_flits = message.length_flits - 1
+        if source_cluster == dest_cluster:
+            nodes = simulator._cluster_nodes[source_cluster]
+            pair = message.source_node * nodes + message.dest_node
+            slots = routes.intra[source_cluster][pair]
+            self._touch(slots)
+            slowest = (
+                simulator._max_header
+                if routes.intra_has_switch[source_cluster][pair]
+                else simulator._t_cn
             )
-        source_cluster = system.cluster(message.source_cluster)
-        dest_cluster = system.cluster(message.dest_cluster)
-        exit_peer = draw_peer(peer_rng, source_cluster.num_nodes, message.source_node)
-        entry_peer = draw_peer(peer_rng, dest_cluster.num_nodes, message.dest_node)
-        return inter_cluster_hops(
-            source_pool=self.ecn1_pools[message.source_cluster],
-            source_router=simulator._ecn1_routers[message.source_cluster],
-            dest_pool=self.ecn1_pools[message.dest_cluster],
-            dest_router=simulator._ecn1_routers[message.dest_cluster],
-            icn2_pool=self.icn2_pool,
-            icn2_router=simulator._icn2_router,
-            concentrator=self.concentrators[message.source_cluster],
-            dispatcher=self.dispatchers[message.dest_cluster],
-            source_node=message.source_node,
-            exit_peer=exit_peer,
-            dest_node=message.dest_node,
-            entry_peer=entry_peer,
-            source_concentrator_node=message.source_cluster,
-            dest_concentrator_node=message.dest_cluster,
-            relay_time=self.relay_time,
+            return slots, tail_flits * slowest
+        source_nodes = simulator._cluster_nodes[source_cluster]
+        dest_nodes = simulator._cluster_nodes[dest_cluster]
+        exit_peer = draw_peer(peer_rng, source_nodes, message.source_node)
+        entry_peer = draw_peer(peer_rng, dest_nodes, message.dest_node)
+        ascent = routes.ascend[source_cluster][message.source_node * source_nodes + exit_peer]
+        crossing = routes.icn2[source_cluster * len(routes.concentrator) + dest_cluster]
+        descent = routes.descend[dest_cluster][entry_peer * dest_nodes + message.dest_node]
+        self._touch(ascent)
+        self._touch(crossing)
+        self._touch(descent)
+        slots = (
+            ascent
+            + (routes.concentrator[source_cluster],)
+            + crossing
+            + (routes.dispatcher[dest_cluster],)
+            + descent
         )
+        # Inter-cluster journeys always cross both channel classes (injection
+        # plus relay/switch hops), so the slowest hop is the slower class.
+        return slots, tail_flits * simulator._max_header
 
     def _on_delivered(self, message: Message) -> None:
         if not message.measured:

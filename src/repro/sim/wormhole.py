@@ -27,14 +27,15 @@ dispatcher units appearing as single-server hops between the legs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Sequence
+from typing import Callable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.des import Environment, Resource
+from repro.des.events import Timeout
 from repro.routing.updown import UpDownRouter
 from repro.sim.message import Message
-from repro.sim.network import ChannelPool
+from repro.sim.network import ChannelPool, FlatChannels
 from repro.utils.validation import ValidationError
 
 
@@ -145,3 +146,52 @@ def wormhole_transfer(
 def journey_hop_count(hops: Iterable[Hop]) -> int:
     """Number of contention points of a journey (diagnostic helper)."""
     return sum(1 for _ in hops)
+
+
+def compiled_transfer(
+    env: Environment,
+    message: Message,
+    slots: Tuple[int, ...],
+    channels: FlatChannels,
+    header_times: Sequence[float],
+    tail_time: float,
+    on_delivered: Callable[[Message], None] | None = None,
+):
+    """The flat-array twin of :func:`wormhole_transfer` (generator).
+
+    ``slots`` is the precompiled global channel-id tuple of the journey
+    (route tables of :mod:`repro.routing.compile`), ``header_times`` the
+    per-slot flit time table of the compiled system and ``tail_time`` the
+    precomputed body serialisation ``(M - 1) * max(header times)``.
+
+    The yielded event sequence — one grant and one header timeout per hop,
+    one tail timeout, releases in acquisition order on exit — is exactly the
+    sequence :func:`wormhole_transfer` produces over ``Resource`` objects,
+    so a compiled run replays an object-path run event for event.
+    """
+    if not slots:
+        raise ValidationError("a journey needs at least one hop")
+    held: List[Tuple[int, object]] = []
+    acquire = channels.acquire
+    hold = held.append
+    try:
+        first = True
+        for slot in slots:
+            grant = acquire(slot)
+            yield grant
+            hold((slot, grant))
+            if first:
+                # The wait for the first (injection) slot is the source-queue
+                # delay of the analytical model.
+                message.mark_injected(env.now)
+                first = False
+            yield Timeout(env, header_times[slot])
+        if tail_time > 0.0:
+            yield Timeout(env, tail_time)
+        message.mark_delivered(env.now)
+        if on_delivered is not None:
+            on_delivered(message)
+    finally:
+        release = channels.release
+        for slot, grant in held:
+            release(slot, grant)

@@ -14,7 +14,10 @@ constant-bisection-bandwidth topology made of fixed-arity m-port switches:
   diameter, link counts, distance distributions) used both by tests and by
   the design-space exploration example;
 * :mod:`repro.topology.graph` — exports to :mod:`networkx` for visualisation
-  and for graph-theoretic cross-checks.
+  and for graph-theoretic cross-checks;
+* :mod:`repro.topology.compile` — the compilation pass lowering a system's
+  object graph to dense integer channel ids and flat metadata arrays (the
+  representation the wormhole simulator's hot path runs on).
 """
 
 from repro.topology.fat_tree import (
@@ -42,8 +45,20 @@ from repro.topology.properties import (
     mean_internode_distance,
 )
 from repro.topology.graph import multicluster_to_networkx, tree_to_networkx
+from repro.topology.compile import (
+    CompiledSystem,
+    CompiledTree,
+    Topology,
+    compile_system,
+    compile_tree,
+)
 
 __all__ = [
+    "CompiledSystem",
+    "CompiledTree",
+    "Topology",
+    "compile_system",
+    "compile_tree",
     "Channel",
     "ChannelKind",
     "FatTreeNode",

@@ -55,7 +55,6 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from functools import lru_cache
 from itertools import product
 from typing import Dict, Iterator, List, Sequence, Tuple, Union
 
@@ -171,6 +170,11 @@ class MPortNTree:
         self.n = int(n)
         self.k = self.m // 2
         self.name = name or f"{m}-port {n}-tree"
+        # Per-instance memo of node index -> digit tuple.  Address arithmetic
+        # is the inner loop of the route-compilation pass, and an instance
+        # cache (unlike ``functools.lru_cache`` on a method) dies with the
+        # tree instead of pinning it for the process lifetime.
+        self._address_cache: Dict[int, Tuple[int, ...]] = {}
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -217,6 +221,9 @@ class MPortNTree:
     # ------------------------------------------------------------- addressing
     def node_address(self, index: int) -> Tuple[int, ...]:
         """Digit tuple ``(p_0, ..., p_{n-1})`` of the node with dense ``index``."""
+        cached = self._address_cache.get(index)
+        if cached is not None:
+            return cached
         if not 0 <= index < self.num_nodes:
             raise ValidationError(
                 f"node index {index} out of range [0, {self.num_nodes})"
@@ -227,7 +234,9 @@ class MPortNTree:
             digits.append(remaining % self.k)
             remaining //= self.k
         digits.append(remaining)  # most significant digit, range 0..m-1
-        return tuple(reversed(digits))
+        address = tuple(reversed(digits))
+        self._address_cache[index] = address
+        return address
 
     def node_index(self, address: Sequence[int]) -> int:
         """Dense index of the node with digit tuple ``address``."""
@@ -460,12 +469,28 @@ class MPortNTree:
         )
 
 
-@lru_cache(maxsize=None)
+#: Module-level shared-tree cache, explicitly keyed by ``(m, n)``.  An
+#: explicit dict (rather than ``functools.lru_cache``) keeps the keying
+#: visible, lets tests clear it, and avoids the cache holding positional
+#: argument tuples whose lifetime is easy to misread.
+_SHARED_TREES: Dict[Tuple[int, int], MPortNTree] = {}
+
+
 def shared_tree(m: int, n: int) -> MPortNTree:
     """A cached, shared m-port n-tree instance.
 
-    Topology objects are immutable, so experiments that repeatedly build the
-    same Table-1 organisations can share them instead of recomputing address
-    tables.
+    Topology objects are logically immutable, so experiments that repeatedly
+    build the same Table-1 organisations can share one instance (and its
+    address memo) instead of recomputing address tables.  The cache is keyed
+    by ``(m, n)`` — the only state a tree has besides its display name.
     """
-    return MPortNTree(m, n)
+    key = (int(m), int(n))
+    tree = _SHARED_TREES.get(key)
+    if tree is None:
+        tree = _SHARED_TREES[key] = MPortNTree(m, n)
+    return tree
+
+
+def clear_shared_trees() -> None:
+    """Drop every cached :func:`shared_tree` instance (test isolation hook)."""
+    _SHARED_TREES.clear()

@@ -32,6 +32,17 @@ def _stable_key_hash(part: Hashable) -> int:
     return zlib.crc32(repr(part).encode("utf-8"))
 
 
+#: Module-level memo of stream seed material -> SeedSequence.  A simulation
+#: run creates thousands of named streams (three per node) and every run of
+#: a sweep re-derives the same sequences; SeedSequence objects are immutable
+#: (``default_rng`` never mutates them), so sharing them across runs only
+#: skips the entropy-mixing setup, never changes a stream.  Bounded by a
+#: wholesale clear so replication studies over many seeds cannot grow it
+#: without limit.
+_SEED_SEQUENCES: Dict[tuple, np.random.SeedSequence] = {}
+_SEED_SEQUENCE_CACHE_LIMIT = 262_144
+
+
 def spawn_rng(seed: int | None, index: int = 0) -> np.random.Generator:
     """Create a generator for stream ``index`` derived from ``seed``.
 
@@ -72,12 +83,20 @@ class RandomStreams:
         """
         if not key:
             raise ValidationError("at least one key component is required")
-        if key not in self._cache:
-            material = [self._root.entropy if self._root.entropy is not None else 0]
-            for part in key:
-                material.append(_stable_key_hash(part))
-            self._cache[key] = np.random.default_rng(np.random.SeedSequence(material))
-        return self._cache[key]
+        generator = self._cache.get(key)
+        if generator is None:
+            entropy = self._root.entropy if self._root.entropy is not None else 0
+            cache_key = (entropy, key)
+            sequence = _SEED_SEQUENCES.get(cache_key)
+            if sequence is None:
+                material = [entropy]
+                for part in key:
+                    material.append(_stable_key_hash(part))
+                if len(_SEED_SEQUENCES) >= _SEED_SEQUENCE_CACHE_LIMIT:
+                    _SEED_SEQUENCES.clear()
+                sequence = _SEED_SEQUENCES[cache_key] = np.random.SeedSequence(material)
+            generator = self._cache[key] = np.random.default_rng(sequence)
+        return generator
 
     def fresh(self) -> np.random.Generator:
         """Return a new, unnamed independent stream (used for scratch draws)."""

@@ -1,0 +1,91 @@
+"""Tests of the machine-readable simulator benchmark harness."""
+
+import pytest
+
+from repro.experiments.bench import (
+    BENCH_SCENARIOS,
+    attach_baseline,
+    bench_to_text,
+    load_baseline,
+    run_bench,
+    write_bench,
+)
+from repro.utils import ValidationError
+
+
+@pytest.fixture(scope="module")
+def smoke_payload():
+    """One tiny measured run, shared by the read-only assertions."""
+    return run_bench(("heterogeneous",), points=2, smoke=True)
+
+
+class TestRunBench:
+    def test_payload_schema(self, smoke_payload):
+        assert smoke_payload["schema"] == 1
+        assert smoke_payload["smoke"] is True
+        assert smoke_payload["points"] == 2
+        assert set(smoke_payload["scenarios"]) == {"heterogeneous"}
+
+    def test_smoke_budget_is_tiny_but_counted(self, smoke_payload):
+        entry = smoke_payload["scenarios"]["heterogeneous"]
+        assert entry["measured_messages"] == 2 * 200
+        assert entry["wall_clock_seconds"] > 0
+        # messages_per_second is computed from the unrounded wall clock, so
+        # the stored (rounded) fields reproduce it only approximately.
+        assert entry["messages_per_second"] == pytest.approx(
+            entry["measured_messages"] / entry["wall_clock_seconds"], rel=0.05
+        )
+
+    def test_default_scenario_set_is_the_fixed_one(self):
+        assert BENCH_SCENARIOS == ("fig3", "fig4", "heterogeneous")
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(ValidationError):
+            run_bench(("no-such-scenario",), points=1, smoke=True)
+
+
+class TestBaselineAttachment:
+    def test_speedup_ratios(self, smoke_payload):
+        baseline = {
+            "scenarios": {
+                "heterogeneous": {
+                    "messages_per_second": smoke_payload["scenarios"]["heterogeneous"][
+                        "messages_per_second"
+                    ]
+                    / 2.0
+                }
+            }
+        }
+        merged = attach_baseline(dict(smoke_payload), baseline, label="half-speed")
+        assert merged["speedup"]["heterogeneous"] == pytest.approx(2.0, abs=0.01)
+        assert merged["baseline"]["label"] == "half-speed"
+
+    def test_missing_scenarios_are_skipped(self, smoke_payload):
+        merged = attach_baseline(dict(smoke_payload), {"scenarios": {}}, label="empty")
+        assert merged["speedup"] == {}
+
+    def test_round_trip_through_disk(self, smoke_payload, tmp_path):
+        path = write_bench(smoke_payload, tmp_path / "bench.json")
+        loaded = load_baseline(path)
+        assert loaded["scenarios"] == smoke_payload["scenarios"]
+
+    def test_non_object_baseline_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ValidationError):
+            load_baseline(path)
+
+
+class TestBenchText:
+    def test_text_mentions_smoke_and_scenarios(self, smoke_payload):
+        text = bench_to_text(smoke_payload)
+        assert "smoke" in text
+        assert "heterogeneous" in text
+
+    def test_text_reports_speedup_when_compared(self, smoke_payload):
+        merged = attach_baseline(
+            dict(smoke_payload),
+            {"scenarios": {"heterogeneous": {"messages_per_second": 1.0}}},
+            label="tiny",
+        )
+        assert "x vs tiny" in bench_to_text(merged)

@@ -1,0 +1,149 @@
+"""Round-trip tests of the compiled route tables.
+
+Every compiled route must decompile to the *exact* Channel sequence the
+``UpDownRouter`` produces — the compiler is a representation change, never a
+routing change — including for asymmetric heterogeneous organisations.
+"""
+
+import pytest
+
+from repro.routing import UpDownRouter, compile_system_routes, compile_tree_routes
+from repro.routing.compile import decompile, route_table_size
+from repro.topology import MPortNTree, MultiClusterSpec, compile_system
+from repro.topology.fat_tree import shared_tree
+
+SHAPES = [(4, 1), (4, 2), (6, 2), (4, 3), (8, 2)]
+
+#: Asymmetric heterogeneous organisations (mixed tree heights, including the
+#: integration-test system and a taller m=4 mix like the N=544 row's groups).
+HETERO_SPECS = [
+    MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny"),
+    MultiClusterSpec(m=4, cluster_heights=(3, 1, 2, 1), name="lopsided"),
+]
+
+
+class TestTreeRouteRoundTrip:
+    @pytest.mark.parametrize("m,n", SHAPES)
+    def test_full_routes_round_trip_for_every_ordered_pair(self, m, n):
+        tree = shared_tree(m, n)
+        router = UpDownRouter(tree)
+        table = compile_tree_routes(m, n)
+        pairs = 0
+        for source in range(tree.num_nodes):
+            for dest in range(tree.num_nodes):
+                if source == dest:
+                    assert table.full[source * tree.num_nodes + dest] is None
+                    continue
+                compiled = table.full[source * tree.num_nodes + dest]
+                assert decompile(m, n, compiled) == router.route(source, dest).channels
+                pairs += 1
+        assert pairs == route_table_size(m, n)
+
+    @pytest.mark.parametrize("m,n", SHAPES)
+    def test_legs_round_trip_for_every_ordered_pair(self, m, n):
+        tree = shared_tree(m, n)
+        router = UpDownRouter(tree)
+        table = compile_tree_routes(m, n)
+        for source in range(tree.num_nodes):
+            for other in range(tree.num_nodes):
+                if source == other:
+                    continue
+                index = source * tree.num_nodes + other
+                assert (
+                    decompile(m, n, table.ascending[index])
+                    == router.ascending_leg(source, other).channels
+                )
+                assert (
+                    decompile(m, n, table.descending[index])
+                    == router.descending_leg(source, other).channels
+                )
+
+    @pytest.mark.parametrize("m,n", SHAPES)
+    def test_has_switch_flag_matches_the_route(self, m, n):
+        tree = shared_tree(m, n)
+        router = UpDownRouter(tree)
+        table = compile_tree_routes(m, n)
+        for source in range(tree.num_nodes):
+            for dest in range(tree.num_nodes):
+                if source == dest:
+                    continue
+                route = router.route(source, dest)
+                expected = route.switch_channels > 0
+                assert table.full_has_switch[source * tree.num_nodes + dest] == expected
+
+    def test_tables_are_cached_per_shape(self):
+        assert compile_tree_routes(4, 2) is compile_tree_routes(4, 2)
+
+
+class TestSystemRouteRoundTrip:
+    @pytest.mark.parametrize("spec", HETERO_SPECS, ids=lambda spec: spec.name)
+    def test_intra_routes_round_trip_in_every_cluster(self, spec):
+        core = compile_system(spec)
+        routes = compile_system_routes(spec)
+        for index, cluster in enumerate(core.system.clusters):
+            router = UpDownRouter(cluster.icn1)
+            offset = core.icn1_offsets[index]
+            nodes = cluster.num_nodes
+            for source in range(nodes):
+                for dest in range(nodes):
+                    if source == dest:
+                        continue
+                    compiled = routes.intra[index][source * nodes + dest]
+                    local = tuple(cid - offset for cid in compiled)
+                    assert (
+                        decompile(spec.m, cluster.height, local)
+                        == router.route(source, dest).channels
+                    )
+
+    @pytest.mark.parametrize("spec", HETERO_SPECS, ids=lambda spec: spec.name)
+    def test_ecn1_legs_round_trip_in_every_cluster(self, spec):
+        core = compile_system(spec)
+        routes = compile_system_routes(spec)
+        for index, cluster in enumerate(core.system.clusters):
+            router = UpDownRouter(cluster.ecn1)
+            offset = core.ecn1_offsets[index]
+            nodes = cluster.num_nodes
+            for source in range(nodes):
+                for other in range(nodes):
+                    if source == other:
+                        continue
+                    pair = source * nodes + other
+                    ascent = tuple(cid - offset for cid in routes.ascend[index][pair])
+                    descent = tuple(cid - offset for cid in routes.descend[index][pair])
+                    assert (
+                        decompile(spec.m, cluster.height, ascent)
+                        == router.ascending_leg(source, other).channels
+                    )
+                    assert (
+                        decompile(spec.m, cluster.height, descent)
+                        == router.descending_leg(source, other).channels
+                    )
+
+    @pytest.mark.parametrize("spec", HETERO_SPECS, ids=lambda spec: spec.name)
+    def test_icn2_routes_round_trip(self, spec):
+        core = compile_system(spec)
+        routes = compile_system_routes(spec)
+        router = UpDownRouter(core.system.icn2)
+        C = spec.num_clusters
+        for source in range(C):
+            for dest in range(C):
+                if source == dest:
+                    continue
+                compiled = routes.icn2[source * C + dest]
+                local = tuple(cid - core.icn2_offset for cid in compiled)
+                assert (
+                    decompile(spec.m, spec.icn2_height, local)
+                    == router.route(source, dest).channels
+                )
+
+    def test_relay_slots_match_the_core(self):
+        spec = HETERO_SPECS[0]
+        core = compile_system(spec)
+        routes = compile_system_routes(spec)
+        for cluster in range(spec.num_clusters):
+            assert routes.concentrator[cluster] == core.concentrator_slot(cluster)
+            assert routes.dispatcher[cluster] == core.dispatcher_slot(cluster)
+
+    def test_system_tables_are_cached_per_spec(self):
+        spec = HETERO_SPECS[0]
+        assert compile_system_routes(spec) is compile_system_routes(spec)

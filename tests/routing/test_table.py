@@ -2,7 +2,8 @@
 
 import pytest
 
-from repro.routing import RoutingTable, channel_load_histogram
+from repro.routing import RoutingTable, UpDownRouter, channel_load_histogram
+from repro.routing.compile import compile_tree_routes, decompile
 from repro.routing.table import load_by_kind_and_level
 from repro.topology import ChannelKind, MPortNTree
 from repro.utils import ValidationError
@@ -15,6 +16,34 @@ class TestRoutingTable:
         second = table.route(0, 5)
         assert first is second
         assert len(table) == 1
+
+    def test_cached_routes_equal_fresh_router_output(self):
+        tree = MPortNTree(4, 2)
+        table = RoutingTable(tree)
+        router = UpDownRouter(tree)
+        for source in range(tree.num_nodes):
+            for dest in range(tree.num_nodes):
+                if source != dest:
+                    assert table.route(source, dest).channels == router.route(
+                        source, dest
+                    ).channels
+
+    def test_precompute_is_idempotent(self):
+        tree = MPortNTree(4, 2)
+        table = RoutingTable(tree)
+        table.precompute()
+        cached = table.route(0, 5)
+        table.precompute()
+        assert table.route(0, 5) is cached
+        assert len(table) == tree.num_nodes * (tree.num_nodes - 1)
+
+    def test_table_agrees_with_the_compiled_route_tables(self):
+        tree = MPortNTree(4, 3)
+        table = RoutingTable(tree)
+        compiled = compile_tree_routes(4, 3)
+        for source, dest in ((0, 1), (0, 7), (3, 12), (15, 0)):
+            ids = compiled.full[source * tree.num_nodes + dest]
+            assert decompile(4, 3, ids) == table.route(source, dest).channels
 
     def test_self_route_rejected(self):
         table = RoutingTable(MPortNTree(4, 2))

@@ -22,6 +22,7 @@ class TestParser:
             "saturation",
             "ablation",
             "report",
+            "bench",
         } <= choices
 
     def test_missing_command_errors(self):
@@ -227,3 +228,52 @@ class TestRunCommand:
         output = capsys.readouterr().out
         assert "sim_latency" in output
         assert "mean |relative error|" in output
+
+    def test_bench_smoke_writes_artifact(self, tmp_path, capsys):
+        import json
+
+        out_path = tmp_path / "BENCH_simulator.json"
+        assert main(["bench", "--smoke", "--points", "2", "--output", str(out_path)]) == 0
+        output = capsys.readouterr().out
+        assert "simulator benchmark" in output
+        assert "smoke" in output
+        payload = json.loads(out_path.read_text())
+        assert payload["smoke"] is True
+        assert set(payload["scenarios"]) == {"fig3", "fig4", "heterogeneous"}
+        for entry in payload["scenarios"].values():
+            assert entry["messages_per_second"] > 0
+            assert entry["measured_messages"] == 2 * 200
+
+    def test_bench_with_baseline_reports_speedup(self, tmp_path, capsys):
+        import json
+
+        baseline_path = tmp_path / "baseline.json"
+        out_path = tmp_path / "bench.json"
+        assert main(["bench", "--smoke", "--points", "2", "--output", str(baseline_path)]) == 0
+        capsys.readouterr()
+        code = main(
+            [
+                "bench",
+                "--smoke",
+                "--points",
+                "2",
+                "--baseline",
+                str(baseline_path),
+                "--baseline-label",
+                "previous",
+                "--output",
+                str(out_path),
+            ]
+        )
+        assert code == 0
+        assert "x vs previous" in capsys.readouterr().out
+        payload = json.loads(out_path.read_text())
+        assert set(payload["speedup"]) == {"fig3", "fig4", "heterogeneous"}
+        assert payload["baseline"]["label"] == "previous"
+
+    def test_bench_missing_baseline_reports_error(self, tmp_path, capsys):
+        code = main(
+            ["bench", "--smoke", "--baseline", str(tmp_path / "nope.json")]
+        )
+        assert code == 2
+        assert "baseline file not found" in capsys.readouterr().err

@@ -1,0 +1,123 @@
+"""Tests of the topology compilation pass (dense ids + flat metadata)."""
+
+import numpy as np
+import pytest
+
+from repro.topology import (
+    ChannelKind,
+    MPortNTree,
+    MultiClusterSpec,
+    Topology,
+    compile_system,
+    compile_tree,
+)
+from repro.topology.compile import KIND_CODES, CompiledSystem
+from repro.topology.fat_tree import FatTreeNode
+from repro.utils import ValidationError
+
+HETERO = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+
+
+class TestTopologyProtocol:
+    def test_m_port_n_tree_satisfies_the_protocol(self):
+        assert isinstance(MPortNTree(4, 2), Topology)
+
+
+class TestCompiledTree:
+    @pytest.mark.parametrize("m,n", [(4, 1), (4, 2), (6, 2), (4, 3), (8, 2)])
+    def test_channel_ids_are_a_dense_bijection(self, m, n):
+        tree = MPortNTree(m, n)
+        compiled = compile_tree(m, n)
+        assert compiled.num_channels == tree.num_channels
+        assert sorted(compiled.channel_ids.values()) == list(range(tree.num_channels))
+        for cid, channel in enumerate(compiled.channels):
+            assert compiled.index_of(channel) == cid
+            assert compiled.channel_at(cid) == channel
+
+    def test_metadata_arrays_match_the_channel_objects(self):
+        compiled = compile_tree(4, 2)
+        for cid, channel in enumerate(compiled.channels):
+            assert compiled.kind_codes[cid] == KIND_CODES[channel.kind]
+            assert compiled.is_node_channel[cid] == channel.kind.is_node_channel
+
+    def test_endpoint_ids_distinguish_nodes_and_switches(self):
+        compiled = compile_tree(4, 2)
+        num_nodes = compiled.num_nodes
+        for cid, channel in enumerate(compiled.channels):
+            source_id = int(compiled.source_ids[cid])
+            if channel.kind == ChannelKind.INJECTION:
+                assert isinstance(channel.source, FatTreeNode)
+                assert source_id == channel.source.index < num_nodes
+            else:
+                assert source_id >= num_nodes or channel.kind == ChannelKind.EJECTION
+        assert compiled.source_ids.dtype == np.int32
+
+    def test_compile_tree_is_cached_per_shape(self):
+        assert compile_tree(4, 2) is compile_tree(4, 2)
+
+    def test_foreign_channel_rejected(self):
+        compiled = compile_tree(4, 2)
+        other = compile_tree(4, 3)
+        with pytest.raises(ValidationError):
+            compiled.index_of(other.channels[-1])
+
+    def test_channel_id_out_of_range_rejected(self):
+        compiled = compile_tree(4, 2)
+        with pytest.raises(ValidationError):
+            compiled.channel_at(compiled.num_channels)
+
+
+class TestCompiledSystem:
+    @pytest.fixture(scope="class")
+    def core(self) -> CompiledSystem:
+        return compile_system(HETERO)
+
+    def test_slot_space_covers_every_network_plus_relays(self, core):
+        expected = (
+            2 * sum(tree.num_channels for tree in core.icn1_trees)
+            + core.icn2_tree.num_channels
+            + 2 * HETERO.num_clusters
+        )
+        assert core.total_slots == expected
+        assert len(core.is_node_channel_list) == core.total_slots
+        assert len(core.pool_index_list) == core.total_slots
+
+    def test_blocks_are_disjoint_and_ordered(self, core):
+        offsets = [*core.icn1_offsets, *core.ecn1_offsets, core.icn2_offset]
+        assert offsets == sorted(offsets)
+        assert len(set(offsets)) == len(offsets)
+        assert core.concentrator_base == core.icn2_offset + core.icn2_tree.num_channels
+        assert core.dispatcher_base == core.concentrator_base + HETERO.num_clusters
+
+    def test_pool_index_groups_each_block(self, core):
+        C = HETERO.num_clusters
+        for cluster in range(C):
+            start = core.icn1_offsets[cluster]
+            assert core.pool_index_list[start] == cluster
+            start = core.ecn1_offsets[cluster]
+            assert core.pool_index_list[start] == C + cluster
+        assert core.pool_index_list[core.icn2_offset] == 2 * C
+        assert core.pool_index_list[core.concentrator_slot(0)] == 2 * C + 1
+        assert core.pool_labels[2 * C] == "ICN2"
+        # Every slot's pool index must be addressable in structures sized by
+        # num_pools — relay slots included.
+        assert max(core.pool_index_list) < core.num_pools
+
+    def test_relay_slots_are_switch_class(self, core):
+        times = core.header_times(t_cn=0.3, t_cs=0.5)
+        for cluster in range(HETERO.num_clusters):
+            assert times[core.concentrator_slot(cluster)] == 0.5
+            assert times[core.dispatcher_slot(cluster)] == 0.5
+
+    def test_header_times_follow_the_node_channel_flag(self, core):
+        times = core.header_times(t_cn=0.3, t_cs=0.5)
+        for slot, is_node in enumerate(core.is_node_channel_list):
+            assert times[slot] == (0.3 if is_node else 0.5)
+
+    def test_compile_system_is_cached_per_spec(self):
+        assert compile_system(HETERO) is compile_system(HETERO)
+
+    def test_same_shape_clusters_share_one_compiled_tree(self, core):
+        assert core.icn1_trees[0] is core.icn1_trees[3]  # both n=1
+        assert core.icn1_trees[1] is core.icn1_trees[2]  # both n=2
+        assert core.ecn1_trees[0] is core.icn1_trees[0]
