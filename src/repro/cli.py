@@ -208,6 +208,18 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="tiny message budget: exercise the harness without timing claims",
     )
+    bench_parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan operating points over a process pool (bit-identical results; "
+        "records multi-core scaling in the workers/elapsed columns)",
+    )
+    bench_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for --parallel (default: CPU count)",
+    )
 
     return parser
 
@@ -440,7 +452,12 @@ def _cmd_bench(args: argparse.Namespace) -> int:
             raise ValidationError(f"baseline file not found: {args.baseline}")
         baseline = load_baseline(args.baseline)
     payload = run_bench(
-        points=args.points, budget=args.budget, seed=args.seed, smoke=args.smoke
+        points=args.points,
+        budget=args.budget,
+        seed=args.seed,
+        smoke=args.smoke,
+        parallel=args.parallel,
+        workers=args.workers,
     )
     if baseline is not None:
         payload = attach_baseline(payload, baseline, label=args.baseline_label)

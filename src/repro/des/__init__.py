@@ -11,15 +11,19 @@ a self-contained kernel in the spirit of SimPy:
 * :class:`~repro.des.resources.Resource`, :class:`~repro.des.resources.PriorityResource`
   and :class:`~repro.des.resources.Store` model contention points (channels,
   buffers, queues);
-* :mod:`repro.des.monitor` provides time-weighted and tally statistics.
+* :mod:`repro.des.monitor` provides time-weighted and tally statistics;
+* :mod:`repro.des.calendar` provides the bucketed calendar-queue scheduler
+  the environment migrates to on dense event queues (pop order identical to
+  the heap; force either with ``REPRO_DES_SCHEDULER``).
 
 The kernel is deliberately deterministic: events scheduled for the same time
 fire in FIFO order of scheduling, which makes simulation results reproducible
-for a fixed seed.
+for a fixed seed — under either scheduler.
 """
 
-from repro.des.exceptions import Interrupt, SimulationError, StopSimulation
+from repro.des.exceptions import Interrupt, QueueEmpty, SimulationError, StopSimulation
 from repro.des.events import Event, Timeout, Process, AllOf, AnyOf, ConditionValue
+from repro.des.calendar import CalendarQueue
 from repro.des.core import Environment
 from repro.des.resources import (
     Resource,
@@ -34,8 +38,10 @@ from repro.des.resources import (
 from repro.des.monitor import TimeWeightedValue, Tally, Counter
 
 __all__ = [
+    "CalendarQueue",
     "Environment",
     "Event",
+    "QueueEmpty",
     "Timeout",
     "Process",
     "AllOf",

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
-import heapq
+import os
+from heapq import heappop, heappush
 from itertools import count
+from math import inf
 from typing import Any, Generator, List, Optional, Tuple
 
+from repro.des.calendar import CalendarQueue
 from repro.des.events import (
     AllOf,
     AnyOf,
@@ -15,7 +18,17 @@ from repro.des.events import (
     Process,
     Timeout,
 )
-from repro.des.exceptions import SimulationError, StopSimulation
+from repro.des.exceptions import QueueEmpty, SimulationError, StopSimulation
+
+#: Recognised scheduler selection modes.
+SCHEDULER_MODES = ("auto", "heap", "calendar")
+
+#: Queue size at which ``auto`` migrates from the flat heap to the calendar
+#: queue.  Below this the C-implemented heap wins outright; above it the
+#: event times are dense enough (thousands of pending arrivals and in-flight
+#: messages) that bucketing pays for itself.  Override per environment via
+#: the constructor or globally via ``REPRO_DES_CALENDAR_THRESHOLD``.
+DEFAULT_CALENDAR_THRESHOLD = 4096
 
 
 class Environment:
@@ -24,17 +37,63 @@ class Environment:
     The environment keeps the current simulation time (:attr:`now`), the
     pending event queue and offers factory helpers for the common event
     types.  Time is a float in the paper's abstract "time units".
+
+    Parameters
+    ----------
+    initial_time:
+        Simulation clock at creation.
+    scheduler:
+        Event-queue strategy: ``"heap"`` pins the flat binary heap,
+        ``"calendar"`` pins the bucketed :class:`CalendarQueue`, and
+        ``"auto"`` (default) starts on the heap and migrates to a calendar
+        queue sized from the live queue once it grows past
+        ``calendar_threshold`` entries.  Defaults to the
+        ``REPRO_DES_SCHEDULER`` environment variable when unset, so a
+        debugging session can force either structure without touching code.
+        Both schedulers pop events in exactly the same order — the choice
+        affects wall-clock only, never results.
+    calendar_threshold:
+        Queue size that triggers the ``auto`` migration (default
+        ``REPRO_DES_CALENDAR_THRESHOLD`` or 4096).
     """
 
     #: scheduling priority constants (smaller fires first at equal times)
     URGENT = Environment_URGENT
     NORMAL = Environment_NORMAL
 
-    def __init__(self, initial_time: float = 0.0) -> None:
+    def __init__(
+        self,
+        initial_time: float = 0.0,
+        scheduler: Optional[str] = None,
+        calendar_threshold: Optional[int] = None,
+    ) -> None:
         self._now = float(initial_time)
-        self._queue: List[Tuple[float, int, int, Event]] = []
         self._eid = count()
         self._active_process: Optional[Process] = None
+        if scheduler is None:
+            scheduler = os.environ.get("REPRO_DES_SCHEDULER", "auto")
+        if scheduler not in SCHEDULER_MODES:
+            raise SimulationError(
+                f"unknown scheduler {scheduler!r}; expected one of {SCHEDULER_MODES}"
+            )
+        self.scheduler = scheduler
+        #: flat heap of (time, priority, eid, event); active while
+        #: :attr:`_calendar` is None
+        self._queue: List[Tuple[float, int, int, Event]] = []
+        self._calendar: Optional[CalendarQueue] = (
+            CalendarQueue() if scheduler == "calendar" else None
+        )
+        if calendar_threshold is None:
+            calendar_threshold = int(
+                os.environ.get(
+                    "REPRO_DES_CALENDAR_THRESHOLD", DEFAULT_CALENDAR_THRESHOLD
+                )
+            )
+        # The hot path guards migration with one integer comparison; pinning
+        # the heap simply makes that comparison unwinnable.
+        self._calendar_threshold: float = (
+            calendar_threshold if scheduler == "auto" else inf
+        )
 
     # -- clock and queue ----------------------------------------------------
     @property
@@ -47,20 +106,55 @@ class Environment:
         """The process currently being resumed (None outside process code)."""
         return self._active_process
 
+    @property
+    def active_scheduler(self) -> str:
+        """The queue structure currently in use: ``"heap"`` or ``"calendar"``."""
+        return "calendar" if self._calendar is not None else "heap"
+
     def schedule(self, event: Event, priority: int = Environment_NORMAL, delay: float = 0.0) -> None:
         """Insert a triggered event into the queue ``delay`` time units from now."""
         if delay < 0:
             raise SimulationError(f"negative delay {delay!r}")
-        heapq.heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+        calendar = self._calendar
+        if calendar is None:
+            heappush(self._queue, (self._now + delay, priority, next(self._eid), event))
+            if len(self._queue) >= self._calendar_threshold:
+                self._migrate_to_calendar()
+        else:
+            calendar.push(self._now + delay, priority, next(self._eid), event)
+
+    def _schedule_at(self, time: float, priority: int, event: Event) -> None:
+        """Absolute-time insert (run's stop event) honouring the active scheduler.
+
+        ``run(until=<number>)`` must land its stop event in whichever
+        structure currently backs the queue — a raw ``heappush`` into the
+        heap list would silently strand the stop event once the calendar is
+        active and let the simulation drain past ``until``.
+        """
+        calendar = self._calendar
+        if calendar is None:
+            heappush(self._queue, (time, priority, next(self._eid), event))
+        else:
+            calendar.push(time, priority, next(self._eid), event)
+
+    def _migrate_to_calendar(self) -> None:
+        """Move every pending entry from the heap into a calendar queue."""
+        self._calendar = CalendarQueue.from_entries(self._queue)
+        self._queue = []
+        self._calendar_threshold = inf
 
     def peek(self) -> float:
         """Time of the next scheduled event, or ``inf`` if the queue is empty."""
-        return self._queue[0][0] if self._queue else float("inf")
+        calendar = self._calendar
+        if calendar is None:
+            return self._queue[0][0] if self._queue else inf
+        return calendar.peek_time()
 
     @property
     def queue_size(self) -> int:
         """Number of events currently scheduled (diagnostic aid)."""
-        return len(self._queue)
+        calendar = self._calendar
+        return len(self._queue) if calendar is None else len(calendar)
 
     # -- event factories ------------------------------------------------------
     def event(self) -> Event:
@@ -89,13 +183,17 @@ class Environment:
 
         Raises
         ------
-        SimulationError
-            If the queue is empty.
+        QueueEmpty
+            If the queue is empty (a :class:`SimulationError` subclass).
         """
+        calendar = self._calendar
         try:
-            self._now, _, _, event = heapq.heappop(self._queue)
+            if calendar is None:
+                self._now, _, _, event = heappop(self._queue)
+            else:
+                self._now, _, _, event = calendar.pop()
         except IndexError:
-            raise SimulationError("cannot step an empty event queue") from None
+            raise QueueEmpty("cannot step an empty event queue") from None
 
         callbacks, event.callbacks = event.callbacks, None
         if callbacks is None:
@@ -117,8 +215,11 @@ class Environment:
         ----------
         until:
             ``None`` runs until the event queue is exhausted; a number runs
-            until that simulation time; an :class:`Event` runs until that
-            event is processed and returns its value.
+            until that simulation time (events scheduled *at* the stop time
+            with :data:`~Environment.NORMAL` priority are left pending; only
+            URGENT events enqueued at the stop time before ``run`` was called
+            still fire); an :class:`Event` runs until that event is processed
+            and returns its value.
         """
         stop_event: Optional[Event] = None
         if until is None:
@@ -138,24 +239,51 @@ class Environment:
             stop_event._ok = True
             stop_event._value = None
             stop_event.callbacks.append(self._stop_callback)
-            heapq.heappush(self._queue, (at, Environment_URGENT, next(self._eid), stop_event))
+            self._schedule_at(at, Environment_URGENT, stop_event)
 
         try:
-            while self._queue:
-                self.step()
+            self._run_loop()
         except StopSimulation as stop:
             return stop.value
 
-        if stop_event is not None and isinstance(until, Event):
+        # Numeric `until` always stops through its scheduled stop event, so
+        # reaching this point means `until` was None or an Event.
+        if stop_event is not None:
             if not stop_event.triggered:
                 raise SimulationError(
                     "run(until=event) finished but the event never triggered"
                 )
             return stop_event.value
-        if isinstance(until, (int, float)) and until is not None:
-            # Queue exhausted before reaching `until`: simply advance the clock.
-            self._now = max(self._now, float(until))
         return None
+
+    def _run_loop(self) -> None:
+        """Drain the queue (the body of :meth:`run`).
+
+        This is :meth:`step` unrolled into one loop: a simulation run
+        processes hundreds of thousands of events, and the per-event method
+        call and exception frame of calling ``step()`` from Python are
+        measurable.  Any semantic change here must be mirrored in
+        :meth:`step` (and vice versa) — the test suite drives both.
+        """
+        while True:
+            # Re-read the structure each iteration: a schedule() inside a
+            # callback may migrate the heap to the calendar mid-run.
+            calendar = self._calendar
+            try:
+                if calendar is None:
+                    self._now, _, _, event = heappop(self._queue)
+                else:
+                    self._now, _, _, event = calendar.pop()
+            except IndexError:
+                return
+            callbacks = event.callbacks
+            event.callbacks = None
+            if callbacks is None:
+                continue
+            for callback in callbacks:
+                callback(event)
+            if not event._ok and not event._defused:
+                raise event._value
 
     @staticmethod
     def _stop_callback(event: Event) -> None:

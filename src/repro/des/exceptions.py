@@ -9,6 +9,15 @@ class SimulationError(RuntimeError):
     """Raised when the kernel is used incorrectly (e.g. yielding a non-event)."""
 
 
+class QueueEmpty(SimulationError):
+    """Raised by :meth:`Environment.step` when no event is scheduled.
+
+    A subclass of :class:`SimulationError` so existing callers keep working;
+    the run loop catches it precisely to tell "queue drained" apart from
+    errors raised by user code.
+    """
+
+
 class StopSimulation(Exception):
     """Raised internally to stop :meth:`Environment.run` at an ``until`` event."""
 

@@ -25,6 +25,7 @@ stable so the perf trajectory stays machine-readable across PRs::
 
 from __future__ import annotations
 
+import os
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterable
@@ -54,6 +55,8 @@ def run_bench(
     budget: str = "quick",
     seed: int = 0,
     smoke: bool = False,
+    parallel: bool = False,
+    workers: int | None = None,
 ) -> Dict[str, Any]:
     """Run the benchmark scenario set and return the JSON payload.
 
@@ -61,10 +64,26 @@ def run_bench(
     execute every code path (CI keeps the harness from rotting) while making
     no timing claims; smoke payloads are marked so they are never mistaken
     for a trajectory point.
+
+    ``parallel=True`` fans each scenario's operating points out over a
+    process pool (``workers`` processes, default CPU count) through
+    :func:`repro.api.run` — results are bit-identical to the sequential
+    mode, so the artifact's sequential trajectory stays comparable while
+    the ``elapsed_seconds``/``workers`` columns record multi-core scaling.
+    ``wall_clock_seconds`` always sums the per-run simulation cost (CPU-like
+    across workers); ``elapsed_seconds`` is the end-to-end time of the
+    scenario sweep, which is what shrinks with more workers.
     """
     sim = api.simulation_budget(budget, seed)
     if smoke:
         sim = sim.scaled(200 / sim.measured_messages)
+    requested_workers = workers if workers is not None else (os.cpu_count() or 1)
+    # Mirror api.run's pool sizing: the pool never exceeds the task count,
+    # and a single-point sweep runs sequentially in-process — record what
+    # actually happens, not what was asked for.
+    effective_workers = (
+        max(1, min(requested_workers, points)) if parallel and points > 1 else 1
+    )
     payload: Dict[str, Any] = {
         "schema": 1,
         "generated_unix": int(time.time()),
@@ -72,18 +91,31 @@ def run_bench(
         "points": int(points),
         "seed": int(seed),
         "smoke": bool(smoke),
+        "parallel": bool(parallel and effective_workers > 1),
+        "workers": int(effective_workers),
         "scenarios": {},
     }
     for name in scenarios:
         scenario = api.scenario(name, points=points, sim=sim)
         setup_started = time.perf_counter()
         engine = api.SimulationEngine()
-        engine.simulator_for(scenario)  # compile outside the timed region
+        engine.prepare(scenario)  # compile + warm streams outside the timed region
         setup_seconds = time.perf_counter() - setup_started
+        sweep_started = time.perf_counter()
+        if parallel and effective_workers > 1:
+            runset = api.run(
+                scenario, engines=(engine,), parallel=True, max_workers=effective_workers
+            )
+            records = runset.series(engine.name)
+        else:
+            records = tuple(
+                engine.evaluate(scenario, lambda_g)
+                for lambda_g in scenario.offered_traffic
+            )
+        elapsed = time.perf_counter() - sweep_started
         wall = 0.0
         measured = 0
-        for lambda_g in scenario.offered_traffic:
-            record = engine.evaluate(scenario, lambda_g)
+        for record in records:
             result = record.simulation
             wall += result.wall_clock_seconds
             measured += result.measured_messages
@@ -97,6 +129,8 @@ def run_bench(
             "wall_clock_seconds": round(wall, 4),
             "messages_per_second": round(measured / wall, 1),
             "setup_seconds": round(setup_seconds, 4),
+            "elapsed_seconds": round(elapsed, 4),
+            "workers": int(effective_workers),
         }
     return payload
 
@@ -139,6 +173,8 @@ def bench_to_text(payload: Dict[str, Any]) -> str:
     """Human-readable summary of a benchmark payload."""
     lines = []
     tag = " (smoke: no timing claims)" if payload.get("smoke") else ""
+    if payload.get("parallel"):
+        tag += f" (parallel, {payload.get('workers', '?')} workers)"
     lines.append(
         f"simulator benchmark — budget={payload['budget']}, "
         f"points={payload['points']}, seed={payload['seed']}{tag}"

@@ -38,6 +38,9 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "CompiledTreeRoutes",
     "CompiledSystemRoutes",
+    "LAZY_NODE_THRESHOLD",
+    "LazyFlagTable",
+    "LazyRebasedTable",
     "compile_tree_routes",
     "compile_system_routes",
     "decompile",
@@ -45,6 +48,13 @@ __all__ = [
 ]
 
 IdTuple = Tuple[int, ...]
+
+#: Shapes with at least this many nodes fill their route tables lazily, one
+#: source row per first query, instead of eagerly walking all O(N²) pairs at
+#: compile time.  512 nodes (m=8, n=4) is the first Table-1-style shape
+#: where eager compilation costs seconds while a typical scenario only ever
+#: touches the pairs its traffic pattern draws.
+LAZY_NODE_THRESHOLD = 256
 
 
 class CompiledTreeRoutes:
@@ -62,50 +72,107 @@ class CompiledTreeRoutes:
       exit peer ``p`` (injection + up channels);
     * ``descending[p * N + d]`` — the ECN1 descending leg entered at the NCA
       of entry peer ``p`` and ``d`` (down + ejection channels).
+
+    Small shapes compile every row eagerly (the tables are then plain lists
+    with no indirection on the hot path).  Tall shapes — at least
+    :data:`LAZY_NODE_THRESHOLD` nodes, or ``lazy=True`` explicitly — keep
+    the router and fill one *source row* (all four tables for one ``s``) on
+    the first query touching it, so compile cost is O(rows used) instead of
+    O(N²); :attr:`compiled_rows` records which rows exist.
     """
 
-    __slots__ = ("m", "n", "num_nodes", "full", "full_has_switch", "ascending", "descending")
+    __slots__ = (
+        "m",
+        "n",
+        "num_nodes",
+        "full",
+        "full_has_switch",
+        "ascending",
+        "descending",
+        "lazy",
+        "compiled_rows",
+        "_router",
+        "_ids",
+    )
 
-    def __init__(self, m: int, n: int) -> None:
+    def __init__(self, m: int, n: int, lazy: bool | None = None) -> None:
         self.m = int(m)
         self.n = int(n)
         tree = shared_tree(m, n)
         compiled = compile_tree(m, n)
-        router = UpDownRouter(tree)
-        ids = compiled.channel_ids
         num_nodes = tree.num_nodes
         self.num_nodes = num_nodes
+        self.lazy = num_nodes >= LAZY_NODE_THRESHOLD if lazy is None else bool(lazy)
+        self._router = UpDownRouter(tree)
+        self._ids = compiled.channel_ids
+        self.compiled_rows: set = set()
 
-        full: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
-        has_switch: List[bool] = [False] * (num_nodes * num_nodes)
-        ascending: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
-        descending: List[IdTuple | None] = [None] * (num_nodes * num_nodes)
-        for source in range(num_nodes):
-            base = source * num_nodes
-            for other in range(num_nodes):
-                if other == source:
-                    continue
-                route = router.route(source, other)
-                full[base + other] = tuple(ids[channel] for channel in route)
-                has_switch[base + other] = any(
-                    not channel.kind.is_node_channel for channel in route
-                )
-                ascending[base + other] = tuple(
-                    ids[channel] for channel in router.ascending_leg(source, other)
-                )
-                # descending is keyed (entry peer, destination) = (source,
-                # other) here: the leg from the NCA of `source` and `other`
-                # down to `other`.
-                descending[base + other] = tuple(
-                    ids[channel] for channel in router.descending_leg(source, other)
-                )
-        self.full = full
-        self.full_has_switch = has_switch
-        self.ascending = ascending
-        self.descending = descending
+        pairs = num_nodes * num_nodes
+        self.full: List[IdTuple | None] = [None] * pairs
+        self.full_has_switch: List[bool] = [False] * pairs
+        self.ascending: List[IdTuple | None] = [None] * pairs
+        self.descending: List[IdTuple | None] = [None] * pairs
+        if not self.lazy:
+            for source in range(num_nodes):
+                self._fill_row(source)
+            # Eager tables are complete: drop the router and id map so the
+            # module-level shape cache does not pin them for the process
+            # lifetime.
+            self._router = None
+            self._ids = None
+
+    def _fill_row(self, source: int) -> None:
+        """Compile all four tables for one source/entry-peer row."""
+        router = self._router
+        ids = self._ids
+        num_nodes = self.num_nodes
+        full = self.full
+        has_switch = self.full_has_switch
+        ascending = self.ascending
+        descending = self.descending
+        base = source * num_nodes
+        for other in range(num_nodes):
+            if other == source:
+                continue
+            route = router.route(source, other)
+            full[base + other] = tuple(ids[channel] for channel in route)
+            has_switch[base + other] = any(
+                not channel.kind.is_node_channel for channel in route
+            )
+            ascending[base + other] = tuple(
+                ids[channel] for channel in router.ascending_leg(source, other)
+            )
+            # descending is keyed (entry peer, destination) = (source,
+            # other) here: the leg from the NCA of `source` and `other`
+            # down to `other`.
+            descending[base + other] = tuple(
+                ids[channel] for channel in router.descending_leg(source, other)
+            )
+        self.compiled_rows.add(source)
+
+    def ensure_pair(self, source: int, other: int) -> None:
+        """Make sure the row covering ``(source, other)`` is compiled."""
+        if source not in self.compiled_rows:
+            self._fill_row(source)
+
+    def ensure_complete(self) -> None:
+        """Compile every remaining row (setup-time warm-up hook).
+
+        Uniform traffic eventually touches every source row, so a simulation
+        engine preparing a lazy shape fills it here — outside the timed
+        region — instead of paying row compilation inside the first run.
+        Single-pair consumers simply never call this.
+        """
+        for source in range(self.num_nodes):
+            if source not in self.compiled_rows:
+                self._fill_row(source)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"CompiledTreeRoutes(m={self.m}, n={self.n}, nodes={self.num_nodes})"
+        mode = "lazy" if self.lazy else "eager"
+        return (
+            f"CompiledTreeRoutes(m={self.m}, n={self.n}, nodes={self.num_nodes}, "
+            f"{mode}, rows={len(self.compiled_rows)})"
+        )
 
 
 _TREE_ROUTES: Dict[Tuple[int, int], CompiledTreeRoutes] = {}
@@ -128,6 +195,64 @@ def _rebase(table: List[IdTuple | None], offset: int) -> List[IdTuple | None]:
         None if entry is None else tuple(cid + offset for cid in entry)
         for entry in table
     ]
+
+
+class LazyRebasedTable:
+    """Pair-indexed view over a lazily filled shape table, rebased on demand.
+
+    Behaves like the flat lists :func:`_rebase` produces — ``view[pair]``
+    with ``pair = source * N + other`` — but compiles the source row on the
+    first query touching it and memoises the offset-shifted tuple, so a
+    single-pair lookup against a tall shape costs one row compilation, not
+    O(N²).
+    """
+
+    __slots__ = ("_shape", "_table", "_offset", "_entries", "_num_nodes")
+
+    def __init__(self, shape: CompiledTreeRoutes, table: List[IdTuple | None], offset: int) -> None:
+        self._shape = shape
+        self._table = table
+        self._offset = offset
+        self._entries: List[IdTuple | None] = [None] * len(table)
+        self._num_nodes = shape.num_nodes
+
+    def __getitem__(self, pair: int) -> IdTuple | None:
+        entry = self._entries[pair]
+        if entry is None:
+            raw = self._table[pair]
+            if raw is None:
+                source, other = divmod(pair, self._num_nodes)
+                if source == other:
+                    # Diagonal entries stay None, as in the eager tables.
+                    return None
+                self._shape._fill_row(source)
+                raw = self._table[pair]
+            offset = self._offset
+            entry = self._entries[pair] = tuple(cid + offset for cid in raw)
+        return entry
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class LazyFlagTable:
+    """Pair-indexed view over ``full_has_switch`` of a lazily filled shape."""
+
+    __slots__ = ("_shape",)
+
+    def __init__(self, shape: CompiledTreeRoutes) -> None:
+        self._shape = shape
+
+    def __getitem__(self, pair: int) -> bool:
+        shape = self._shape
+        if shape.full[pair] is None:
+            source, other = divmod(pair, shape.num_nodes)
+            if source != other:
+                shape._fill_row(source)
+        return shape.full_has_switch[pair]
+
+    def __len__(self) -> int:
+        return len(self._shape.full_has_switch)
 
 
 class CompiledSystemRoutes:
@@ -164,22 +289,45 @@ class CompiledSystemRoutes:
         descend: List[List[IdTuple | None]] = []
         for index, height in enumerate(spec.cluster_heights):
             shape = compile_tree_routes(spec.m, height)
-            intra.append(_rebase(shape.full, core.icn1_offsets[index]))
-            intra_has_switch.append(shape.full_has_switch)
-            ascend.append(_rebase(shape.ascending, core.ecn1_offsets[index]))
-            descend.append(_rebase(shape.descending, core.ecn1_offsets[index]))
+            if shape.lazy:
+                intra.append(LazyRebasedTable(shape, shape.full, core.icn1_offsets[index]))
+                intra_has_switch.append(LazyFlagTable(shape))
+                ascend.append(LazyRebasedTable(shape, shape.ascending, core.ecn1_offsets[index]))
+                descend.append(LazyRebasedTable(shape, shape.descending, core.ecn1_offsets[index]))
+            else:
+                intra.append(_rebase(shape.full, core.icn1_offsets[index]))
+                intra_has_switch.append(shape.full_has_switch)
+                ascend.append(_rebase(shape.ascending, core.ecn1_offsets[index]))
+                descend.append(_rebase(shape.descending, core.ecn1_offsets[index]))
         icn2_shape = compile_tree_routes(spec.m, spec.icn2_height)
         self.intra = intra
         self.intra_has_switch = intra_has_switch
         self.ascend = ascend
         self.descend = descend
-        self.icn2 = _rebase(icn2_shape.full, core.icn2_offset)
+        self.icn2 = (
+            LazyRebasedTable(icn2_shape, icn2_shape.full, core.icn2_offset)
+            if icn2_shape.lazy
+            else _rebase(icn2_shape.full, core.icn2_offset)
+        )
         self.concentrator = tuple(
             core.concentrator_slot(index) for index in range(spec.num_clusters)
         )
         self.dispatcher = tuple(
             core.dispatcher_slot(index) for index in range(spec.num_clusters)
         )
+
+    def warm(self) -> None:
+        """Fill every lazy shape table completely (setup-time hook).
+
+        Called by :meth:`repro.api.SimulationEngine.prepare` so scenarios
+        whose traffic will touch most pairs anyway (uniform destinations)
+        compile outside the timed region and before process-pool fan-out.
+        """
+        spec = self.core.spec
+        for height in (*spec.cluster_heights, spec.icn2_height):
+            shape = compile_tree_routes(spec.m, height)
+            if shape.lazy:
+                shape.ensure_complete()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"CompiledSystemRoutes({self.core!r})"

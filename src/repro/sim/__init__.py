@@ -21,6 +21,7 @@ realisation of the ECN1 exit points).
 """
 
 from repro.sim.config import SimulationConfig
+from repro.sim.kernel import TransferKernel
 from repro.sim.message import Message, MessagePhase
 from repro.sim.network import ChannelGrant, ChannelPool, FlatChannels
 from repro.sim.statistics import ClusterStatistics, SimulationResult, StatisticsCollector
@@ -28,6 +29,7 @@ from repro.sim.simulator import MultiClusterSimulator
 
 __all__ = [
     "SimulationConfig",
+    "TransferKernel",
     "Message",
     "MessagePhase",
     "ChannelGrant",

@@ -1,0 +1,207 @@
+"""Direct-dispatch message kernel: the wormhole transfer as a flat FSM.
+
+:func:`~repro.sim.wormhole.compiled_transfer` expresses the message life
+cycle as a generator: one ``yield`` per channel grant and per header flit,
+resumed through :class:`~repro.des.events.Process`.  That reads well — it
+*is* the specification — but on the hot path every hop pays a generator
+frame resume, an ``isinstance`` check, a callback append and a fresh
+:class:`~repro.des.events.Timeout` allocation.
+
+:class:`TransferKernel` lowers that life cycle to a finite-state machine
+driven directly by event callbacks:
+
+* each in-flight message owns one slab-recycled :class:`KernelEvent` that is
+  rescheduled for every stage of its journey — the grant of the next
+  channel, the header time of the hop just granted, the tail serialisation —
+  so the per-flit path allocates nothing;
+* the event's single callback is :meth:`TransferKernel._dispatch`, which
+  advances a three-state machine (``GRANT -> HEADER -> { GRANT | TAIL }``)
+  using integer indexes into the journey's precompiled slot tuple;
+* channel state is the same :class:`~repro.sim.network.FlatChannels`
+  instance the generator path uses, acquired/released with the identical
+  FIFO protocol.
+
+**The event sequence is bit-identical to the generator path.**  Every
+``Environment.schedule`` call the generator realisation makes — one grant
+and one header timeout per hop, one tail timeout, releases in acquisition
+order after delivery — happens here at the same simulation time, with the
+same priority, in the same relative order; only the bookkeeping events of
+the process machinery (the URGENT ``Initialize`` kick-off and the process
+completion event, both of which do no work in the transfer) disappear, which
+renumbers event ids without reordering any two surviving events.  The
+golden-seed regression and ``tests/sim/test_kernel.py`` pin the two
+realisations to each other; keep ``wormhole_transfer`` /
+``compiled_transfer`` as the readable specification when modifying this
+file.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from repro.des.core import Environment
+from repro.des.events import Event
+from repro.sim.message import Message
+from repro.sim.network import FlatChannels
+from repro.utils.validation import ValidationError
+
+__all__ = ["KernelEvent", "TransferKernel"]
+
+#: FSM states: what the in-flight kernel event currently represents.
+_GRANT = 0    # waiting for / just granted the channel at `position`
+_HEADER = 1   # header flit crossing the channel at `position`
+_TAIL = 2     # body flits serialising behind the delivered header
+
+
+class KernelEvent(Event):
+    """The one recycled event record of an in-flight transfer.
+
+    The same object serves as every channel grant and every timeout of its
+    transfer: :class:`~repro.sim.network.FlatChannels` tracks holders by
+    identity per slot, so one event can hold a whole journey's channels at
+    once, and the environment detaches ``callbacks`` on processing, so the
+    dispatcher re-arms the event before each reschedule.
+    """
+
+    __slots__ = ("transfer",)
+
+    def __init__(self, env: Environment, transfer: "_Transfer") -> None:
+        super().__init__(env)
+        self.transfer = transfer
+
+
+class _Transfer:
+    """Journey state of one in-flight message (slab-recycled)."""
+
+    __slots__ = ("message", "slots", "position", "tail_time", "state", "event", "callbacks")
+
+    def __init__(self, kernel: "TransferKernel") -> None:
+        self.message: Optional[Message] = None
+        self.slots: Tuple[int, ...] = ()
+        self.position = 0
+        self.tail_time = 0.0
+        self.state = _GRANT
+        self.event = KernelEvent(kernel.env, self)
+        #: the permanent single-callback list the event is re-armed with
+        self.callbacks = [kernel._dispatch]
+
+
+class TransferKernel:
+    """Direct-dispatch twin of :func:`~repro.sim.wormhole.compiled_transfer`.
+
+    Parameters
+    ----------
+    env / channels / header_times:
+        The run's environment, flat channel state and per-slot flit-time
+        table (shared by every transfer of the run).
+    on_delivered:
+        Callback invoked with the message after its tail arrives — the same
+        hook the generator path takes.
+    """
+
+    __slots__ = (
+        "env",
+        "channels",
+        "header_times",
+        "on_delivered",
+        "_free",
+        "started",
+        "completed",
+        "_schedule",
+        "_acquire",
+        "_release",
+    )
+
+    def __init__(
+        self,
+        env: Environment,
+        channels: FlatChannels,
+        header_times: Sequence[float],
+        on_delivered: Callable[[Message], None] | None = None,
+    ) -> None:
+        self.env = env
+        self.channels = channels
+        self.header_times = header_times
+        self.on_delivered = on_delivered
+        #: recycled transfer records (each owns its kernel event)
+        self._free: List[_Transfer] = []
+        #: lifetime counters (diagnostics; `in_flight` is their difference)
+        self.started = 0
+        self.completed = 0
+        # Pre-bound hot-path callables (one attribute walk per run, not per
+        # event).
+        self._schedule = env.schedule
+        self._acquire = channels.acquire
+        self._release = channels.release
+
+    @property
+    def in_flight(self) -> int:
+        """Number of transfers currently somewhere in the network."""
+        return self.started - self.completed
+
+    def start(self, message: Message, slots: Tuple[int, ...], tail_time: float) -> None:
+        """Inject ``message`` on the journey ``slots`` (precompiled ids).
+
+        Equivalent to ``env.process(compiled_transfer(...))`` on the
+        generator path: the first channel is requested immediately at the
+        current simulation time.
+        """
+        if not slots:
+            raise ValidationError("a journey needs at least one hop")
+        free = self._free
+        transfer = free.pop() if free else _Transfer(self)
+        transfer.message = message
+        transfer.slots = slots
+        transfer.position = 0
+        transfer.tail_time = tail_time
+        transfer.state = _GRANT
+        event = transfer.event
+        event.callbacks = transfer.callbacks
+        self.started += 1
+        self._acquire(slots[0], event)
+
+    # ------------------------------------------------------------- dispatch
+    def _dispatch(self, event: KernelEvent) -> None:
+        """Advance one transfer by one event (the kernel's only callback)."""
+        transfer = event.transfer
+        state = transfer.state
+        if state == _GRANT:
+            position = transfer.position
+            if position == 0:
+                # The wait for the first (injection) slot is the source-queue
+                # delay of the analytical model.
+                transfer.message.mark_injected(self.env._now)
+            transfer.state = _HEADER
+            event.callbacks = transfer.callbacks
+            self._schedule(event, delay=self.header_times[transfer.slots[position]])
+        elif state == _HEADER:
+            slots = transfer.slots
+            position = transfer.position + 1
+            if position < len(slots):
+                transfer.position = position
+                transfer.state = _GRANT
+                event.callbacks = transfer.callbacks
+                self._acquire(slots[position], event)
+            elif transfer.tail_time > 0.0:
+                transfer.state = _TAIL
+                event.callbacks = transfer.callbacks
+                self._schedule(event, delay=transfer.tail_time)
+            else:
+                self._finish(transfer)
+        else:
+            self._finish(transfer)
+
+    def _finish(self, transfer: _Transfer) -> None:
+        """Deliver the message and release the whole journey in hop order."""
+        message = transfer.message
+        message.mark_delivered(self.env._now)
+        if self.on_delivered is not None:
+            self.on_delivered(message)
+        release = self._release
+        event = transfer.event
+        for slot in transfer.slots:
+            release(slot, event)
+        transfer.message = None
+        transfer.slots = ()
+        self.completed += 1
+        self._free.append(transfer)

@@ -120,11 +120,22 @@ class FlatChannels:
       event push the object path performs inside ``Request.cancel``.
     """
 
-    __slots__ = ("env", "num_slots", "holder", "granted_at", "busy_time", "total_grants", "queues")
+    __slots__ = (
+        "env",
+        "num_slots",
+        "holder",
+        "granted_at",
+        "busy_time",
+        "total_grants",
+        "queues",
+        "_schedule",
+    )
 
     def __init__(self, env: Environment, num_slots: int) -> None:
         self.env = env
         self.num_slots = num_slots
+        #: pre-bound scheduler entry point (hot path: one grant per hop)
+        self._schedule = env.schedule
         #: grant currently holding each slot (None when free)
         self.holder: List[Optional[ChannelGrant]] = [None] * num_slots
         #: timestamp the current holder acquired the slot
@@ -136,16 +147,22 @@ class FlatChannels:
         #: FIFO wait queues, created lazily on first contention
         self.queues: List[Optional[deque]] = [None] * num_slots
 
-    def acquire(self, slot: int) -> ChannelGrant:
-        """Claim ``slot``; the returned event fires once the claim holds."""
-        grant = ChannelGrant(self.env)
+    def acquire(self, slot: int, grant: Optional[Event] = None) -> Event:
+        """Claim ``slot``; the returned event fires once the claim holds.
+
+        ``grant`` lets the direct-dispatch kernel pass in a recycled event
+        record instead of allocating a fresh :class:`ChannelGrant` per hop;
+        the scheduling behaviour is identical either way.
+        """
+        if grant is None:
+            grant = ChannelGrant(self.env)
         if self.holder[slot] is None:
             self.holder[slot] = grant
-            self.granted_at[slot] = self.env.now
+            self.granted_at[slot] = self.env._now
             self.total_grants[slot] += 1
             grant._ok = True
             grant._value = None
-            self.env.schedule(grant)
+            self._schedule(grant)
         else:
             queue = self.queues[slot]
             if queue is None:
@@ -153,10 +170,10 @@ class FlatChannels:
             queue.append(grant)
         return grant
 
-    def release(self, slot: int, grant: ChannelGrant) -> None:
+    def release(self, slot: int, grant: Event) -> None:
         """Release ``slot`` if ``grant`` holds it; withdraw it otherwise."""
         if self.holder[slot] is grant:
-            now = self.env.now
+            now = self.env._now
             self.busy_time[slot] += now - self.granted_at[slot]
             queue = self.queues[slot]
             if queue:
@@ -166,7 +183,7 @@ class FlatChannels:
                 self.total_grants[slot] += 1
                 successor._ok = True
                 successor._value = None
-                self.env.schedule(successor)
+                self._schedule(successor)
             else:
                 self.holder[slot] = None
         else:

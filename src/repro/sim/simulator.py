@@ -17,17 +17,24 @@ hot path: the constructor pulls the (module-cached) compiled channel-id
 space of the organisation (:func:`repro.topology.compile.compile_system`)
 and its precompiled route tables
 (:func:`repro.routing.compile.compile_system_routes`), and every message
-process is a :func:`~repro.sim.wormhole.compiled_transfer` acquiring
-channels by dense integer id against :class:`~repro.sim.network.FlatChannels`
-state.  The event sequence is identical to the object-path realisation
+moves over dense integer channel ids against
+:class:`~repro.sim.network.FlatChannels` state.  The message life cycle
+itself runs on the direct-dispatch FSM of
+:class:`~repro.sim.kernel.TransferKernel` by default (``kernel="dispatch"``),
+with :func:`~repro.sim.wormhole.compiled_transfer` retained as the
+generator-coroutine specification (``kernel="generator"`` or
+``REPRO_SIM_KERNEL=generator``), and per-run random streams restored from
+the pooled PCG64 snapshots of :mod:`repro.utils.rng`.  The event sequence
+is identical across kernels and identical to the object-path realisation
 (``ChannelPool`` + ``wormhole_transfer``), which remains in
 :mod:`repro.sim.wormhole` as the readable specification; a golden-seed
-regression test pins the statistics of the two representations to each
-other.
+regression test pins the statistics of all representations to each other.
 """
 
 from __future__ import annotations
 
+import gc
+import os
 import time as _time
 from typing import Dict, List, Optional
 
@@ -35,6 +42,7 @@ from repro.des import Environment
 from repro.model.parameters import MessageSpec, PAPER_TIMING, TimingParameters
 from repro.routing.compile import compile_system_routes
 from repro.sim.config import SimulationConfig
+from repro.sim.kernel import TransferKernel
 from repro.sim.message import Message
 from repro.sim.network import FlatChannels
 from repro.sim.statistics import SimulationResult, StatisticsCollector
@@ -42,10 +50,17 @@ from repro.sim.wormhole import compiled_transfer, draw_peer
 from repro.topology.compile import compile_system
 from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.rng import RandomStreams
-from repro.utils.validation import check_positive
+from repro.utils.validation import ValidationError, check_positive
 from repro.workloads.base import TrafficPattern
 from repro.workloads.poisson import PoissonArrivals
 from repro.workloads.uniform import UniformTraffic
+
+#: Recognised message-kernel realisations (see :mod:`repro.sim.kernel`).
+KERNEL_MODES = ("dispatch", "generator")
+
+#: Per-node stream kinds a run draws from (arrival gaps, destinations,
+#: distributed-concentrator peers).
+STREAM_KINDS = ("arrivals", "destinations", "peers")
 
 
 class MultiClusterSimulator:
@@ -69,6 +84,15 @@ class MultiClusterSimulator:
         generation (assumption 1).  Passing
         :class:`~repro.workloads.DeterministicArrivals` turns the generator
         into the variance ablation discussed in DESIGN.md.
+    kernel:
+        Message-lifecycle realisation: ``"dispatch"`` (default) drives the
+        direct-dispatch FSM of :class:`~repro.sim.kernel.TransferKernel`;
+        ``"generator"`` keeps the coroutine specification path
+        (:func:`~repro.sim.wormhole.compiled_transfer`).  Both replay the
+        identical event sequence — the choice affects wall-clock only.
+        Defaults to the ``REPRO_SIM_KERNEL`` environment variable when
+        unset, so a debugging session can force the readable path without
+        touching code.
     """
 
     def __init__(
@@ -79,6 +103,7 @@ class MultiClusterSimulator:
         config: SimulationConfig = SimulationConfig(),
         pattern: Optional[TrafficPattern] = None,
         arrivals_factory=None,
+        kernel: Optional[str] = None,
     ) -> None:
         self.spec = spec
         self.message = message
@@ -88,6 +113,13 @@ class MultiClusterSimulator:
         self.arrivals_factory = (
             arrivals_factory if arrivals_factory is not None else PoissonArrivals
         )
+        if kernel is None:
+            kernel = os.environ.get("REPRO_SIM_KERNEL", "dispatch")
+        if kernel not in KERNEL_MODES:
+            raise ValidationError(
+                f"unknown simulation kernel {kernel!r}; expected one of {KERNEL_MODES}"
+            )
+        self.kernel = kernel
         #: compiled channel-id space and route tables (module-cached per
         #: spec: shared across operating points, engines and pool workers)
         self.core = compile_system(spec)
@@ -136,6 +168,33 @@ class MultiClusterSimulator:
         """One simulation run per offered-traffic value."""
         return [self.run(value, config=config) for value in lambdas]
 
+    def warm_streams(self, config: Optional[SimulationConfig] = None) -> None:
+        """Build every per-node random stream once for the run seed.
+
+        Constructing a stream seeds a PCG64 generator through SeedSequence
+        entropy mixing — the dominant per-run setup cost on 1000+-node
+        systems.  Each construction snapshots its initial state into the
+        module-level pool of :mod:`repro.utils.rng`, so every later run of
+        the same seed (each sweep point, and — under a fork start — every
+        pool worker) restores states instead of re-mixing.
+        """
+        run_config = config if config is not None else self.config
+        streams = RandomStreams(run_config.seed, pooled=True)
+        for cluster_index, node in self.system.nodes():
+            for kind in STREAM_KINDS:
+                streams.get(kind, cluster_index, node.index)
+
+    def prepare(self, config: Optional[SimulationConfig] = None) -> None:
+        """Pay every remaining setup cost now, outside any timed region.
+
+        Covers the stream pool (:meth:`warm_streams`) and the lazy route
+        rows of tall shapes — a uniform pattern touches every source row
+        eventually, so filling them here keeps row compilation out of the
+        first timed run and out of every process-pool worker.
+        """
+        self.warm_streams(config)
+        self.routes.warm()
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"MultiClusterSimulator(N={self.spec.total_nodes}, C={self.spec.num_clusters}, "
@@ -153,10 +212,20 @@ class _RunState:
         self.lambda_g = lambda_g
         self.config = config
         self.env = Environment()
-        self.streams = RandomStreams(config.seed)
+        self.streams = RandomStreams(config.seed, pooled=True)
         self.arrivals = simulator.arrivals_factory(lambda_g)
         core = simulator.core
         self.channels = FlatChannels(self.env, core.total_slots)
+        self.kernel: Optional[TransferKernel] = (
+            TransferKernel(
+                self.env,
+                self.channels,
+                simulator._header_times,
+                on_delivered=self._on_delivered,
+            )
+            if simulator.kernel == "dispatch"
+            else None
+        )
         #: which slots appeared on any built journey, and in which order per
         #: pool — mirrors the lazy-creation order of the object path's
         #: ChannelPool dicts so utilisation aggregation sums identically
@@ -173,7 +242,21 @@ class _RunState:
         for cluster_index, node in self.simulator.system.nodes():
             self.env.process(self._source_process(cluster_index, node.index))
         guard = self.env.timeout(self.config.max_time)
-        self.env.run(until=self.done | guard)
+        # The event loop allocates heavily (queue entries, messages) but its
+        # hot path creates no cyclic garbage — everything dies by refcount,
+        # and the slab-recycled kernel records never die at all.  Cyclic GC
+        # passes during the loop would rescan the (large, immortal) compiled
+        # route tables over and over, costing up to ~40% of a run on
+        # 1000-node systems, so collection is suspended for the duration and
+        # any stragglers are picked up when the caller's GC resumes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
+        try:
+            self.env.run(until=self.done | guard)
+        finally:
+            if gc_was_enabled:
+                gc.enable()
         if not self.done.triggered:
             self.timed_out = True
 
@@ -240,6 +323,7 @@ class _RunState:
         length_flits = simulator.message.length_flits
         warmup = config.warmup_messages
         measured_end = warmup + config.measured_messages
+        kernel = self.kernel
         while True:
             yield env.timeout(self.arrivals.next_interarrival(rng))
             if self.generated >= config.total_messages:
@@ -260,17 +344,20 @@ class _RunState:
                 measured=warmup <= index < measured_end,
             )
             slots, tail_time = self._build_journey(message, peer_rng)
-            env.process(
-                compiled_transfer(
-                    env,
-                    message,
-                    slots,
-                    self.channels,
-                    simulator._header_times,
-                    tail_time,
-                    on_delivered=self._on_delivered,
+            if kernel is not None:
+                kernel.start(message, slots, tail_time)
+            else:
+                env.process(
+                    compiled_transfer(
+                        env,
+                        message,
+                        slots,
+                        self.channels,
+                        simulator._header_times,
+                        tail_time,
+                        on_delivered=self._on_delivered,
+                    )
                 )
-            )
 
     def _touch(self, slots) -> None:
         """Record journey slots in pool-local first-touch order."""

@@ -42,6 +42,19 @@ def _stable_key_hash(part: Hashable) -> int:
 _SEED_SEQUENCES: Dict[tuple, np.random.SeedSequence] = {}
 _SEED_SEQUENCE_CACHE_LIMIT = 262_144
 
+#: Module-level stream pool: (entropy, key) -> (Generator, initial PCG64
+#: state snapshot).  Seeding a generator pays SeedSequence entropy mixing
+#: (~7 microseconds); restoring a snapshot into an existing generator is a
+#: C-level dict assignment (~1.5 microseconds) — so a pooled
+#: :class:`RandomStreams` hands out the *same* generator objects every run,
+#: reset to their initial state, and a 1000+-node sweep stops paying stream
+#: construction per point.  The pool is only safe while a single simulation
+#: run per (seed, key) family is active at a time in the process (true for
+#: the simulator: runs are strictly sequential per process, and parallel
+#: sweeps use separate worker processes), which is why pooling is opt-in.
+_STREAM_POOL: Dict[tuple, tuple] = {}
+_STREAM_POOL_LIMIT = 262_144
+
 
 def spawn_rng(seed: int | None, index: int = 0) -> np.random.Generator:
     """Create a generator for stream ``index`` derived from ``seed``.
@@ -59,6 +72,15 @@ def spawn_rng(seed: int | None, index: int = 0) -> np.random.Generator:
 class RandomStreams:
     """A named family of independent random generators.
 
+    ``pooled=True`` (used by the simulator's per-run state) additionally
+    shares generator *objects* through a module-level pool: the first
+    construction of a stream snapshots its initial PCG64 state, and every
+    later :class:`RandomStreams` asking for the same (seed, key) gets the
+    same generator restored to that snapshot.  The draws are bit-identical
+    to a freshly seeded stream; only the seeding cost disappears.  Pooled
+    families must not be used concurrently from two live instances with the
+    same seed (the simulator never does — runs are sequential per process).
+
     Example
     -------
     >>> streams = RandomStreams(seed=42)
@@ -66,14 +88,21 @@ class RandomStreams:
     >>> dests = streams.get("destinations", 3)  # independent stream
     """
 
-    def __init__(self, seed: int | None = None) -> None:
+    def __init__(self, seed: int | None = None, *, pooled: bool = False) -> None:
         self._seed = seed
         self._root = np.random.SeedSequence(seed)
         self._cache: Dict[Hashable, np.random.Generator] = {}
+        # OS-entropy streams are non-reproducible, so there is no meaningful
+        # initial state to share; pooling is a no-op for seed=None.
+        self._pooled = pooled and seed is not None
 
     @property
     def seed(self) -> int | None:
         return self._seed
+
+    @property
+    def pooled(self) -> bool:
+        return self._pooled
 
     def get(self, *key: Hashable) -> np.random.Generator:
         """Return (and memoise) the generator identified by ``key``.
@@ -87,6 +116,13 @@ class RandomStreams:
         if generator is None:
             entropy = self._root.entropy if self._root.entropy is not None else 0
             cache_key = (entropy, key)
+            if self._pooled:
+                pooled = _STREAM_POOL.get(cache_key)
+                if pooled is not None:
+                    generator, snapshot = pooled
+                    generator.bit_generator.state = snapshot
+                    self._cache[key] = generator
+                    return generator
             sequence = _SEED_SEQUENCES.get(cache_key)
             if sequence is None:
                 material = [entropy]
@@ -96,6 +132,10 @@ class RandomStreams:
                     _SEED_SEQUENCES.clear()
                 sequence = _SEED_SEQUENCES[cache_key] = np.random.SeedSequence(material)
             generator = self._cache[key] = np.random.default_rng(sequence)
+            if self._pooled:
+                if len(_STREAM_POOL) >= _STREAM_POOL_LIMIT:
+                    _STREAM_POOL.clear()
+                _STREAM_POOL[cache_key] = (generator, generator.bit_generator.state)
         return generator
 
     def fresh(self) -> np.random.Generator:
@@ -105,3 +145,8 @@ class RandomStreams:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"RandomStreams(seed={self._seed!r}, streams={len(self._cache)})"
+
+
+def clear_stream_pool() -> None:
+    """Drop all pooled generators and snapshots (test isolation hook)."""
+    _STREAM_POOL.clear()

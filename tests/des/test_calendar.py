@@ -1,0 +1,318 @@
+"""Tests of the calendar-queue scheduler layer.
+
+The contract is absolute: whichever structure backs the event queue, events
+pop in identical order — ``(time, priority, eid)`` — so scheduler choice can
+never change simulation results.  The property test drives the calendar
+queue and a flat heap through the same random push/pop schedules and
+compares the sequences element for element.
+"""
+
+import heapq
+from math import inf
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import CalendarQueue, Environment, QueueEmpty, SimulationError
+from repro.des.calendar import MIN_WIDTH
+
+
+class TestCalendarQueueUnit:
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(SimulationError):
+            CalendarQueue(width=0.0)
+        with pytest.raises(SimulationError):
+            CalendarQueue(width=-1.0)
+
+    def test_pop_on_empty_raises_index_error_like_heappop(self):
+        queue = CalendarQueue()
+        with pytest.raises(IndexError):
+            queue.pop()
+
+    def test_peek_time_empty_is_infinite(self):
+        assert CalendarQueue().peek_time() == inf
+
+    def test_fifo_within_equal_time_and_priority(self):
+        queue = CalendarQueue(width=0.5)
+        for eid in range(5):
+            queue.push(1.0, 1, eid, f"event-{eid}")
+        assert [queue.pop()[3] for _ in range(5)] == [f"event-{eid}" for eid in range(5)]
+
+    def test_priority_beats_insertion_order_at_equal_times(self):
+        queue = CalendarQueue()
+        queue.push(2.0, 1, 0, "normal")
+        queue.push(2.0, 0, 1, "urgent")
+        assert queue.pop()[3] == "urgent"
+        assert queue.pop()[3] == "normal"
+
+    def test_entries_spanning_many_buckets_pop_in_time_order(self):
+        queue = CalendarQueue(width=0.25)
+        times = [9.0, 0.1, 4.5, 4.5001, 2.0, 100.0, 0.2]
+        for eid, time in enumerate(times):
+            queue.push(time, 1, eid, time)
+        assert [queue.pop()[0] for _ in range(len(times))] == sorted(times)
+        assert len(queue) == 0
+
+    def test_from_entries_preserves_every_entry(self):
+        entries = [(float(i % 7), 1, i, i) for i in range(50)]
+        heap = sorted(entries)
+        queue = CalendarQueue.from_entries(entries)
+        assert len(queue) == 50
+        assert [queue.pop() for _ in range(50)] == heap
+
+    def test_from_entries_empty(self):
+        queue = CalendarQueue.from_entries([])
+        assert len(queue) == 0
+        assert queue.peek_time() == inf
+
+    def test_from_entries_degenerate_span_uses_width_floor(self):
+        entries = [(3.0, 1, eid, eid) for eid in range(10)]
+        queue = CalendarQueue.from_entries(entries)
+        assert queue.width >= MIN_WIDTH
+        assert [queue.pop()[2] for _ in range(10)] == list(range(10))
+
+
+@st.composite
+def _push_pop_schedule(draw):
+    """Interleaved (push entries, pop counts) operations."""
+    ops = draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    st.integers(min_value=0, max_value=1),
+                ),
+                st.just(("pop",)),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+    return ops
+
+
+class TestPopOrderMatchesHeap:
+    @given(_push_pop_schedule(), st.floats(min_value=1e-6, max_value=50.0))
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_schedule_pops_identically(self, ops, width):
+        """The tentpole property: calendar pop order == heap pop order."""
+        heap = []
+        calendar = CalendarQueue(width=width)
+        eid = 0
+        heap_popped, calendar_popped = [], []
+        for op in ops:
+            if op[0] == "push":
+                _, time, priority = op
+                heapq.heappush(heap, (time, priority, eid, None))
+                calendar.push(time, priority, eid, None)
+                eid += 1
+            else:
+                if heap:
+                    heap_popped.append(heapq.heappop(heap))
+                    calendar_popped.append(calendar.pop())
+        # Drain whatever is left.
+        while heap:
+            heap_popped.append(heapq.heappop(heap))
+            calendar_popped.append(calendar.pop())
+        assert calendar_popped == heap_popped
+        assert len(calendar) == 0
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6, allow_nan=False), min_size=1))
+    @settings(max_examples=100, deadline=None)
+    def test_migration_snapshot_preserves_order(self, times):
+        entries = [(time, 1, eid, None) for eid, time in enumerate(times)]
+        queue = CalendarQueue.from_entries(entries)
+        assert [queue.pop() for _ in range(len(entries))] == sorted(entries)
+
+
+class TestEnvironmentSchedulerSelection:
+    def test_default_is_auto_on_the_heap(self):
+        env = Environment()
+        assert env.scheduler == "auto"
+        assert env.active_scheduler == "heap"
+
+    def test_unknown_scheduler_rejected(self):
+        with pytest.raises(SimulationError):
+            Environment(scheduler="fifo")
+
+    def test_env_var_selects_scheduler(self, monkeypatch):
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", "calendar")
+        assert Environment().active_scheduler == "calendar"
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", "heap")
+        assert Environment().active_scheduler == "heap"
+
+    def test_forced_calendar_runs_processes_identically(self):
+        def run_with(scheduler):
+            env = Environment(scheduler=scheduler)
+            order = []
+
+            def proc(env, label, delay):
+                yield env.timeout(delay)
+                order.append((label, env.now))
+                yield env.timeout(delay)
+                order.append((label, env.now))
+
+            for label, delay in (("a", 2.0), ("b", 1.0), ("c", 2.0)):
+                env.process(proc(env, label, delay))
+            env.run()
+            return order
+
+        assert run_with("calendar") == run_with("heap")
+
+    def test_auto_migrates_past_threshold_and_keeps_order(self):
+        env = Environment(calendar_threshold=16)
+        fired = []
+
+        def proc(env, label, delay):
+            yield env.timeout(delay)
+            fired.append((env.now, label))
+
+        assert env.active_scheduler == "heap"
+        for index in range(40):
+            env.process(proc(env, index, 1.0 + (index % 5)))
+        # Forty processes schedule well past the threshold of 16: the queue
+        # migrates as soon as the heap crosses it.
+        assert env.active_scheduler == "calendar"
+        env.run()
+        reference = sorted(fired)
+        # Same-time processes fire in creation order; earlier times first.
+        assert fired == reference
+
+    def test_heap_mode_never_migrates(self):
+        env = Environment(scheduler="heap", calendar_threshold=2)
+        for _ in range(10):
+            env.timeout(1.0)
+        assert env.active_scheduler == "heap"
+
+    def test_peek_and_queue_size_under_calendar(self):
+        env = Environment(scheduler="calendar")
+        assert env.peek() == inf
+        assert env.queue_size == 0
+        env.timeout(7.0)
+        env.timeout(3.0)
+        assert env.peek() == 3.0
+        assert env.queue_size == 2
+        env.step()
+        assert env.now == 3.0
+        assert env.peek() == 7.0
+        assert env.queue_size == 1
+
+    def test_step_empty_calendar_raises_queue_empty(self):
+        env = Environment(scheduler="calendar")
+        with pytest.raises(QueueEmpty):
+            env.step()
+        # QueueEmpty is a SimulationError, so old handlers still catch it.
+        with pytest.raises(SimulationError):
+            env.step()
+
+
+@pytest.mark.parametrize("scheduler", ["heap", "calendar"])
+class TestRunUntilBoundary:
+    """Regression: ``run(until=t)`` stops *at* t via its scheduled stop event.
+
+    The stop event must land in whichever structure backs the queue — a raw
+    heap push would strand it once the calendar is active and silently drain
+    events past ``until``.  Equal-time ordering at the boundary is pinned:
+    URGENT events enqueued at the stop time *before* ``run`` still fire,
+    NORMAL ones (and URGENT ones scheduled after ``run`` began) stay pending.
+    """
+
+    def test_normal_event_at_stop_time_is_left_pending(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        timeout = env.timeout(5.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert not timeout.processed
+        assert env.queue_size == 1
+
+    def test_event_beyond_until_is_never_processed(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        fired = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(2.0)
+                fired.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert fired == [2.0, 4.0]
+
+    def test_urgent_tie_scheduled_before_run_fires_first(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        fired = []
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.callbacks.append(lambda e: fired.append(env.now))
+        env.schedule(event, priority=env.URGENT, delay=5.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert fired == [5.0]
+
+    def test_urgent_scheduled_during_boundary_stays_pending(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        fired = []
+
+        def chain(first_event):
+            fired.append("first")
+            follow = env.event()
+            follow._ok = True
+            follow._value = None
+            follow.callbacks.append(lambda e: fired.append("second"))
+            # Scheduled at the stop time but after run() began: the stop
+            # event's earlier eid wins the URGENT tie.
+            env.schedule(follow, priority=env.URGENT)
+
+        event = env.event()
+        event._ok = True
+        event._value = None
+        event.callbacks.append(chain)
+        env.schedule(event, priority=env.URGENT, delay=5.0)
+        env.run(until=5.0)
+        assert env.now == 5.0
+        assert fired == ["first"]
+        assert env.queue_size == 1
+        # Resuming past the boundary processes the leftover urgent event.
+        env.run()
+        assert fired == ["first", "second"]
+
+    def test_resume_after_boundary_continues(self, scheduler):
+        env = Environment(scheduler=scheduler)
+        ticks = []
+
+        def proc(env):
+            while True:
+                yield env.timeout(1.0)
+                ticks.append(env.now)
+
+        env.process(proc(env))
+        env.run(until=3.0)
+        assert ticks == [1.0, 2.0]
+        env.run(until=5.0)
+        assert ticks == [1.0, 2.0, 3.0, 4.0]
+
+    def test_stop_event_survives_auto_migration(self, scheduler):
+        if scheduler == "calendar":
+            pytest.skip("migration only happens from the heap")
+        env = Environment(calendar_threshold=8)
+        fired = []
+
+        def proc(env, delay):
+            yield env.timeout(delay)
+            fired.append(env.now)
+
+        # run(until) is issued while the heap is active; the flood of
+        # processes migrates the queue to the calendar before the boundary.
+        for index in range(30):
+            env.process(proc(env, 1.0 + 0.1 * index))
+        env.run(until=2.0)
+        assert env.active_scheduler == "calendar"
+        assert env.now == 2.0
+        assert all(time < 2.0 for time in fired)
+        remaining = env.queue_size
+        assert remaining > 0
+        env.run()
+        assert len(fired) == 30

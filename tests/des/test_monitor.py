@@ -217,3 +217,80 @@ class TestCounter:
 
 def _advance(env, delay):
     yield env.timeout(delay)
+
+
+class TestCollectorsUnderCalendarScheduler:
+    """The collectors read ``env.now`` only — scheduler choice cannot skew them.
+
+    Exercised explicitly because the calendar queue changes how the clock
+    advances between callbacks (bucketed pops instead of heap pops).
+    """
+
+    def test_time_weighted_value_integrates_identically(self):
+        def run_with(scheduler):
+            env = Environment(scheduler=scheduler)
+            signal = TimeWeightedValue(env, initial=1.0)
+
+            def proc(env):
+                yield env.timeout(2.0)
+                signal.set(3.0)
+                yield env.timeout(2.0)
+                signal.set(0.0)
+                yield env.timeout(4.0)
+
+            env.process(proc(env))
+            env.run()
+            return (signal.time_average, signal.maximum, signal.minimum, env.now)
+
+        heap = run_with("heap")
+        calendar = run_with("calendar")
+        assert heap == calendar
+        assert heap[0] == pytest.approx((1.0 * 2 + 3.0 * 2 + 0.0 * 4) / 8.0)
+
+    def test_counter_rate_identical_across_schedulers(self):
+        def run_with(scheduler):
+            env = Environment(scheduler=scheduler)
+            counter = Counter(env)
+
+            def proc(env):
+                for _ in range(5):
+                    yield env.timeout(2.0)
+                    counter.increment()
+
+            env.process(proc(env))
+            env.run()
+            return (counter.count, counter.rate)
+
+        assert run_with("heap") == run_with("calendar")
+        assert run_with("calendar") == (5, 0.5)
+
+    def test_tally_under_calendar_driven_simulation(self):
+        env = Environment(scheduler="calendar")
+        tally = Tally("latencies")
+
+        def proc(env, delay):
+            start = env.now
+            yield env.timeout(delay)
+            tally.record(env.now - start)
+
+        for delay in (1.0, 2.0, 3.0, 4.0):
+            env.process(proc(env, delay))
+        env.run()
+        assert tally.count == 4
+        assert tally.mean == pytest.approx(2.5)
+        assert tally.minimum == 1.0
+        assert tally.maximum == 4.0
+
+    def test_time_weighted_reset_mid_run_under_calendar(self):
+        env = Environment(scheduler="calendar")
+        signal = TimeWeightedValue(env, initial=2.0)
+
+        def proc(env):
+            yield env.timeout(4.0)
+            signal.reset(value=1.0)
+            yield env.timeout(2.0)
+
+        env.process(proc(env))
+        env.run()
+        assert signal.elapsed == pytest.approx(2.0)
+        assert signal.time_average == pytest.approx(1.0)

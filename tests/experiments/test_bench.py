@@ -89,3 +89,102 @@ class TestBenchText:
             label="tiny",
         )
         assert "x vs tiny" in bench_to_text(merged)
+
+
+class TestParallelBench:
+    def test_parallel_payload_records_workers_and_matches_sequential(self):
+        sequential = run_bench(("heterogeneous",), points=2, smoke=True)
+        parallel = run_bench(
+            ("heterogeneous",), points=2, smoke=True, parallel=True, workers=2
+        )
+        assert parallel["parallel"] is True
+        assert parallel["workers"] == 2
+        assert sequential["parallel"] is False
+        assert sequential["workers"] == 1
+        seq_entry = sequential["scenarios"]["heterogeneous"]
+        par_entry = parallel["scenarios"]["heterogeneous"]
+        assert par_entry["workers"] == 2
+        assert seq_entry["workers"] == 1
+        # Parallel sweeps are bit-identical: same messages measured, and the
+        # elapsed end-to-end time is recorded alongside the summed wall.
+        assert par_entry["measured_messages"] == seq_entry["measured_messages"]
+        assert par_entry["elapsed_seconds"] > 0
+        assert seq_entry["elapsed_seconds"] > 0
+
+    def test_parallel_text_mentions_workers(self):
+        payload = run_bench(
+            ("heterogeneous",), points=2, smoke=True, parallel=True, workers=2
+        )
+        assert "2 workers" in bench_to_text(payload)
+
+
+class TestDiffBenchScript:
+    """The CI regression gate over BENCH_simulator.json payloads."""
+
+    @staticmethod
+    def _diff():
+        import importlib.util
+        from pathlib import Path
+
+        script = Path(__file__).resolve().parents[2] / "benchmarks" / "diff_bench.py"
+        spec = importlib.util.spec_from_file_location("diff_bench", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module
+
+    def test_within_tolerance_passes(self):
+        diff_bench = self._diff()
+        committed = {"scenarios": {"fig3": {"messages_per_second": 100.0}}}
+        fresh = {"scenarios": {"fig3": {"messages_per_second": 80.0}}}
+        assert diff_bench.diff_payloads(fresh, committed, 0.30) == []
+
+    def test_regression_beyond_tolerance_reported(self):
+        diff_bench = self._diff()
+        committed = {"scenarios": {"fig3": {"messages_per_second": 100.0}}}
+        fresh = {"scenarios": {"fig3": {"messages_per_second": 60.0}}}
+        regressions = diff_bench.diff_payloads(fresh, committed, 0.30)
+        assert len(regressions) == 1
+        assert "fig3" in regressions[0]
+
+    def test_missing_scenario_reported(self):
+        diff_bench = self._diff()
+        committed = {"scenarios": {"fig4": {"messages_per_second": 10.0}}}
+        regressions = diff_bench.diff_payloads({"scenarios": {}}, committed, 0.30)
+        assert regressions == ["fig4: missing from the fresh payload"]
+
+    def test_cli_entry_point_round_trips(self, tmp_path):
+        diff_bench = self._diff()
+        import json
+
+        committed = tmp_path / "committed.json"
+        fresh = tmp_path / "fresh.json"
+        committed.write_text(
+            json.dumps({"scenarios": {"fig3": {"messages_per_second": 100.0}}})
+        )
+        fresh.write_text(
+            json.dumps({"scenarios": {"fig3": {"messages_per_second": 95.0}}})
+        )
+        assert (
+            diff_bench.main(
+                ["--fresh", str(fresh), "--committed", str(committed)]
+            )
+            == 0
+        )
+        fresh.write_text(
+            json.dumps({"scenarios": {"fig3": {"messages_per_second": 10.0}}})
+        )
+        assert (
+            diff_bench.main(
+                ["--fresh", str(fresh), "--committed", str(committed)]
+            )
+            == 1
+        )
+
+    def test_mismatched_budgets_refused(self):
+        diff_bench = self._diff()
+        import pytest as _pytest
+
+        fresh = {"budget": "quick", "points": 2, "smoke": True, "scenarios": {}}
+        committed = {"budget": "default", "points": 3, "smoke": False, "scenarios": {}}
+        with _pytest.raises(SystemExit, match="not comparable"):
+            diff_bench.check_comparable(fresh, committed)

@@ -147,3 +147,72 @@ class TestSystemRouteRoundTrip:
     def test_system_tables_are_cached_per_spec(self):
         spec = HETERO_SPECS[0]
         assert compile_system_routes(spec) is compile_system_routes(spec)
+
+
+class TestLazyRouteTables:
+    """Tall shapes compile per source row on demand (O(pairs used))."""
+
+    def test_threshold_selects_lazy_mode(self):
+        from repro.routing.compile import LAZY_NODE_THRESHOLD, CompiledTreeRoutes
+
+        eager = CompiledTreeRoutes(4, 2)  # 8 nodes
+        assert not eager.lazy
+        assert shared_tree(8, 4).num_nodes >= LAZY_NODE_THRESHOLD
+        lazy = CompiledTreeRoutes(8, 4)
+        assert lazy.lazy
+        assert lazy.compiled_rows == set()
+
+    def test_single_pair_query_compiles_only_its_row(self):
+        from repro.routing.compile import CompiledTreeRoutes
+
+        table = CompiledTreeRoutes(8, 4)
+        num_nodes = table.num_nodes
+        table.ensure_pair(3, 100)
+        assert table.compiled_rows == {3}
+        # The whole source row exists; every other row is untouched.
+        for other in range(num_nodes):
+            entry = table.full[3 * num_nodes + other]
+            assert (entry is None) == (other == 3)
+        assert table.full[5 * num_nodes + 100] is None
+        # A second query on the same row compiles nothing new.
+        table.ensure_pair(3, 7)
+        assert table.compiled_rows == {3}
+
+    def test_lazy_tables_match_eager_tables(self):
+        from repro.routing.compile import CompiledTreeRoutes
+
+        eager = CompiledTreeRoutes(4, 2, lazy=False)
+        lazy = CompiledTreeRoutes(4, 2, lazy=True)
+        num_nodes = eager.num_nodes
+        for source in range(num_nodes):
+            for other in range(num_nodes):
+                if source == other:
+                    continue
+                pair = source * num_nodes + other
+                lazy.ensure_pair(source, other)
+                assert lazy.full[pair] == eager.full[pair]
+                assert lazy.full_has_switch[pair] == eager.full_has_switch[pair]
+                assert lazy.ascending[pair] == eager.ascending[pair]
+                assert lazy.descending[pair] == eager.descending[pair]
+
+    def test_lazy_views_rebase_like_eager_system_tables(self):
+        from repro.routing.compile import (
+            CompiledTreeRoutes,
+            LazyFlagTable,
+            LazyRebasedTable,
+            _rebase,
+        )
+
+        eager = CompiledTreeRoutes(4, 2, lazy=False)
+        lazy_shape = CompiledTreeRoutes(4, 2, lazy=True)
+        offset = 1000
+        view = LazyRebasedTable(lazy_shape, lazy_shape.full, offset)
+        flags = LazyFlagTable(lazy_shape)
+        reference = _rebase(eager.full, offset)
+        num_nodes = eager.num_nodes
+        assert len(view) == len(reference)
+        for pair in range(num_nodes * num_nodes):
+            assert view[pair] == reference[pair]
+            assert flags[pair] == eager.full_has_switch[pair]
+        # Lazy fill happened row by row as the scan touched sources.
+        assert lazy_shape.compiled_rows == set(range(num_nodes))

@@ -1,0 +1,140 @@
+"""Tests of the direct-dispatch message kernel (:mod:`repro.sim.kernel`).
+
+The FSM realisation must replay the generator specification event for
+event: every statistic of a run — latencies, per-cluster tallies, channel
+utilisation — must be bit-identical between the two kernels (and under
+either event scheduler).  The golden-seed regression pins the dispatch
+kernel against the historical fixture; these tests pin the two kernels
+against each other directly, so a future edit to one path cannot drift.
+"""
+
+import pytest
+
+from repro import api
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import KERNEL_MODES, MultiClusterSimulator
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+SPEC = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="kernel-test")
+CONFIG = SimulationConfig(
+    measured_messages=400, warmup_messages=40, drain_messages=40, seed=23
+)
+LAMBDA = 6e-4
+
+
+def _run(kernel, seed=23):
+    simulator = MultiClusterSimulator(
+        SPEC, MessageSpec(length_flits=16, flit_bytes=128), config=CONFIG, kernel=kernel
+    )
+    return simulator.run(LAMBDA, seed=seed)
+
+
+def _statistics_tuple(result):
+    return (
+        result.mean_latency,
+        result.std_latency,
+        result.mean_queueing_delay,
+        result.mean_network_latency,
+        result.external_fraction,
+        result.measurement_time,
+        result.throughput,
+        tuple((c.cluster, c.count, c.mean_latency, c.std_latency) for c in result.clusters),
+        tuple(sorted(result.channel_utilisation.items())),
+    )
+
+
+class TestKernelEquivalence:
+    def test_dispatch_and_generator_kernels_are_bit_identical(self):
+        dispatch = _run("dispatch")
+        generator = _run("generator")
+        assert _statistics_tuple(dispatch) == _statistics_tuple(generator)
+
+    def test_dispatch_kernel_is_bit_identical_under_calendar_scheduler(self, monkeypatch):
+        dispatch_heap = _run("dispatch")
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", "calendar")
+        dispatch_calendar = _run("dispatch")
+        assert _statistics_tuple(dispatch_heap) == _statistics_tuple(dispatch_calendar)
+
+    def test_generator_kernel_matches_under_calendar_too(self, monkeypatch):
+        reference = _run("dispatch")
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", "calendar")
+        generator_calendar = _run("generator")
+        assert _statistics_tuple(reference) == _statistics_tuple(generator_calendar)
+
+
+class TestKernelSelection:
+    def test_default_kernel_is_dispatch(self):
+        simulator = MultiClusterSimulator(SPEC, config=CONFIG)
+        assert simulator.kernel == "dispatch"
+        assert KERNEL_MODES == ("dispatch", "generator")
+
+    def test_env_var_selects_kernel(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "generator")
+        simulator = MultiClusterSimulator(SPEC, config=CONFIG)
+        assert simulator.kernel == "generator"
+
+    def test_explicit_kernel_overrides_env_var(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "generator")
+        simulator = MultiClusterSimulator(SPEC, config=CONFIG, kernel="dispatch")
+        assert simulator.kernel == "dispatch"
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(ValidationError):
+            MultiClusterSimulator(SPEC, config=CONFIG, kernel="threads")
+
+
+class TestKernelDiagnostics:
+    def test_all_transfers_complete_and_records_recycle(self):
+        from repro.sim.simulator import _RunState
+
+        simulator = MultiClusterSimulator(
+            SPEC, MessageSpec(length_flits=16, flit_bytes=128), config=CONFIG
+        )
+        state = _RunState(simulator, LAMBDA, CONFIG)
+        state.execute()
+        kernel = state.kernel
+        assert kernel is not None
+        assert kernel.started >= CONFIG.measured_messages
+        # Measurement can stop with drain messages still in flight, but every
+        # started transfer either completed or is still holding channels.
+        assert 0 <= kernel.in_flight <= kernel.started
+        assert kernel.completed == kernel.started - kernel.in_flight
+        # The slab never holds more records than transfers that finished.
+        assert len(kernel._free) <= kernel.completed
+
+    def test_empty_journey_rejected(self):
+        from repro.des import Environment
+        from repro.sim.kernel import TransferKernel
+        from repro.sim.message import Message
+        from repro.sim.network import FlatChannels
+
+        env = Environment()
+        kernel = TransferKernel(env, FlatChannels(env, 4), [1.0] * 4)
+        message = Message(
+            index=0,
+            source_cluster=0,
+            source_node=0,
+            dest_cluster=0,
+            dest_node=1,
+            length_flits=4,
+            created_at=0.0,
+        )
+        with pytest.raises(ValidationError):
+            kernel.start(message, (), 0.0)
+
+
+class TestEngineUsesKernel:
+    def test_api_simulation_engine_runs_on_dispatch_kernel(self):
+        scenario = api.scenario(
+            "heterogeneous",
+            points=2,
+            sim=SimulationConfig(
+                measured_messages=200, warmup_messages=20, drain_messages=20, seed=5
+            ),
+        )
+        engine = api.SimulationEngine()
+        assert engine.simulator_for(scenario).kernel == "dispatch"
+        record = engine.evaluate(scenario, scenario.offered_traffic[0])
+        assert record.simulation.measured_messages == 200

@@ -69,3 +69,54 @@ class TestRandomStreams:
         streams = RandomStreams(seed=None)
         values = streams.get("anything").random(3)
         assert values.shape == (3,)
+
+
+class TestPooledStreams:
+    """The stream pool: shared generator objects reset from state snapshots."""
+
+    def test_pooled_draws_are_bit_identical_to_unpooled(self):
+        from repro.utils.rng import clear_stream_pool
+
+        clear_stream_pool()
+        reference = RandomStreams(seed=7).get("arrivals", 3).random(16)
+        pooled_cold = RandomStreams(seed=7, pooled=True).get("arrivals", 3).random(16)
+        pooled_warm = RandomStreams(seed=7, pooled=True).get("arrivals", 3).random(16)
+        assert np.array_equal(reference, pooled_cold)
+        assert np.array_equal(reference, pooled_warm)
+
+    def test_pooled_instances_share_generator_objects(self):
+        from repro.utils.rng import clear_stream_pool
+
+        clear_stream_pool()
+        first = RandomStreams(seed=9, pooled=True).get("x", 0)
+        second = RandomStreams(seed=9, pooled=True).get("x", 0)
+        assert first is second
+
+    def test_pool_reset_restores_the_initial_state_every_run(self):
+        from repro.utils.rng import clear_stream_pool
+
+        clear_stream_pool()
+        run1 = RandomStreams(seed=5, pooled=True).get("arrivals", 0)
+        draws1 = run1.exponential(2.0, 8)
+        run2 = RandomStreams(seed=5, pooled=True).get("arrivals", 0)
+        draws2 = run2.exponential(2.0, 8)
+        assert np.array_equal(draws1, draws2)
+
+    def test_unpooled_instances_never_share_objects(self):
+        a = RandomStreams(seed=9).get("x", 0)
+        b = RandomStreams(seed=9).get("x", 0)
+        assert a is not b
+
+    def test_none_seed_disables_pooling(self):
+        streams = RandomStreams(seed=None, pooled=True)
+        assert not streams.pooled
+        values = streams.get("anything").random(3)
+        assert values.shape == (3,)
+
+    def test_different_seeds_have_separate_pool_entries(self):
+        from repro.utils.rng import clear_stream_pool
+
+        clear_stream_pool()
+        a = RandomStreams(seed=1, pooled=True).get("x").random(8)
+        b = RandomStreams(seed=2, pooled=True).get("x").random(8)
+        assert not np.array_equal(a, b)
