@@ -1,0 +1,59 @@
+"""Campaign walkthrough: many scenarios, one pool, nothing simulated twice.
+
+Runs a small two-scenario campaign twice against a throwaway result store:
+the first execution streams every task as it finishes (records + progress
+events), the second is served entirely from the content-addressed store —
+bit-identical records, zero simulator invocations.
+
+Run from the repository root with::
+
+    PYTHONPATH=src python examples/campaign_workflow.py
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+from repro import Campaign, CampaignExecutor, ResultStore
+from repro.campaign import TaskCompleted
+from repro.experiments.compare import compare_campaign
+
+
+def main() -> None:
+    plan = Campaign.from_scenarios(
+        ("heterogeneous", "hotspot"), points=3, budget="quick", seed=0, name="demo"
+    )
+    print(plan.describe())
+    print()
+
+    with tempfile.TemporaryDirectory() as tmp:
+        store = ResultStore(tmp)
+
+        print("cold execution (streaming):")
+        executor = CampaignExecutor(plan, parallel=True, store=store)
+        for event in executor.execute():
+            if isinstance(event, TaskCompleted):
+                task = event.task
+                print(
+                    f"  [{event.done}/{event.total}] {task.label:<14} {task.engine:<6}"
+                    f" lambda_g={task.lambda_g:.2e} latency={event.record.latency:10.2f}"
+                    f" ({'cache' if event.from_cache else 'ran'})"
+                )
+        print()
+
+        print("warm execution (all records from the store):")
+        result = CampaignExecutor(plan, parallel=True, store=store).collect()
+        print(f"  {result.describe()}")
+        assert result.cache_misses == 0
+        print()
+
+        for label, report in compare_campaign(result).items():
+            print(
+                f"  {label}: mean |relative error| "
+                f"{report.mean_relative_error:.1%} over "
+                f"{report.compared_points} steady-state points"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -15,6 +15,10 @@ The package provides, as importable building blocks:
 * the **unified scenario/engine API** (:mod:`repro.api`): declarative
   :class:`~repro.api.Scenario` objects (JSON round-trippable), pluggable
   analysis/simulation engines and a parallel :func:`repro.api.run`,
+* the **Campaign API** (:mod:`repro.campaign`): multi-scenario execution
+  plans flattened into one shared-pool task queue, streamed as they finish
+  and backed by a content-addressed result store (:mod:`repro.store`) so
+  re-runs only simulate what changed,
 * a command line, ``repro-multicluster`` (:mod:`repro.cli`).
 
 Quick start — one declarative call runs the model and the simulator over the
@@ -37,18 +41,30 @@ or, at the building-block level::
 
 from repro import api
 from repro.api import RunRecord, RunSet, Scenario, run, scenario
+from repro.campaign import (
+    Campaign,
+    CampaignEntry,
+    CampaignExecutor,
+    CampaignResult,
+    run_campaign,
+)
 from repro.experiments.configs import table1_system
 from repro.model.latency import MultiClusterLatencyModel
 from repro.model.parameters import MessageSpec, ModelParameters, TimingParameters
 from repro.sim.config import SimulationConfig
 from repro.sim.simulator import MultiClusterSimulator
+from repro.store import ResultStore
 from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "__version__",
     "api",
+    "Campaign",
+    "CampaignEntry",
+    "CampaignExecutor",
+    "CampaignResult",
     "ClusterSpec",
     "MessageSpec",
     "ModelParameters",
@@ -56,12 +72,14 @@ __all__ = [
     "MultiClusterSimulator",
     "MultiClusterSpec",
     "MultiClusterSystem",
+    "ResultStore",
     "RunRecord",
     "RunSet",
     "Scenario",
     "SimulationConfig",
     "TimingParameters",
     "run",
+    "run_campaign",
     "scenario",
     "table1_system",
 ]

@@ -22,7 +22,9 @@ a single declarative call:
   out over a :class:`~concurrent.futures.ProcessPoolExecutor`, cutting the
   wall-clock of a figure-scale sweep by roughly the core count while
   producing bit-identical results (each point is reproducible from the
-  scenario's seed alone).
+  scenario's seed alone).  ``run()`` is a thin one-scenario campaign:
+  multi-scenario plans, streaming progress and the content-addressed
+  result store live in :mod:`repro.campaign` / :mod:`repro.store`.
 * a **named-scenario registry** — ``scenario("fig3")``,
   ``scenario("table1/544")``, ``scenario("hotspot")`` … give the paper's
   experiments (and a few extensions) stable names; the CLI ``run``
@@ -41,9 +43,7 @@ Quick start::
 from __future__ import annotations
 
 import math
-import os
 import time as _time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import (
@@ -544,8 +544,14 @@ def run(
     *,
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    store: Optional[Any] = None,
 ) -> RunSet:
     """Evaluate ``scenario`` under every engine and collect a :class:`RunSet`.
+
+    This is a thin one-scenario campaign: the call builds a single-entry
+    :class:`repro.campaign.Campaign` and blocks on its executor, so the
+    multi-scenario path (:mod:`repro.campaign`) and this established entry
+    point share one task queue, one pool policy and one result shape.
 
     Parameters
     ----------
@@ -563,49 +569,27 @@ def run(
     max_workers:
         Process count for the pool; defaults to the machine's CPU count
         capped by the number of parallel tasks.
+    store:
+        Optional :class:`repro.store.ResultStore` serving previously
+        computed records (bit-identical by the golden-seed discipline) and
+        persisting new ones.  ``None`` (the default) computes everything
+        fresh, preserving the established ``run()`` behaviour.
 
     Records are ordered engine-by-engine in the order given, each series in
     load-grid order.
     """
-    if not scenario.offered_traffic:
-        raise ValidationError("offered_traffic must contain at least one value")
-    engine_objs = resolve_engines(engines)
-    grid = scenario.offered_traffic
-    results: Dict[Tuple[int, int], RunRecord] = {}
-    pool_tasks: List[Tuple[int, int]] = []
-    for engine_index, engine in enumerate(engine_objs):
-        fan_out = parallel and getattr(engine, "expensive", True) and len(grid) > 1
-        for point_index, lambda_g in enumerate(grid):
-            if fan_out:
-                pool_tasks.append((engine_index, point_index))
-            else:
-                results[(engine_index, point_index)] = engine.evaluate(scenario, lambda_g)
-    if pool_tasks:
-        # Compile before forking: engines that expose prepare() (the
-        # simulation engine's compiled network core) build their module-level
-        # caches in the parent, so fork-started workers inherit them and
-        # spawn-started workers compile once per process, not once per point.
-        for engine_index in sorted({key[0] for key in pool_tasks}):
-            prepare = getattr(engine_objs[engine_index], "prepare", None)
-            if prepare is not None:
-                prepare(scenario)
-        workers = max_workers if max_workers is not None else (os.cpu_count() or 1)
-        workers = max(1, min(workers, len(pool_tasks)))
-        with ProcessPoolExecutor(max_workers=workers) as executor:
-            futures = {
-                key: executor.submit(
-                    _evaluate_point, engine_objs[key[0]], scenario, grid[key[1]]
-                )
-                for key in pool_tasks
-            }
-            for key, future in futures.items():
-                results[key] = future.result()
-    ordered = tuple(
-        results[(engine_index, point_index)]
-        for engine_index in range(len(engine_objs))
-        for point_index in range(len(grid))
+    # Imported lazily: repro.campaign builds on this module's Scenario and
+    # engine machinery, so a module-level import here would be circular.
+    from repro.campaign import Campaign, CampaignEntry, CampaignExecutor
+
+    campaign = Campaign(
+        entries=(CampaignEntry(scenario=scenario, engines=tuple(engines), label="run"),),
+        name=scenario.name or "run",
     )
-    return RunSet(scenario=scenario, records=ordered)
+    executor = CampaignExecutor(
+        campaign, parallel=parallel, max_workers=max_workers, store=store
+    )
+    return executor.collect().runsets[0]
 
 
 # --------------------------------------------------------------------------- #

@@ -1,0 +1,629 @@
+"""The Campaign API: multi-scenario execution plans with streaming progress.
+
+The paper's deliverable is a model-vs-simulation *comparison across many
+system organisations*; one :func:`repro.api.run` call evaluates exactly one
+scenario, so every figure/table/ablation driver used to hand-roll its own
+loop and pay a fresh process pool per scenario.  This module treats the whole
+experiment campaign as one schedulable unit:
+
+* :class:`Campaign` — a declarative, JSON round-trippable plan holding many
+  named entries, each an independent (:class:`~repro.api.Scenario`, engine
+  set) pair.  Plans serialise with :meth:`Campaign.to_json` /
+  :meth:`Campaign.from_json`; plan files may also reference registered
+  scenario *names* with per-entry ``points``/``budget``/``seed`` overrides,
+  so a campaign manifest is a small versionable artifact.
+* :class:`CampaignExecutor` — flattens every (scenario, engine, lambda_g)
+  task of the plan into **one work queue** and fans the expensive misses out
+  over a **single shared process pool**: scenario-level parallelism for
+  free, no per-scenario pool churn.  Execution is *streaming* —
+  :meth:`~CampaignExecutor.execute` yields a :class:`TaskCompleted` event
+  (carrying the :class:`~repro.api.RunRecord`) per finished task plus
+  :class:`CampaignProgress` events with done/total counts and elapsed time —
+  and :meth:`~CampaignExecutor.collect` is the blocking wrapper that
+  preserves ``run()``-style ergonomics, assembling one
+  :class:`~repro.api.RunSet` per entry.
+* the **content-addressed result store** (:mod:`repro.store`) backs every
+  execution by default: tasks are keyed by a hash of the scenario JSON,
+  engine name, operating point (the seed lives in the scenario) and the
+  active kernel/scheduler switches, so re-running a campaign re-simulates
+  only what changed and an interrupted campaign resumes — the golden-seed
+  discipline guarantees cached records are bit-identical to fresh runs.
+
+:func:`repro.api.run` is a thin one-scenario campaign over this machinery.
+
+Quick start::
+
+    from repro import api
+    from repro.campaign import Campaign, CampaignExecutor
+
+    plan = Campaign.from_scenarios(("fig3", "fig4"), points=6)
+    for event in CampaignExecutor(plan, parallel=True).execute():
+        print(event)                      # records + progress, as they finish
+    result = CampaignExecutor(plan, parallel=True).collect()
+    print(result.describe())              # second pass: all cache hits
+    fig3 = result.runset("fig3")
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
+
+import repro.api as api
+from repro.api import (
+    Engine,
+    EngineLike,
+    ENGINE_REGISTRY,
+    RunRecord,
+    RunSet,
+    Scenario,
+    _evaluate_point,
+    resolve_engines,
+)
+from repro.store import ResultStore, kernel_switches, task_key
+from repro.utils.serialization import dump_json, load_json
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "Campaign",
+    "CampaignEntry",
+    "CampaignEvent",
+    "CampaignExecutor",
+    "CampaignProgress",
+    "CampaignResult",
+    "CampaignTask",
+    "TaskCompleted",
+    "run_campaign",
+]
+
+
+# --------------------------------------------------------------------------- #
+# The declarative plan
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignEntry:
+    """One named scenario of a campaign, with its own engine set.
+
+    ``engines`` follows the :func:`repro.api.run` convention: registry names
+    (JSON-safe, cacheable in the result store) or engine *instances*
+    (programmatic patterns/overrides; executable but neither serialisable
+    nor cached, because an instance's construction is not part of the task's
+    content address).
+    """
+
+    scenario: Scenario
+    engines: Tuple[EngineLike, ...] = ("model", "sim")
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "engines", tuple(self.engines))
+        if not self.engines:
+            raise ValidationError("a campaign entry needs at least one engine")
+        if not self.scenario.offered_traffic:
+            raise ValidationError("offered_traffic must contain at least one value")
+        for engine in self.engines:
+            if isinstance(engine, str) and engine not in ENGINE_REGISTRY:
+                raise ValidationError(
+                    f"unknown engine {engine!r}; registered: {sorted(ENGINE_REGISTRY)}"
+                )
+
+
+@dataclass(frozen=True)
+class Campaign:
+    """A declarative multi-scenario execution plan."""
+
+    entries: Tuple[CampaignEntry, ...]
+    name: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "entries", tuple(self.entries))
+        if not self.entries:
+            raise ValidationError("a campaign needs at least one entry")
+        self.labels  # noqa: B018 - validates label uniqueness eagerly
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        """One unique label per entry (entry label, scenario name, or index)."""
+        labels: List[str] = []
+        for index, entry in enumerate(self.entries):
+            label = entry.label or entry.scenario.name or f"entry{index}"
+            if label in labels:
+                raise ValidationError(f"duplicate campaign entry label {label!r}")
+            labels.append(label)
+        return tuple(labels)
+
+    @property
+    def total_tasks(self) -> int:
+        """Number of flattened (scenario, engine, operating point) tasks."""
+        return sum(
+            len(entry.engines) * len(entry.scenario.offered_traffic)
+            for entry in self.entries
+        )
+
+    def describe(self) -> str:
+        label = self.name or "campaign"
+        return (
+            f"{label}: {len(self.entries)} scenarios, {self.total_tasks} tasks "
+            f"({', '.join(self.labels)})"
+        )
+
+    # ------------------------------------------------------------ construction
+    @classmethod
+    def from_scenarios(
+        cls,
+        scenarios: Iterable[Union[str, Scenario]],
+        *,
+        engines: Sequence[EngineLike] = ("model", "sim"),
+        points: int = 8,
+        budget: str = "quick",
+        seed: int | None = 0,
+        name: str = "",
+    ) -> "Campaign":
+        """A campaign over registered scenario names and/or Scenario objects."""
+        entries = []
+        for item in scenarios:
+            scenario = (
+                api.scenario(item, points=points, budget=budget, seed=seed)
+                if isinstance(item, str)
+                else item
+            )
+            entries.append(CampaignEntry(scenario=scenario, engines=tuple(engines)))
+        return cls(entries=tuple(entries), name=name)
+
+    # ------------------------------------------------------------ serialisation
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-JSON plan (the inverse of :meth:`from_dict`).
+
+        Only registry-name engines serialise; campaigns holding engine
+        *instances* are executable but not round-trippable.
+        """
+        entries = []
+        for entry in self.entries:
+            for engine in entry.engines:
+                if not isinstance(engine, str):
+                    raise ValidationError(
+                        "campaigns holding engine instances cannot be serialised; "
+                        "use registry engine names"
+                    )
+            item: Dict[str, Any] = {
+                "scenario": entry.scenario.to_dict(),
+                "engines": list(entry.engines),
+            }
+            if entry.label:
+                item["label"] = entry.label
+            entries.append(item)
+        return {"name": self.name, "entries": entries}
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Campaign":
+        """Rebuild a plan from :meth:`to_dict` output or a hand-written manifest.
+
+        An entry's ``scenario`` may be a full scenario object or a registered
+        scenario *name*; named entries accept ``points``, ``budget`` and
+        ``seed`` fields, and full-scenario entries accept ``budget``/``seed``
+        as statistics-budget overrides.
+        """
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValidationError("a campaign plan must be an object with 'entries'")
+        entries = []
+        for item in data["entries"]:
+            if not isinstance(item, dict) or "scenario" not in item:
+                raise ValidationError("each campaign entry must be an object with 'scenario'")
+            target = item["scenario"]
+            budget = item.get("budget")
+            seed = item.get("seed")
+            if isinstance(target, str):
+                scenario = api.scenario(
+                    target,
+                    points=int(item.get("points", 8)),
+                    budget=budget if budget is not None else "quick",
+                    seed=seed if seed is not None else 0,
+                )
+            elif isinstance(target, dict):
+                scenario = Scenario.from_dict(target)
+                if "points" in item:
+                    scenario = scenario.with_points(int(item["points"]))
+                if budget is not None:
+                    scenario = scenario.with_sim(
+                        api.simulation_budget(
+                            budget, seed if seed is not None else scenario.sim.seed
+                        )
+                    )
+                elif seed is not None:
+                    scenario = scenario.with_seed(seed)
+            else:
+                raise ValidationError(
+                    "entry 'scenario' must be a registered name or a scenario object"
+                )
+            entries.append(
+                CampaignEntry(
+                    scenario=scenario,
+                    engines=tuple(item.get("engines", ("model", "sim"))),
+                    label=str(item.get("label", "")),
+                )
+            )
+        return cls(entries=tuple(entries), name=str(data.get("name", "")))
+
+    def to_json(self, path: str | Path) -> Path:
+        """Write the plan to ``path`` as JSON and return the path."""
+        return dump_json(self.to_dict(), path)
+
+    @classmethod
+    def from_json(cls, path: str | Path) -> "Campaign":
+        """Load a plan previously written with :meth:`to_json` (or hand-written)."""
+        data = load_json(path)
+        if not isinstance(data, dict):
+            raise ValidationError(f"campaign plan {path} does not hold a JSON object")
+        return cls.from_dict(data)
+
+
+# --------------------------------------------------------------------------- #
+# Tasks and streaming events
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignTask:
+    """One flattened unit of work: one engine at one operating point."""
+
+    entry_index: int
+    label: str
+    engine_index: int
+    engine: str
+    point_index: int
+    lambda_g: float
+    #: content address in the result store; ``None`` when the task is not
+    #: cacheable (engine given as an instance, or the store is disabled)
+    cache_key: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class TaskCompleted:
+    """Streamed per finished task: the record plus progress counters."""
+
+    task: CampaignTask
+    record: RunRecord
+    from_cache: bool
+    done: int
+    total: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class CampaignProgress:
+    """Streamed at the start and end of an execution (and cheap to emit)."""
+
+    done: int
+    total: int
+    cache_hits: int
+    elapsed_seconds: float
+
+
+CampaignEvent = Union[TaskCompleted, CampaignProgress]
+
+
+# --------------------------------------------------------------------------- #
+# The result of a collected execution
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class CampaignResult:
+    """Everything one :meth:`CampaignExecutor.collect` call produced."""
+
+    campaign: Campaign
+    labels: Tuple[str, ...]
+    runsets: Tuple[RunSet, ...]
+    cache_hits: int
+    cache_misses: int
+    elapsed_seconds: float
+
+    @property
+    def total_tasks(self) -> int:
+        return self.cache_hits + self.cache_misses
+
+    def runset(self, label: str) -> RunSet:
+        """The :class:`~repro.api.RunSet` of the entry labelled ``label``."""
+        for candidate, runset in zip(self.labels, self.runsets):
+            if candidate == label:
+                return runset
+        raise ValidationError(
+            f"campaign has no entry labelled {label!r}; available: {self.labels}"
+        )
+
+    def __iter__(self) -> Iterator[Tuple[str, RunSet]]:
+        return iter(zip(self.labels, self.runsets))
+
+    def describe(self) -> str:
+        return (
+            f"{self.campaign.describe()}; {self.total_tasks} tasks in "
+            f"{self.elapsed_seconds:.2f} s ({self.cache_hits} cached, "
+            f"{self.cache_misses} computed)"
+        )
+
+
+# --------------------------------------------------------------------------- #
+# The executor
+# --------------------------------------------------------------------------- #
+class CampaignExecutor:
+    """Flatten a campaign into one task queue and execute it, streaming results.
+
+    Parameters
+    ----------
+    campaign:
+        The plan to execute.  Engines are resolved eagerly, so invalid
+        engine sets fail here rather than mid-stream.
+    parallel:
+        Fan expensive engines' cache misses out over one process pool shared
+        by *all* scenarios of the campaign.  Every task is reproducible from
+        the scenario's seed alone, so parallel and sequential executions are
+        bit-identical — only wall-clock changes.
+    max_workers:
+        Pool size; defaults to the CPU count, capped by the number of pool
+        tasks.
+    store:
+        The content-addressed result store backing the execution.  The
+        default (``"default"``) resolves ``REPRO_STORE`` /
+        ``~/.cache/repro``; pass a :class:`~repro.store.ResultStore` to pin
+        a location or ``None`` to disable caching entirely (every task is
+        computed fresh and nothing is written).
+    """
+
+    def __init__(
+        self,
+        campaign: Campaign,
+        *,
+        parallel: bool = False,
+        max_workers: Optional[int] = None,
+        store: Union[ResultStore, None, str] = "default",
+    ) -> None:
+        self.campaign = campaign
+        self.parallel = parallel
+        self.max_workers = max_workers
+        if store == "default":
+            self.store: Optional[ResultStore] = ResultStore()
+        elif store is None:
+            self.store = None
+        elif isinstance(store, ResultStore):
+            self.store = store
+        else:
+            raise ValidationError(
+                "store must be a ResultStore, None, or the string 'default'"
+            )
+        self._labels = campaign.labels
+        #: resolved engine instances, one tuple per entry (validates names,
+        #: duplicates and emptiness up front)
+        self._engines: Tuple[Tuple[Engine, ...], ...] = tuple(
+            resolve_engines(entry.engines) for entry in campaign.entries
+        )
+
+    # -------------------------------------------------------------- task queue
+    def tasks(self) -> Tuple[CampaignTask, ...]:
+        """The flattened (scenario, engine, operating point) work queue.
+
+        Cache keys are computed here, against the *current* kernel/scheduler
+        switches, so two executions under different switches address
+        different records.
+        """
+        switches = kernel_switches() if self.store is not None else None
+        queue: List[CampaignTask] = []
+        for entry_index, entry in enumerate(self.campaign.entries):
+            label = self._labels[entry_index]
+            engines = self._engines[entry_index]
+            for engine_index, engine in enumerate(engines):
+                cacheable = self.store is not None and isinstance(
+                    entry.engines[engine_index], str
+                )
+                for point_index, lambda_g in enumerate(entry.scenario.offered_traffic):
+                    key = (
+                        task_key(
+                            entry.scenario, engine.name, lambda_g, switches=switches
+                        )
+                        if cacheable
+                        else None
+                    )
+                    queue.append(
+                        CampaignTask(
+                            entry_index=entry_index,
+                            label=label,
+                            engine_index=engine_index,
+                            engine=engine.name,
+                            point_index=point_index,
+                            lambda_g=float(lambda_g),
+                            cache_key=key,
+                        )
+                    )
+        return tuple(queue)
+
+    # --------------------------------------------------------------- streaming
+    def execute(self) -> Iterator[CampaignEvent]:
+        """Execute the campaign, yielding events as tasks finish.
+
+        The stream opens and closes with a :class:`CampaignProgress` event;
+        in between, one :class:`TaskCompleted` (carrying the
+        :class:`~repro.api.RunRecord`) is yielded per task, in completion
+        order.  Records served from the result store are yielded first and
+        marked ``from_cache=True``; they carry the wall-clock metadata of
+        the run that originally produced them.
+        """
+        started = time.perf_counter()
+        tasks = self.tasks()
+        total = len(tasks)
+        done = 0
+        hits = 0
+        yield CampaignProgress(0, total, 0, 0.0)
+
+        # Serve cache hits first: instant, and it means an interrupted
+        # campaign streams everything it already knows before simulating.
+        misses: List[CampaignTask] = []
+        for task in tasks:
+            record = (
+                self.store.get(task.cache_key)
+                if self.store is not None and task.cache_key is not None
+                else None
+            )
+            if record is None:
+                misses.append(task)
+                continue
+            done += 1
+            hits += 1
+            yield TaskCompleted(
+                task=task,
+                record=record,
+                from_cache=True,
+                done=done,
+                total=total,
+                elapsed_seconds=time.perf_counter() - started,
+            )
+
+        inline: List[CampaignTask] = []
+        pooled: List[CampaignTask] = []
+        for task in misses:
+            engine = self._engines[task.entry_index][task.engine_index]
+            if self.parallel and getattr(engine, "expensive", True):
+                pooled.append(task)
+            else:
+                inline.append(task)
+        if len(pooled) == 1:
+            # A pool of one buys no parallelism and pays process spawn plus
+            # engine pickling — evaluate the lone task in this process.
+            inline.extend(pooled)
+            pooled = []
+
+        for task in inline:
+            yield self._complete(task, self._evaluate(task), started, done, total)
+            done += 1
+
+        if pooled:
+            # Compile every pooled entry's network core in the parent before
+            # forking: fork-started workers inherit the module-level caches,
+            # spawn-started workers compile once per process, not per point.
+            prepared = set()
+            for task in pooled:
+                slot = (task.entry_index, task.engine_index)
+                if slot in prepared:
+                    continue
+                prepared.add(slot)
+                engine = self._engines[task.entry_index][task.engine_index]
+                prepare = getattr(engine, "prepare", None)
+                if prepare is not None:
+                    prepare(self.campaign.entries[task.entry_index].scenario)
+            workers = (
+                self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+            )
+            workers = max(1, min(workers, len(pooled)))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = {
+                    pool.submit(
+                        _evaluate_point,
+                        self._engines[task.entry_index][task.engine_index],
+                        self.campaign.entries[task.entry_index].scenario,
+                        task.lambda_g,
+                    ): task
+                    for task in pooled
+                }
+                for future in as_completed(futures):
+                    task = futures[future]
+                    yield self._complete(task, future.result(), started, done, total)
+                    done += 1
+
+        yield CampaignProgress(done, total, hits, time.perf_counter() - started)
+
+    def _evaluate(self, task: CampaignTask) -> RunRecord:
+        engine = self._engines[task.entry_index][task.engine_index]
+        scenario = self.campaign.entries[task.entry_index].scenario
+        return engine.evaluate(scenario, task.lambda_g)
+
+    def _complete(
+        self,
+        task: CampaignTask,
+        record: RunRecord,
+        started: float,
+        done: int,
+        total: int,
+    ) -> TaskCompleted:
+        """Persist a freshly computed record and wrap it as an event."""
+        if self.store is not None and task.cache_key is not None:
+            self.store.put(task.cache_key, record)
+        return TaskCompleted(
+            task=task,
+            record=record,
+            from_cache=False,
+            done=done + 1,
+            total=total,
+            elapsed_seconds=time.perf_counter() - started,
+        )
+
+    # ---------------------------------------------------------------- blocking
+    def collect(
+        self, *, on_event: Optional[Callable[[CampaignEvent], None]] = None
+    ) -> CampaignResult:
+        """Drain :meth:`execute` and assemble one RunSet per campaign entry.
+
+        Records are re-ordered engine-major, load-grid-minor inside each
+        entry — exactly the :func:`repro.api.run` record order — regardless
+        of the streaming completion order, so parallel and cached executions
+        assemble identical RunSets.  ``on_event`` (when given) observes every
+        streamed event, which is how the CLI renders live progress without
+        re-implementing collection.
+        """
+        records: Dict[Tuple[int, int, int], RunRecord] = {}
+        hits = 0
+        misses = 0
+        elapsed = 0.0
+        for event in self.execute():
+            if on_event is not None:
+                on_event(event)
+            if isinstance(event, TaskCompleted):
+                task = event.task
+                records[(task.entry_index, task.engine_index, task.point_index)] = (
+                    event.record
+                )
+                if event.from_cache:
+                    hits += 1
+                else:
+                    misses += 1
+            else:
+                elapsed = max(elapsed, event.elapsed_seconds)
+        runsets = []
+        for entry_index, entry in enumerate(self.campaign.entries):
+            ordered = tuple(
+                records[(entry_index, engine_index, point_index)]
+                for engine_index in range(len(self._engines[entry_index]))
+                for point_index in range(len(entry.scenario.offered_traffic))
+            )
+            runsets.append(RunSet(scenario=entry.scenario, records=ordered))
+        return CampaignResult(
+            campaign=self.campaign,
+            labels=self._labels,
+            runsets=tuple(runsets),
+            cache_hits=hits,
+            cache_misses=misses,
+            elapsed_seconds=elapsed,
+        )
+
+
+def run_campaign(
+    campaign: Campaign,
+    *,
+    parallel: bool = False,
+    max_workers: Optional[int] = None,
+    store: Union[ResultStore, None, str] = "default",
+    on_event: Optional[Callable[[CampaignEvent], None]] = None,
+) -> CampaignResult:
+    """Execute ``campaign`` and block for the full :class:`CampaignResult`."""
+    executor = CampaignExecutor(
+        campaign, parallel=parallel, max_workers=max_workers, store=store
+    )
+    return executor.collect(on_event=on_event)

@@ -16,7 +16,13 @@ Sub-commands mirror the experiment harness:
 * ``report``     — regenerate the full EXPERIMENTS.md content;
 * ``bench``      — run the fixed simulator benchmark set and write the
   machine-readable ``BENCH_simulator.json`` perf artifact (optionally
-  comparing against a previous artifact via ``--baseline``).
+  comparing against a previous artifact via ``--baseline``; ``--parallel``
+  adds the shared-pool speedup-vs-workers curve);
+* ``campaign``   — the multi-scenario Campaign API: ``campaign run
+  plan.json --parallel --progress`` executes a JSON plan over one shared
+  process pool with streaming progress and the content-addressed result
+  store, ``campaign example`` writes a starter plan, ``campaign store``
+  inspects / prunes / clears the store.
 
 Every command is pure text output (tables / CSV / JSON); nothing requires a
 plotting stack.
@@ -219,6 +225,87 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="process count for --parallel (default: CPU count)",
+    )
+
+    campaign_parser = subparsers.add_parser(
+        "campaign",
+        help="multi-scenario execution plans with streaming progress and a result store",
+    )
+    campaign_sub = campaign_parser.add_subparsers(dest="campaign_command", required=True)
+
+    campaign_run = campaign_sub.add_parser(
+        "run", help="execute a campaign plan JSON file"
+    )
+    campaign_run.add_argument("plan", type=Path, help="path to a campaign plan .json file")
+    campaign_run.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan all scenarios' simulation points over one shared process pool",
+    )
+    campaign_run.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="process count for --parallel (default: CPU count)",
+    )
+    campaign_run.add_argument(
+        "--progress",
+        action="store_true",
+        help="stream one line per finished task (records + done/total/elapsed)",
+    )
+    campaign_run.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the result store: compute every task fresh, cache nothing",
+    )
+    campaign_run.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    campaign_run.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        help="write every entry's run set plus execution stats to this JSON file",
+    )
+
+    campaign_example = campaign_sub.add_parser(
+        "example", help="write a starter two-scenario campaign plan"
+    )
+    campaign_example.add_argument("output", type=Path, help="where to write the plan JSON")
+    campaign_example.add_argument(
+        "--points", type=int, default=2, help="operating points per scenario (default 2)"
+    )
+    campaign_example.add_argument(
+        "--budget",
+        choices=("quick", "default", "paper"),
+        default="quick",
+        help="simulation message budget per operating point",
+    )
+    campaign_example.add_argument(
+        "--seed", type=int, default=0, help="simulation random seed"
+    )
+
+    campaign_store = campaign_sub.add_parser(
+        "store", help="inspect or evict the content-addressed result store"
+    )
+    campaign_store.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    campaign_store.add_argument(
+        "--clear", action="store_true", help="delete every cached record"
+    )
+    campaign_store.add_argument(
+        "--prune",
+        type=int,
+        default=None,
+        metavar="N",
+        help="keep only the N most recently used records",
     )
 
     return parser
@@ -467,6 +554,131 @@ def _cmd_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def _campaign_store(args: argparse.Namespace) -> "ResultStore":
+    from repro.store import ResultStore
+
+    return ResultStore(args.store) if args.store is not None else ResultStore()
+
+
+def _cmd_campaign_run(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign, CampaignExecutor, TaskCompleted
+    from repro.experiments.compare import compare_campaign
+    from repro.utils.serialization import to_jsonable
+
+    if not args.plan.exists():
+        raise ValidationError(f"campaign plan not found: {args.plan}")
+    try:
+        campaign = Campaign.from_json(args.plan)
+    except (TypeError, ValueError, KeyError) as error:
+        raise ValidationError(f"invalid campaign plan {args.plan}: {error}") from error
+    store = None if args.no_store else _campaign_store(args)
+    executor = CampaignExecutor(
+        campaign, parallel=args.parallel, max_workers=args.workers, store=store
+    )
+    print(campaign.describe())
+    if store is not None:
+        print(f"result store: {store.root}")
+    print()
+
+    def _print_event(event) -> None:
+        if not args.progress or not isinstance(event, TaskCompleted):
+            return
+        task = event.task
+        origin = "cache" if event.from_cache else "ran"
+        print(
+            f"[{event.done}/{event.total}] {task.label} {task.engine} "
+            f"lambda_g={task.lambda_g:.6g} latency={event.record.latency:.6g} "
+            f"({origin}, {event.elapsed_seconds:.2f} s elapsed)"
+        )
+
+    result = executor.collect(on_event=_print_event)
+    if args.progress:
+        print()
+    for label, runset in result:
+        header = runset.scenario.describe()
+        if label != runset.scenario.name:
+            header = f"{label}: {header}"
+        print(f"== {header}")
+        print(sweep_to_table(sweep_result_from_runset(runset)).to_text())
+        print()
+    for label, report in compare_campaign(result).items():
+        print(f"-- {label}")
+        print(agreement_to_text(report))
+        print()
+    print(
+        f"{result.total_tasks} tasks in {result.elapsed_seconds:.2f} s "
+        f"({result.cache_hits} cached, {result.cache_misses} computed)"
+    )
+    if args.json is not None:
+        payload = {
+            "name": campaign.name,
+            "labels": list(result.labels),
+            "runsets": {
+                label: to_jsonable(runset) for label, runset in result
+            },
+            "execution": {
+                "tasks": result.total_tasks,
+                "cache_hits": result.cache_hits,
+                "cache_misses": result.cache_misses,
+                "elapsed_seconds": result.elapsed_seconds,
+                "parallel": bool(args.parallel),
+                "store": str(store.root) if store is not None else None,
+            },
+        }
+        path = dump_json(payload, args.json)
+        print(f"wrote: {path}")
+    return 0
+
+
+def _cmd_campaign_example(args: argparse.Namespace) -> int:
+    from repro.campaign import Campaign
+    from repro.utils.serialization import dump_json as _dump
+
+    plan = {
+        "name": "example",
+        "entries": [
+            {
+                "scenario": name,
+                "points": args.points,
+                "budget": args.budget,
+                "seed": args.seed,
+                "engines": ["model", "sim"],
+            }
+            for name in ("heterogeneous", "hotspot")
+        ],
+    }
+    Campaign.from_dict(plan)  # validate before writing
+    path = _dump(plan, args.output)
+    print(f"wrote: {path}")
+    print("run it with: repro-multicluster campaign run "
+          f"{path} --parallel --progress")
+    return 0
+
+
+def _cmd_campaign_store(args: argparse.Namespace) -> int:
+    store = _campaign_store(args)
+    if args.clear:
+        removed = store.clear()
+        print(f"removed {removed} records")
+    if args.prune is not None:
+        if args.prune < 0:
+            raise ValidationError(f"--prune must be >= 0, got {args.prune}")
+        removed = store.prune(args.prune)
+        print(f"pruned {removed} records")
+    print(store.describe())
+    return 0
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    if args.campaign_command == "run":
+        return _cmd_campaign_run(args)
+    if args.campaign_command == "example":
+        return _cmd_campaign_example(args)
+    if args.campaign_command == "store":
+        return _cmd_campaign_store(args)
+    raise ValidationError(f"unknown campaign command {args.campaign_command!r}")
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by the ``repro-multicluster`` console script."""
     parser = build_parser()
@@ -488,6 +700,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_report(args)
         if args.command == "bench":
             return _cmd_bench(args)
+        if args.command == "campaign":
+            return _cmd_campaign(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)

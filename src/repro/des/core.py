@@ -23,6 +23,11 @@ from repro.des.exceptions import QueueEmpty, SimulationError, StopSimulation
 #: Recognised scheduler selection modes.
 SCHEDULER_MODES = ("auto", "heap", "calendar")
 
+#: Scheduler used when neither the constructor nor ``REPRO_DES_SCHEDULER``
+#: selects one.  The result store's task keys hash this default, so it must
+#: live here — next to the code it selects — not as a copied literal.
+DEFAULT_SCHEDULER = "auto"
+
 #: Queue size at which ``auto`` migrates from the flat heap to the calendar
 #: queue.  Below this the C-implemented heap wins outright; above it the
 #: event times are dense enough (thousands of pending arrivals and in-flight
@@ -71,7 +76,7 @@ class Environment:
         self._eid = count()
         self._active_process: Optional[Process] = None
         if scheduler is None:
-            scheduler = os.environ.get("REPRO_DES_SCHEDULER", "auto")
+            scheduler = os.environ.get("REPRO_DES_SCHEDULER", DEFAULT_SCHEDULER)
         if scheduler not in SCHEDULER_MODES:
             raise SimulationError(
                 f"unknown scheduler {scheduler!r}; expected one of {SCHEDULER_MODES}"

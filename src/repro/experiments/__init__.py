@@ -33,10 +33,16 @@ from repro.experiments.sweep import (
     latency_sweep,
     sweep_result_from_runset,
 )
-from repro.experiments.figures import FigureResult, panel_scenario, run_figure
-from repro.experiments.table1 import table1_rows
+from repro.experiments.figures import (
+    FigureResult,
+    figure_campaign,
+    panel_scenario,
+    run_figure,
+)
+from repro.experiments.table1 import table1_campaign, table1_rows
 from repro.experiments.compare import (
     AgreementReport,
+    compare_campaign,
     compare_model_and_simulation,
     compare_runset,
 )
@@ -62,10 +68,13 @@ __all__ = [
     "latency_sweep",
     "sweep_result_from_runset",
     "FigureResult",
+    "figure_campaign",
     "panel_scenario",
     "run_figure",
+    "table1_campaign",
     "table1_rows",
     "AgreementReport",
+    "compare_campaign",
     "compare_model_and_simulation",
     "compare_runset",
     "heterogeneity_ablation",

@@ -175,13 +175,27 @@ def traffic_pattern_ablation(
         sim=simulation_config,
     )
     reference_curve = api.run(scenario, engines=(api.AnalyticalEngine(),)).curve("model")
+    # One campaign entry per pattern: a parallel execution fans every
+    # pattern's simulation points into one shared process pool instead of
+    # paying a fresh pool (and pool warm-up) per pattern.
+    from repro.campaign import Campaign, CampaignEntry, run_campaign
+
+    labels = tuple(patterns)
+    campaign = Campaign(
+        entries=tuple(
+            CampaignEntry(
+                scenario=scenario,
+                engines=(api.SimulationEngine(pattern=pattern),),
+                label=label,
+            )
+            for label, pattern in patterns.items()
+        ),
+        name="traffic-pattern-ablation",
+    )
+    campaign_result = run_campaign(campaign, parallel=parallel, store=None)
     results: Dict[str, AblationResult] = {}
-    for label, pattern in patterns.items():
-        runset = api.run(
-            scenario,
-            engines=(api.SimulationEngine(pattern=pattern),),
-            parallel=parallel,
-        )
+    for label in labels:
+        runset = campaign_result.runset(label)
         points = tuple(
             AblationPoint(
                 lambda_g=float(value),

@@ -10,17 +10,27 @@ messages/second per scenario.
 
 ``repro-multicluster bench`` runs it and writes ``BENCH_simulator.json``;
 passing ``--baseline`` (typically the artifact committed by an earlier PR)
-adds per-scenario speedup ratios.  The JSON schema is intentionally tiny and
-stable so the perf trajectory stays machine-readable across PRs::
+adds per-scenario speedup ratios, and ``--parallel`` additionally executes
+the whole scenario set as **one campaign over one shared process pool** at a
+ladder of worker counts, recording a speedup-vs-workers curve.  The JSON
+schema is intentionally tiny and stable so the perf trajectory stays
+machine-readable across PRs::
 
     {
       "schema": 1,
       "budget": "quick", "points": 3, "seed": 0,
       "scenarios": {"fig3": {"wall_clock_seconds": ..,
                              "messages_per_second": .., ...}, ...},
+      "scaling": [{"workers": 1, "elapsed_seconds": ..,
+                   "messages_per_second": .., "speedup": 1.0}, ...],  # --parallel
       "baseline": {"label": .., "scenarios": {...}},   # when compared
       "speedup": {"fig3": 2.2, ...}                    # when compared
     }
+
+The per-scenario entries are always measured sequentially (one engine, one
+process), so the ``messages_per_second`` trajectory stays comparable across
+PRs and machines regardless of ``--parallel``; the ``scaling`` section is
+where multi-core fan-out is recorded.
 """
 
 from __future__ import annotations
@@ -28,7 +38,7 @@ from __future__ import annotations
 import os
 import time
 from pathlib import Path
-from typing import Any, Dict, Iterable
+from typing import Any, Dict, Iterable, List
 
 from repro import api
 from repro.utils.serialization import dump_json, load_json
@@ -36,6 +46,7 @@ from repro.utils.validation import ValidationError
 
 __all__ = [
     "BENCH_SCENARIOS",
+    "bench_campaign",
     "run_bench",
     "attach_baseline",
     "write_bench",
@@ -46,6 +57,81 @@ BENCH_SCENARIOS = ("fig3", "fig4", "heterogeneous")
 
 #: Default operating-point count per scenario.
 BENCH_POINTS = 3
+
+
+def bench_campaign(
+    scenarios: Iterable[str] = BENCH_SCENARIOS, *, points: int = BENCH_POINTS, sim=None
+) -> "Campaign":
+    """The benchmark scenario set as one simulation-only campaign."""
+    from repro.campaign import Campaign, CampaignEntry
+
+    sim = sim if sim is not None else api.simulation_budget("quick", 0)
+    return Campaign(
+        entries=tuple(
+            CampaignEntry(
+                scenario=api.scenario(name, points=points, sim=sim),
+                engines=("sim",),
+                label=name,
+            )
+            for name in scenarios
+        ),
+        name="bench",
+    )
+
+
+def _worker_ladder(effective_workers: int) -> List[int]:
+    """1, 2, 4, … up to (and always including) ``effective_workers``."""
+    ladder = [1]
+    width = 2
+    while width < effective_workers:
+        ladder.append(width)
+        width *= 2
+    if effective_workers > 1:
+        ladder.append(effective_workers)
+    return ladder
+
+
+def _measure_scaling(
+    campaign: "Campaign", effective_workers: int
+) -> List[Dict[str, Any]]:
+    """Elapsed/messages-per-second of the shared-pool campaign per worker count.
+
+    The ``workers=1`` rung executes the campaign sequentially in-process (no
+    pool), so the curve's baseline is the same measurement the per-scenario
+    entries report; higher rungs fan every scenario's points into one shared
+    process pool — scenario-level fan-out, not per-scenario pool churn.
+    Results are bit-identical across rungs (each point is reproducible from
+    the scenario seed alone); only the elapsed time changes.
+    """
+    from repro.campaign import CampaignExecutor
+
+    curve: List[Dict[str, Any]] = []
+    baseline_elapsed = None
+    for workers in _worker_ladder(effective_workers):
+        executor = CampaignExecutor(
+            campaign, parallel=workers > 1, max_workers=workers, store=None
+        )
+        started = time.perf_counter()
+        result = executor.collect()
+        elapsed = time.perf_counter() - started
+        measured = sum(
+            record.simulation.measured_messages
+            for runset in result.runsets
+            for record in runset.records
+            if record.simulation is not None
+        )
+        if baseline_elapsed is None:
+            baseline_elapsed = elapsed
+        curve.append(
+            {
+                "workers": int(workers),
+                "elapsed_seconds": round(elapsed, 4),
+                "measured_messages": int(measured),
+                "messages_per_second": round(measured / elapsed, 1),
+                "speedup": round(baseline_elapsed / elapsed, 2),
+            }
+        )
+    return curve
 
 
 def run_bench(
@@ -65,24 +151,24 @@ def run_bench(
     no timing claims; smoke payloads are marked so they are never mistaken
     for a trajectory point.
 
-    ``parallel=True`` fans each scenario's operating points out over a
-    process pool (``workers`` processes, default CPU count) through
-    :func:`repro.api.run` — results are bit-identical to the sequential
-    mode, so the artifact's sequential trajectory stays comparable while
-    the ``elapsed_seconds``/``workers`` columns record multi-core scaling.
-    ``wall_clock_seconds`` always sums the per-run simulation cost (CPU-like
-    across workers); ``elapsed_seconds`` is the end-to-end time of the
-    scenario sweep, which is what shrinks with more workers.
+    ``parallel=True`` keeps the per-scenario trajectory measurement
+    sequential (so ``messages_per_second`` stays comparable across PRs) and
+    *additionally* executes the whole set as one campaign whose tasks share
+    a single process pool, at worker counts 1, 2, 4, … up to ``workers``
+    (default CPU count, capped by the task count).  The resulting
+    speedup-vs-workers curve lands in the payload's ``scaling`` list;
+    results are bit-identical at every worker count.
     """
+    scenarios = tuple(scenarios)
     sim = api.simulation_budget(budget, seed)
     if smoke:
         sim = sim.scaled(200 / sim.measured_messages)
     requested_workers = workers if workers is not None else (os.cpu_count() or 1)
-    # Mirror api.run's pool sizing: the pool never exceeds the task count,
-    # and a single-point sweep runs sequentially in-process — record what
+    total_tasks = points * len(scenarios)
+    # The shared pool never exceeds the campaign's task count — record what
     # actually happens, not what was asked for.
     effective_workers = (
-        max(1, min(requested_workers, points)) if parallel and points > 1 else 1
+        max(1, min(requested_workers, total_tasks)) if parallel and total_tasks > 1 else 1
     )
     payload: Dict[str, Any] = {
         "schema": 1,
@@ -102,16 +188,9 @@ def run_bench(
         engine.prepare(scenario)  # compile + warm streams outside the timed region
         setup_seconds = time.perf_counter() - setup_started
         sweep_started = time.perf_counter()
-        if parallel and effective_workers > 1:
-            runset = api.run(
-                scenario, engines=(engine,), parallel=True, max_workers=effective_workers
-            )
-            records = runset.series(engine.name)
-        else:
-            records = tuple(
-                engine.evaluate(scenario, lambda_g)
-                for lambda_g in scenario.offered_traffic
-            )
+        records = tuple(
+            engine.evaluate(scenario, lambda_g) for lambda_g in scenario.offered_traffic
+        )
         elapsed = time.perf_counter() - sweep_started
         wall = 0.0
         measured = 0
@@ -130,8 +209,12 @@ def run_bench(
             "messages_per_second": round(measured / wall, 1),
             "setup_seconds": round(setup_seconds, 4),
             "elapsed_seconds": round(elapsed, 4),
-            "workers": int(effective_workers),
+            "workers": 1,
         }
+    if payload["parallel"]:
+        campaign = bench_campaign(scenarios, points=points, sim=sim)
+        payload["fan_out"] = "scenario"
+        payload["scaling"] = _measure_scaling(campaign, effective_workers)
     return payload
 
 
@@ -189,4 +272,13 @@ def bench_to_text(payload: Dict[str, Any]) -> str:
         if name in speedup:
             line += f"  ({speedup[name]:.2f}x vs {payload['baseline']['label']})"
         lines.append(line)
+    scaling = payload.get("scaling")
+    if scaling:
+        lines.append("  shared-pool scenario fan-out (all scenarios, one pool):")
+        for rung in scaling:
+            lines.append(
+                f"    {rung['workers']:>2} workers  {rung['elapsed_seconds']:>8.3f} s  "
+                f"{rung['messages_per_second']:>9.1f} msg/s  "
+                f"({rung['speedup']:.2f}x vs 1 worker)"
+            )
     return "\n".join(lines)

@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Tuple
+from typing import TYPE_CHECKING, Dict, Tuple
 
 from repro import api
 from repro.experiments.sweep import SweepResult, sweep_result_from_runset
 from repro.utils.validation import ValidationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.campaign import CampaignResult
 
 
 @dataclass(frozen=True)
@@ -113,6 +116,34 @@ def compare_runset(
         runset, model_engine=model_engine, simulation_engine=simulation_engine
     )
     return compare_model_and_simulation(sweep, blowup_factor=blowup_factor)
+
+
+def compare_campaign(
+    result: "CampaignResult",
+    *,
+    model_engine: str = "model",
+    simulation_engine: str = "sim",
+    blowup_factor: float = 5.0,
+) -> Dict[str, AgreementReport]:
+    """Agreement metrics for every campaign entry that ran both engines.
+
+    Entries lacking either the model or the simulation series are skipped —
+    a campaign may mix analysis-only and simulation-only scenarios — so the
+    returned mapping covers exactly the entries where the paper's
+    model-vs-simulation claim is testable, keyed by entry label.
+    """
+    reports: Dict[str, AgreementReport] = {}
+    for label, runset in result:
+        engines = runset.engines
+        if model_engine not in engines or simulation_engine not in engines:
+            continue
+        reports[label] = compare_runset(
+            runset,
+            model_engine=model_engine,
+            simulation_engine=simulation_engine,
+            blowup_factor=blowup_factor,
+        )
+    return reports
 
 
 def saturation_shift(report: AgreementReport) -> float:

@@ -13,10 +13,12 @@ from dataclasses import dataclass
 from typing import Dict, Optional, Tuple
 
 from repro import api
+from repro.campaign import Campaign, CampaignEntry, run_campaign
 from repro.experiments.configs import FigureSpec, figure_panels
 from repro.experiments.sweep import SweepResult, sweep_result_from_runset
 from repro.model.parameters import MessageSpec
 from repro.sim.config import SimulationConfig
+from repro.store import ResultStore
 from repro.utils.validation import ValidationError
 
 
@@ -63,6 +65,38 @@ def panel_scenario(
     )
 
 
+def figure_campaign(
+    figure: str,
+    *,
+    num_points: Optional[int] = None,
+    run_simulation: bool = True,
+    simulation_config: SimulationConfig = SimulationConfig(),
+) -> Campaign:
+    """The whole figure — every panel, every flit size — as one campaign.
+
+    Each series becomes one campaign entry, so a parallel execution fans the
+    simulation points of *all four* series into one shared process pool
+    instead of sweeping them one series at a time.
+    """
+    engines = ("model", "sim") if run_simulation else ("model",)
+    entries = []
+    for panel in figure_panels(figure):
+        for message in panel.message_specs():
+            scenario = panel_scenario(
+                panel, message, num_points=num_points, simulation_config=simulation_config
+            )
+            entries.append(CampaignEntry(scenario=scenario, engines=engines))
+    return Campaign(entries=tuple(entries), name=figure)
+
+
+def _sweeps_from_campaign(result) -> Dict[Tuple[int, int], SweepResult]:
+    sweeps: Dict[Tuple[int, int], SweepResult] = {}
+    for _, runset in result:
+        message = runset.scenario.message
+        sweeps[(message.length_flits, message.flit_bytes)] = sweep_result_from_runset(runset)
+    return sweeps
+
+
 def run_panel(
     panel: FigureSpec,
     *,
@@ -92,8 +126,14 @@ def run_figure(
     simulation_config: SimulationConfig = SimulationConfig(),
     parallel: bool = False,
     max_workers: Optional[int] = None,
+    store: Optional[ResultStore] = None,
 ) -> FigureResult:
     """Regenerate ``"fig3"`` (N=1120) or ``"fig4"`` (N=544) as data.
+
+    The figure executes as one campaign (:func:`figure_campaign`): with
+    ``parallel=True`` all series share a single process pool, and passing a
+    :class:`~repro.store.ResultStore` makes re-generation incremental —
+    only series whose scenario (or kernel switches) changed re-simulate.
 
     With ``run_simulation=False`` only the analysis curves are produced,
     which takes well under a second; the full analysis-plus-simulation
@@ -101,19 +141,16 @@ def run_figure(
     ``simulation_config=SimulationConfig.paper()`` and takes minutes (or
     ``parallel=True`` to spread the points over the machine's cores).
     """
-    sweeps: Dict[Tuple[int, int], SweepResult] = {}
-    for panel in figure_panels(figure):
-        sweeps.update(
-            run_panel(
-                panel,
-                num_points=num_points,
-                run_simulation=run_simulation,
-                simulation_config=simulation_config,
-                parallel=parallel,
-                max_workers=max_workers,
-            )
-        )
-    return FigureResult(figure=figure, sweeps=sweeps)
+    campaign = figure_campaign(
+        figure,
+        num_points=num_points,
+        run_simulation=run_simulation,
+        simulation_config=simulation_config,
+    )
+    result = run_campaign(
+        campaign, parallel=parallel, max_workers=max_workers, store=store
+    )
+    return FigureResult(figure=figure, sweeps=_sweeps_from_campaign(result))
 
 
 def expected_message_specs(figure: str) -> Tuple[MessageSpec, ...]:

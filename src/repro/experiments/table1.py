@@ -62,3 +62,28 @@ def table1_row(spec: MultiClusterSpec) -> Table1Row:
 def table1_rows() -> Tuple[Table1Row, ...]:
     """Both rows of Table 1 (N=1120 then N=544)."""
     return tuple(table1_row(spec) for spec in table1_specs())
+
+
+def table1_campaign(
+    *, points: int = 8, budget: str = "quick", seed: int | None = 0
+) -> "Campaign":
+    """Both Table 1 validation organisations as one executable campaign.
+
+    The returned plan runs the analytical model and the simulator over the
+    registered ``table1/1120`` and ``table1/544`` scenarios; executing it
+    with ``parallel=True`` fans both organisations' simulation points into
+    one shared process pool, and the default result store makes repeated
+    validation runs incremental.
+    """
+    # Imported lazily: repro.campaign pulls in repro.api, which reaches back
+    # into repro.experiments.configs — importing it at module level here
+    # would create a cycle during package initialisation.
+    from repro.campaign import Campaign
+
+    return Campaign.from_scenarios(
+        ("table1/1120", "table1/544"),
+        points=points,
+        budget=budget,
+        seed=seed,
+        name="table1",
+    )

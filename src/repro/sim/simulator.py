@@ -58,6 +58,11 @@ from repro.workloads.uniform import UniformTraffic
 #: Recognised message-kernel realisations (see :mod:`repro.sim.kernel`).
 KERNEL_MODES = ("dispatch", "generator")
 
+#: Kernel used when neither the constructor nor ``REPRO_SIM_KERNEL`` selects
+#: one.  The result store's task keys hash this default, so it must live
+#: here — next to the code it selects — not as a copied literal.
+DEFAULT_KERNEL = "dispatch"
+
 #: Per-node stream kinds a run draws from (arrival gaps, destinations,
 #: distributed-concentrator peers).
 STREAM_KINDS = ("arrivals", "destinations", "peers")
@@ -114,7 +119,7 @@ class MultiClusterSimulator:
             arrivals_factory if arrivals_factory is not None else PoissonArrivals
         )
         if kernel is None:
-            kernel = os.environ.get("REPRO_SIM_KERNEL", "dispatch")
+            kernel = os.environ.get("REPRO_SIM_KERNEL", DEFAULT_KERNEL)
         if kernel not in KERNEL_MODES:
             raise ValidationError(
                 f"unknown simulation kernel {kernel!r}; expected one of {KERNEL_MODES}"

@@ -1,0 +1,242 @@
+"""Content-addressed result store: never simulate the same point twice.
+
+Every (scenario, engine, operating point) task the campaign executor runs is
+**deterministic**: the scenario carries the RNG seed and the statistics
+budget, the engine is reconstructable from its registry name, and the only
+ambient state that can change a result is the set of kernel/scheduler
+switches (``REPRO_SIM_KERNEL``, ``REPRO_DES_SCHEDULER``,
+``REPRO_DES_CALENDAR_THRESHOLD``).  That makes results *content-addressable*:
+the SHA-256 of the canonical task description is a complete identity for the
+record it produces, and the golden-seed discipline guarantees the cached
+record is bit-identical to a fresh run.
+
+:class:`ResultStore` persists one JSON file per record under a small
+two-level fan-out directory (``<root>/<key[:2]>/<key>.json``).  The root
+defaults to ``~/.cache/repro`` and is overridden by the ``REPRO_STORE``
+environment variable (or per instance).  Re-running a campaign therefore
+re-simulates only the tasks whose content changed, and an interrupted
+campaign resumes from the records already on disk.
+
+Eviction is explicit and size-based: :meth:`ResultStore.prune` keeps the
+most recently used ``max_records`` files (store reads refresh the file's
+mtime), :meth:`ResultStore.clear` drops everything.  Nothing is evicted
+automatically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Iterator, Optional
+
+from repro.api import RunRecord, Scenario
+from repro.des.core import DEFAULT_CALENDAR_THRESHOLD, DEFAULT_SCHEDULER
+from repro.sim.simulator import DEFAULT_KERNEL
+from repro.utils.serialization import from_jsonable, to_jsonable
+
+__all__ = [
+    "DEFAULT_STORE_DIR",
+    "ResultStore",
+    "kernel_switches",
+    "task_key",
+]
+
+#: Bumped whenever the record layout or the key recipe changes, so stores
+#: written by older versions read as misses instead of mis-parsing.
+STORE_SCHEMA = 1
+
+#: Where records live when neither ``REPRO_STORE`` nor ``root`` is given.
+DEFAULT_STORE_DIR = Path.home() / ".cache" / "repro"
+
+
+def kernel_switches() -> Dict[str, str]:
+    """The ambient switches that can change a simulation result.
+
+    These are the environment knobs honoured by the simulator and the DES
+    kernel; they select between bit-identical-by-construction structures in
+    the common case, but a task key must still cover them — "bit-identical"
+    is exactly the claim the golden-seed tests pin, and a cache must never
+    be the thing that hides a divergence.
+    """
+    return {
+        "sim_kernel": os.environ.get("REPRO_SIM_KERNEL", DEFAULT_KERNEL),
+        "des_scheduler": os.environ.get("REPRO_DES_SCHEDULER", DEFAULT_SCHEDULER),
+        "des_calendar_threshold": os.environ.get(
+            "REPRO_DES_CALENDAR_THRESHOLD", str(DEFAULT_CALENDAR_THRESHOLD)
+        ),
+    }
+
+
+def task_key(
+    scenario: Scenario,
+    engine: str,
+    lambda_g: float,
+    *,
+    switches: Optional[Dict[str, str]] = None,
+) -> str:
+    """The content address (SHA-256 hex) of one (scenario, engine, point) task.
+
+    The key hashes the scenario's full JSON form (system, message geometry,
+    timing, traffic pattern, statistics budget *including the seed*, variance
+    approximation and name), the engine's registry name, the operating point
+    (as an exact ``float.hex`` so no decimal rounding can alias two loads)
+    and the active kernel/scheduler switches.  Any change to any of those
+    misses the cache.
+    """
+    # Imported here, not at module level: repro/__init__ imports this module
+    # (indirectly via repro.campaign) before __version__ is assigned.
+    from repro import __version__
+
+    payload = {
+        "schema": STORE_SCHEMA,
+        # The package version stands in for "the simulator's code": a PR
+        # that changes behaviour bumps it, so records produced by older
+        # code read as misses instead of masquerading as bit-identical.
+        "version": __version__,
+        "scenario": scenario.to_dict(),
+        "engine": str(engine),
+        "lambda_g": float(lambda_g).hex(),
+        "switches": switches if switches is not None else kernel_switches(),
+    }
+    canonical = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+class ResultStore:
+    """A content-addressed on-disk cache of :class:`repro.api.RunRecord`\\ s.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the records.  Defaults to the ``REPRO_STORE``
+        environment variable, then ``~/.cache/repro``.  The directory is
+        created lazily on the first write.
+    """
+
+    def __init__(self, root: str | Path | None = None) -> None:
+        if root is None:
+            root = os.environ.get("REPRO_STORE") or DEFAULT_STORE_DIR
+        self.root = Path(root).expanduser()
+
+    # ------------------------------------------------------------------ paths
+    def path_for(self, key: str) -> Path:
+        """Where the record for ``key`` lives (two-level fan-out)."""
+        return self.root / key[:2] / f"{key}.json"
+
+    def _record_paths(self) -> Iterator[Path]:
+        if not self.root.is_dir():
+            return iter(())
+        return self.root.glob("*/*.json")
+
+    # ------------------------------------------------------------- record I/O
+    def get(self, key: str) -> Optional[RunRecord]:
+        """The cached record for ``key``, or ``None`` on a miss.
+
+        Unreadable or schema-mismatched files read as misses (and will be
+        overwritten by the next :meth:`put`), so a corrupted or stale store
+        degrades to re-simulation, never to a crash or a wrong record.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA:
+            return None
+        try:
+            record = from_jsonable(RunRecord, payload["record"])
+        except (TypeError, ValueError, KeyError):
+            return None
+        now = time.time()
+        try:
+            # LRU bookkeeping for prune(): reads refresh the mtime.
+            os.utime(path, (now, now))
+        except OSError:
+            pass
+        return record
+
+    def put(self, key: str, record: RunRecord) -> Path:
+        """Persist ``record`` under ``key`` (atomic write) and return the path."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = {"schema": STORE_SCHEMA, "key": key, "record": to_jsonable(record)}
+        text = json.dumps(payload, sort_keys=True)
+        fd, tmp_name = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as handle:
+                handle.write(text)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).is_file()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self._record_paths())
+
+    # -------------------------------------------------------------- housekeeping
+    @staticmethod
+    def _stat_or_none(path: Path, attribute: str):
+        """A stat field, or ``None`` if another process removed the file."""
+        try:
+            return getattr(path.stat(), attribute)
+        except OSError:
+            return None
+
+    def size_bytes(self) -> int:
+        """Total bytes the stored records occupy."""
+        sizes = (self._stat_or_none(path, "st_size") for path in self._record_paths())
+        return sum(size for size in sizes if size is not None)
+
+    def clear(self) -> int:
+        """Delete every record; returns how many were removed."""
+        removed = 0
+        for path in list(self._record_paths()):
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def prune(self, max_records: int) -> int:
+        """Keep the ``max_records`` most recently used records, delete the rest.
+
+        Recency is file mtime, which :meth:`get` refreshes on every hit, so
+        this is LRU eviction.  Returns how many records were removed.
+        """
+        if max_records < 0:
+            raise ValueError(f"max_records must be >= 0, got {max_records}")
+        # The store is shared multi-process state: a record may vanish
+        # between the glob and the stat (concurrent clear/prune), which
+        # must read as "already evicted", not crash.
+        stamped = [
+            (stamp, path)
+            for path in self._record_paths()
+            if (stamp := self._stat_or_none(path, "st_mtime")) is not None
+        ]
+        stamped.sort(key=lambda pair: pair[0], reverse=True)
+        removed = 0
+        for _, path in stamped[max_records:]:
+            path.unlink(missing_ok=True)
+            removed += 1
+        return removed
+
+    def describe(self) -> str:
+        count = len(self)
+        return f"result store at {self.root}: {count} records, {self.size_bytes()} bytes"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ResultStore({str(self.root)!r})"
+
+
+def jsonable_record(record: RunRecord) -> Dict[str, Any]:
+    """The plain-JSON form of a record (exposed for result dumps and tests)."""
+    return to_jsonable(record)

@@ -1,0 +1,451 @@
+"""Tests of the Campaign API: plans, streaming execution, store-backed re-runs."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.campaign import (
+    Campaign,
+    CampaignEntry,
+    CampaignExecutor,
+    CampaignProgress,
+    TaskCompleted,
+    run_campaign,
+)
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.store import ResultStore, jsonable_record
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+WIDE = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1), name="wide")
+FAST = SimulationConfig(measured_messages=300, warmup_messages=30, drain_messages=30, seed=3)
+
+
+def scenario_for(system, *, traffic=(4e-4, 8e-4), name="") -> api.Scenario:
+    return api.Scenario(
+        system=system,
+        message=MessageSpec(32, 256),
+        offered_traffic=traffic,
+        sim=FAST,
+        name=name or system.name,
+    )
+
+
+def two_scenario_campaign(**executor_ignored) -> Campaign:
+    return Campaign(
+        entries=(
+            CampaignEntry(scenario=scenario_for(TINY), engines=("model", "sim")),
+            CampaignEntry(scenario=scenario_for(WIDE), engines=("model", "sim")),
+        ),
+        name="two",
+    )
+
+
+class TestCampaignValidation:
+    def test_empty_campaign_rejected(self):
+        with pytest.raises(ValidationError):
+            Campaign(entries=())
+
+    def test_entry_without_engines_rejected(self):
+        with pytest.raises(ValidationError):
+            CampaignEntry(scenario=scenario_for(TINY), engines=())
+
+    def test_entry_with_empty_grid_rejected(self):
+        with pytest.raises(ValidationError):
+            CampaignEntry(scenario=scenario_for(TINY, traffic=()))
+
+    def test_unknown_engine_name_rejected(self):
+        with pytest.raises(ValidationError):
+            CampaignEntry(scenario=scenario_for(TINY), engines=("warp-drive",))
+
+    def test_duplicate_labels_rejected(self):
+        with pytest.raises(ValidationError):
+            Campaign(
+                entries=(
+                    CampaignEntry(scenario=scenario_for(TINY), label="same"),
+                    CampaignEntry(scenario=scenario_for(WIDE), label="same"),
+                )
+            )
+
+    def test_labels_fall_back_to_scenario_names_then_indices(self):
+        nameless = api.Scenario(
+            system=TINY, offered_traffic=(4e-4,), sim=FAST, name=""
+        )
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY), label="explicit"),
+                CampaignEntry(scenario=scenario_for(WIDE)),
+                CampaignEntry(scenario=nameless),
+            )
+        )
+        assert campaign.labels == ("explicit", "wide", "entry2")
+
+    def test_total_tasks_counts_engines_times_points(self):
+        assert two_scenario_campaign().total_tasks == 2 * 2 * 2
+
+    def test_bad_store_argument_rejected(self):
+        with pytest.raises(ValidationError):
+            CampaignExecutor(two_scenario_campaign(), store="nope")
+
+
+class TestCampaignJson:
+    def test_dict_round_trip_is_identity(self):
+        campaign = two_scenario_campaign()
+        assert Campaign.from_dict(campaign.to_dict()) == campaign
+
+    def test_file_round_trip_is_identity(self, tmp_path):
+        campaign = two_scenario_campaign()
+        path = campaign.to_json(tmp_path / "plan.json")
+        assert Campaign.from_json(path) == campaign
+
+    def test_named_scenario_entries_resolve_through_the_registry(self):
+        campaign = Campaign.from_dict(
+            {
+                "name": "named",
+                "entries": [
+                    {"scenario": "heterogeneous", "points": 3, "budget": "quick", "seed": 4},
+                    {"scenario": "fig4", "points": 2, "engines": ["model"]},
+                ],
+            }
+        )
+        assert campaign.labels == ("heterogeneous", "fig4")
+        first = campaign.entries[0].scenario
+        assert len(first.offered_traffic) == 3
+        assert first.sim.seed == 4
+        assert campaign.entries[1].engines == ("model",)
+
+    def test_budget_override_applies_to_full_scenario_entries(self):
+        plan = {
+            "entries": [
+                {
+                    "scenario": scenario_for(TINY).to_dict(),
+                    "budget": "paper",
+                    "seed": 11,
+                }
+            ]
+        }
+        campaign = Campaign.from_dict(plan)
+        scenario = campaign.entries[0].scenario
+        assert scenario.sim.measured_messages == 100_000
+        assert scenario.sim.seed == 11
+
+    def test_points_override_applies_to_full_scenario_entries(self):
+        plan = {"entries": [{"scenario": scenario_for(TINY).to_dict(), "points": 5}]}
+        scenario = Campaign.from_dict(plan).entries[0].scenario
+        assert len(scenario.offered_traffic) == 5
+        assert max(scenario.offered_traffic) == pytest.approx(8e-4)
+
+    def test_seed_override_alone_keeps_the_budget(self):
+        plan = {"entries": [{"scenario": scenario_for(TINY).to_dict(), "seed": 42}]}
+        scenario = Campaign.from_dict(plan).entries[0].scenario
+        assert scenario.sim.seed == 42
+        assert scenario.sim.measured_messages == FAST.measured_messages
+
+    def test_engine_instances_refuse_to_serialise(self):
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(
+                    scenario=scenario_for(TINY), engines=(api.AnalyticalEngine(),)
+                ),
+            )
+        )
+        with pytest.raises(ValidationError):
+            campaign.to_dict()
+
+    def test_malformed_plans_rejected(self):
+        with pytest.raises(ValidationError):
+            Campaign.from_dict({"no": "entries"})
+        with pytest.raises(ValidationError):
+            Campaign.from_dict({"entries": [{"engines": ["model"]}]})
+        with pytest.raises(ValidationError):
+            Campaign.from_dict({"entries": [{"scenario": 17}]})
+
+    def test_from_scenarios_builder(self):
+        campaign = Campaign.from_scenarios(
+            ("heterogeneous", scenario_for(TINY)), points=2, name="mixed"
+        )
+        assert campaign.name == "mixed"
+        assert campaign.labels == ("heterogeneous", "tiny")
+        assert len(campaign.entries[0].scenario.offered_traffic) == 2
+
+
+class TestStreamingExecution:
+    def test_stream_opens_and_closes_with_progress_events(self, tmp_path):
+        executor = CampaignExecutor(two_scenario_campaign(), store=ResultStore(tmp_path))
+        events = list(executor.execute())
+        assert isinstance(events[0], CampaignProgress)
+        assert events[0].done == 0 and events[0].total == 8
+        assert isinstance(events[-1], CampaignProgress)
+        assert events[-1].done == 8 and events[-1].elapsed_seconds > 0
+        completed = [event for event in events if isinstance(event, TaskCompleted)]
+        assert len(completed) == 8
+        assert [event.done for event in completed] == list(range(1, 9))
+        assert all(event.total == 8 for event in completed)
+        assert all(not event.from_cache for event in completed)
+
+    def test_streamed_records_match_collected_runsets(self, tmp_path):
+        store = ResultStore(tmp_path)
+        executor = CampaignExecutor(two_scenario_campaign(), store=store)
+        streamed = {}
+        for event in executor.execute():
+            if isinstance(event, TaskCompleted):
+                task = event.task
+                streamed[(task.entry_index, task.engine_index, task.point_index)] = (
+                    event.record
+                )
+        result = CampaignExecutor(two_scenario_campaign(), store=store).collect()
+        assert result.cache_hits == 8  # second executor replays the store
+        for entry_index, runset in enumerate(result.runsets):
+            for engine_index in range(2):
+                for point_index in range(2):
+                    record = streamed[(entry_index, engine_index, point_index)]
+                    assert runset.records[engine_index * 2 + point_index].latency == (
+                        record.latency
+                    )
+
+    def test_collect_on_event_observes_every_event(self, tmp_path):
+        seen = []
+        run_campaign(
+            two_scenario_campaign(),
+            store=ResultStore(tmp_path),
+            on_event=seen.append,
+        )
+        assert sum(isinstance(event, TaskCompleted) for event in seen) == 8
+        assert isinstance(seen[0], CampaignProgress)
+        assert isinstance(seen[-1], CampaignProgress)
+
+
+class TestParallelExecution:
+    def test_parallel_streams_and_matches_sequential_bit_for_bit(self, tmp_path):
+        """The acceptance criterion: streamed parallel == sequential api.run."""
+        campaign = two_scenario_campaign()
+        events = list(
+            CampaignExecutor(
+                campaign, parallel=True, max_workers=2, store=ResultStore(tmp_path / "a")
+            ).execute()
+        )
+        progress = [event for event in events if isinstance(event, CampaignProgress)]
+        assert progress[0].done == 0 and progress[-1].done == 8
+        assert progress[-1].total == 8
+        result = CampaignExecutor(
+            campaign, parallel=True, max_workers=2, store=ResultStore(tmp_path / "b")
+        ).collect()
+        for entry, runset in zip(campaign.entries, result.runsets):
+            reference = api.run(entry.scenario, engines=("model", "sim"))
+            assert len(runset.records) == len(reference.records)
+            for ours, theirs in zip(runset.records, reference.records):
+                assert ours.engine == theirs.engine
+                assert ours.lambda_g == theirs.lambda_g
+                assert ours.latency == theirs.latency
+                if theirs.simulation is not None:
+                    assert ours.simulation.mean_latency == theirs.simulation.mean_latency
+                    assert ours.simulation.std_latency == theirs.simulation.std_latency
+
+    def test_single_point_scenarios_still_fan_out_at_scenario_level(self, tmp_path):
+        # Two one-point entries: point-level fan-out alone could never use
+        # two workers; the shared queue schedules both scenarios at once.
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY, traffic=(4e-4,)), engines=("sim",)),
+                CampaignEntry(scenario=scenario_for(WIDE, traffic=(4e-4,)), engines=("sim",)),
+            )
+        )
+        result = run_campaign(
+            campaign, parallel=True, max_workers=2, store=ResultStore(tmp_path)
+        )
+        assert result.cache_misses == 2
+        for entry, runset in zip(campaign.entries, result.runsets):
+            reference = api.run(entry.scenario, engines=("sim",))
+            assert runset.records[0].latency == reference.records[0].latency
+
+
+class TestStoreBackedReruns:
+    def test_second_execution_is_all_cache_hits_and_identical(self, tmp_path):
+        """Acceptance criterion: warm re-run serves everything from the store."""
+        store = ResultStore(tmp_path)
+        campaign = two_scenario_campaign()
+        cold = run_campaign(campaign, store=store)
+        assert cold.cache_hits == 0 and cold.cache_misses == 8
+        warm = run_campaign(campaign, store=store)
+        assert warm.cache_hits == 8 and warm.cache_misses == 0
+        for cold_set, warm_set in zip(cold.runsets, warm.runsets):
+            cold_json = json.dumps(
+                [jsonable_record(record) for record in cold_set.records], sort_keys=True
+            )
+            warm_json = json.dumps(
+                [jsonable_record(record) for record in warm_set.records], sort_keys=True
+            )
+            assert cold_json == warm_json
+
+    def test_warm_rerun_never_invokes_the_simulator(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        campaign = two_scenario_campaign()
+        run_campaign(campaign, store=store)
+
+        def _boom(self, scenario, lambda_g):  # pragma: no cover - must not run
+            raise AssertionError("simulator invoked on a warm campaign")
+
+        monkeypatch.setattr(api.SimulationEngine, "evaluate", _boom)
+        monkeypatch.setattr(api.AnalyticalEngine, "evaluate", _boom)
+        warm = run_campaign(campaign, store=store)
+        assert warm.cache_misses == 0
+
+    def test_interrupted_campaign_resumes_from_partial_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        campaign = two_scenario_campaign()
+        # Simulate an interrupt: stop consuming the stream after five tasks.
+        executor = CampaignExecutor(campaign, store=store)
+        completed = 0
+        for event in executor.execute():
+            if isinstance(event, TaskCompleted):
+                completed += 1
+                if completed == 5:
+                    break
+        resumed = run_campaign(campaign, store=store)
+        assert resumed.cache_hits == 5
+        assert resumed.cache_misses == 3
+
+    def test_flipping_a_kernel_switch_misses_the_cache(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path)
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY, traffic=(4e-4,)), engines=("sim",)),
+            )
+        )
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        run_campaign(campaign, store=store)
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "generator")
+        rerun = run_campaign(campaign, store=store)
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+        # Back to the default switches: the original record is still there.
+        monkeypatch.delenv("REPRO_SIM_KERNEL")
+        assert run_campaign(campaign, store=store).cache_hits == 1
+
+    def test_changing_a_scenario_field_misses_the_cache(self, tmp_path):
+        store = ResultStore(tmp_path)
+        base = Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY, traffic=(4e-4,)), engines=("sim",)),
+            )
+        )
+        run_campaign(base, store=store)
+        reseeded = Campaign(
+            entries=(
+                CampaignEntry(
+                    scenario=scenario_for(TINY, traffic=(4e-4,)).with_seed(77),
+                    engines=("sim",),
+                ),
+            )
+        )
+        rerun = run_campaign(reseeded, store=store)
+        assert rerun.cache_hits == 0 and rerun.cache_misses == 1
+
+    def test_engine_instances_bypass_the_store(self, tmp_path):
+        store = ResultStore(tmp_path)
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(
+                    scenario=scenario_for(TINY, traffic=(4e-4,)),
+                    engines=(api.AnalyticalEngine(),),
+                ),
+            )
+        )
+        first = run_campaign(campaign, store=store)
+        second = run_campaign(campaign, store=store)
+        assert first.cache_misses == 1
+        assert second.cache_misses == 1  # instances are never content-addressed
+        assert len(store) == 0
+
+    def test_store_none_disables_caching(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path))
+        campaign = two_scenario_campaign()
+        result = run_campaign(campaign, store=None)
+        assert result.cache_hits == 0
+        assert len(ResultStore()) == 0
+
+
+class TestCampaignResult:
+    def test_runset_lookup_by_label(self, tmp_path):
+        result = run_campaign(two_scenario_campaign(), store=ResultStore(tmp_path))
+        assert result.runset("tiny").scenario.system == TINY
+        assert result.runset("wide").scenario.system == WIDE
+        with pytest.raises(ValidationError):
+            result.runset("nope")
+
+    def test_describe_reports_cache_traffic(self, tmp_path):
+        store = ResultStore(tmp_path)
+        run_campaign(two_scenario_campaign(), store=store)
+        warm = run_campaign(two_scenario_campaign(), store=store)
+        text = warm.describe()
+        assert "8 cached" in text
+        assert "0 computed" in text
+
+
+class TestRunCompatibility:
+    """api.run / latency_sweep stay thin wrappers with unchanged output."""
+
+    def test_api_run_matches_hand_rolled_engine_loop(self):
+        scenario = scenario_for(TINY)
+        runset = api.run(scenario, engines=("model", "sim"))
+        model, sim = api.AnalyticalEngine(), api.SimulationEngine()
+        expected = [
+            engine.evaluate(scenario, lambda_g)
+            for engine in (model, sim)
+            for lambda_g in scenario.offered_traffic
+        ]
+        assert len(runset.records) == len(expected)
+        for ours, theirs in zip(runset.records, expected):
+            assert ours.engine == theirs.engine
+            assert ours.lambda_g == theirs.lambda_g
+            assert ours.latency == theirs.latency
+
+    def test_api_run_json_shape_unchanged(self, tmp_path):
+        from repro.utils.serialization import dump_json, load_json
+
+        runset = api.run(scenario_for(TINY, traffic=(4e-4,)), engines=("model", "sim"))
+        payload = load_json(dump_json(runset, tmp_path / "runset.json"))
+        assert set(payload) == {"scenario", "records"}
+        assert [record["engine"] for record in payload["records"]] == ["model", "sim"]
+        record = payload["records"][1]
+        assert set(record) == {
+            "engine",
+            "lambda_g",
+            "latency",
+            "saturated",
+            "metadata",
+            "simulation",
+        }
+        assert record["metadata"]["seed"] == FAST.seed
+
+    def test_api_run_with_store_reuses_records(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = scenario_for(TINY, traffic=(4e-4,))
+        first = api.run(scenario, engines=("sim",), store=store)
+        second = api.run(scenario, engines=("sim",), store=store)
+        assert json.dumps(jsonable_record(first.records[0]), sort_keys=True) == (
+            json.dumps(jsonable_record(second.records[0]), sort_keys=True)
+        )
+        assert len(store) == 1
+
+    def test_latency_sweep_matches_campaign_execution(self, tmp_path):
+        from repro.experiments.sweep import latency_sweep
+
+        grid = (4e-4, 8e-4)
+        sweep = latency_sweep(TINY, MessageSpec(32, 256), grid, simulation_config=FAST)
+        result = run_campaign(
+            Campaign(
+                entries=(
+                    CampaignEntry(
+                        scenario=scenario_for(TINY, traffic=grid), engines=("model", "sim")
+                    ),
+                )
+            ),
+            store=ResultStore(tmp_path),
+        )
+        runset = result.runsets[0]
+        assert np.array_equal(sweep.model_curve, runset.curve("model"))
+        assert np.array_equal(sweep.simulation_curve, runset.curve("sim"))

@@ -1,0 +1,223 @@
+"""Tests of the content-addressed result store: keys, round trips, eviction."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro import api
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.store import (
+    DEFAULT_STORE_DIR,
+    ResultStore,
+    jsonable_record,
+    kernel_switches,
+    task_key,
+)
+from repro.topology.multicluster import MultiClusterSpec
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+FAST = SimulationConfig(measured_messages=300, warmup_messages=30, drain_messages=30, seed=5)
+
+
+def tiny_scenario(**overrides) -> api.Scenario:
+    defaults = dict(
+        system=TINY,
+        message=MessageSpec(32, 256),
+        offered_traffic=(4e-4, 8e-4),
+        sim=FAST,
+        name="tiny",
+    )
+    defaults.update(overrides)
+    return api.Scenario(**defaults)
+
+
+class TestTaskKey:
+    def test_key_is_stable_for_identical_tasks(self):
+        assert task_key(tiny_scenario(), "sim", 4e-4) == task_key(
+            tiny_scenario(), "sim", 4e-4
+        )
+
+    def test_engine_and_point_separate_keys(self):
+        scenario = tiny_scenario()
+        base = task_key(scenario, "sim", 4e-4)
+        assert task_key(scenario, "model", 4e-4) != base
+        assert task_key(scenario, "sim", 8e-4) != base
+
+    def test_every_scenario_field_reaches_the_key(self):
+        base = task_key(tiny_scenario(), "sim", 4e-4)
+        variants = [
+            tiny_scenario(message=MessageSpec(64, 256)),
+            tiny_scenario(message=MessageSpec(32, 512)),
+            tiny_scenario(sim=FAST.with_seed(6)),
+            tiny_scenario(sim=dataclasses.replace(FAST, measured_messages=400)),
+            tiny_scenario(pattern=api.PatternSpec("hotspot", {"hot_cluster": 0})),
+            tiny_scenario(variance_approximation="zero"),
+            tiny_scenario(name="renamed"),
+            tiny_scenario(system=MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1))),
+            tiny_scenario(offered_traffic=(4e-4, 9e-4)),
+        ]
+        keys = {task_key(variant, "sim", 4e-4) for variant in variants}
+        assert base not in keys
+        assert len(keys) == len(variants)
+
+    @pytest.mark.parametrize(
+        "variable, value",
+        [
+            ("REPRO_SIM_KERNEL", "generator"),
+            ("REPRO_DES_SCHEDULER", "calendar"),
+            ("REPRO_DES_CALENDAR_THRESHOLD", "128"),
+        ],
+    )
+    def test_kernel_switches_reach_the_key(self, monkeypatch, variable, value):
+        scenario = tiny_scenario()
+        monkeypatch.delenv(variable, raising=False)
+        base = task_key(scenario, "sim", 4e-4)
+        monkeypatch.setenv(variable, value)
+        assert task_key(scenario, "sim", 4e-4) != base
+
+    def test_explicit_default_switches_match_unset_environment(self, monkeypatch):
+        """Setting a switch to its default value is the same key as unset."""
+        scenario = tiny_scenario()
+        for variable in (
+            "REPRO_SIM_KERNEL",
+            "REPRO_DES_SCHEDULER",
+            "REPRO_DES_CALENDAR_THRESHOLD",
+        ):
+            monkeypatch.delenv(variable, raising=False)
+        base = task_key(scenario, "sim", 4e-4)
+        monkeypatch.setenv("REPRO_SIM_KERNEL", "dispatch")
+        monkeypatch.setenv("REPRO_DES_SCHEDULER", "auto")
+        monkeypatch.setenv("REPRO_DES_CALENDAR_THRESHOLD", "4096")
+        assert task_key(scenario, "sim", 4e-4) == base
+
+    def test_package_version_reaches_the_key(self, monkeypatch):
+        """A version bump invalidates records produced by older code."""
+        import repro
+
+        base = task_key(tiny_scenario(), "sim", 4e-4)
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        assert task_key(tiny_scenario(), "sim", 4e-4) != base
+
+    def test_switches_snapshot_shape(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
+        switches = kernel_switches()
+        assert switches["sim_kernel"] == "dispatch"
+        assert set(switches) == {"sim_kernel", "des_scheduler", "des_calendar_threshold"}
+
+
+class TestStoreRoundTrip:
+    def _record(self, lambda_g=4e-4):
+        runset = api.run(
+            tiny_scenario(offered_traffic=(lambda_g,)), engines=("sim",)
+        )
+        return runset.series("sim")[0]
+
+    def test_put_get_round_trip_is_bit_identical(self, tmp_path):
+        store = ResultStore(tmp_path)
+        record = self._record()
+        key = task_key(tiny_scenario(offered_traffic=(4e-4,)), "sim", 4e-4)
+        store.put(key, record)
+        loaded = store.get(key)
+        # Serialised forms compare exactly (covers inf/nan fields too).
+        assert json.dumps(jsonable_record(loaded), sort_keys=True) == json.dumps(
+            jsonable_record(record), sort_keys=True
+        )
+        assert loaded.latency == record.latency
+        assert loaded.simulation.mean_latency == record.simulation.mean_latency
+        assert loaded.simulation.std_latency == record.simulation.std_latency
+        assert loaded.simulation.seed == record.simulation.seed
+        assert loaded.simulation.clusters == record.simulation.clusters
+
+    def test_model_record_with_infinite_latency_round_trips(self, tmp_path):
+        store = ResultStore(tmp_path)
+        scenario = tiny_scenario(offered_traffic=(5e-2,))
+        record = api.run(scenario, engines=("model",)).series("model")[0]
+        assert record.saturated
+        key = task_key(scenario, "model", 5e-2)
+        store.put(key, record)
+        loaded = store.get(key)
+        assert loaded.saturated
+        assert loaded.latency == float("inf")
+
+    def test_missing_key_is_a_miss(self, tmp_path):
+        assert ResultStore(tmp_path).get("0" * 64) is None
+
+    def test_corrupt_file_reads_as_a_miss(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = "ab" + "0" * 62
+        path = store.path_for(key)
+        path.parent.mkdir(parents=True)
+        path.write_text("{not json")
+        assert store.get(key) is None
+        path.write_text(json.dumps({"schema": 999, "record": {}}))
+        assert store.get(key) is None
+
+    def test_contains_and_len(self, tmp_path):
+        store = ResultStore(tmp_path)
+        key = task_key(tiny_scenario(offered_traffic=(4e-4,)), "sim", 4e-4)
+        assert key not in store
+        assert len(store) == 0
+        store.put(key, self._record())
+        assert key in store
+        assert len(store) == 1
+
+
+class TestStoreLocation:
+    def test_repro_store_env_overrides_default(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "elsewhere"))
+        assert ResultStore().root == tmp_path / "elsewhere"
+
+    def test_explicit_root_beats_env(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env"))
+        assert ResultStore(tmp_path / "explicit").root == tmp_path / "explicit"
+
+    def test_default_location_is_the_user_cache(self, monkeypatch):
+        monkeypatch.delenv("REPRO_STORE", raising=False)
+        assert ResultStore().root == DEFAULT_STORE_DIR
+
+
+class TestEviction:
+    def _fill(self, store, count):
+        record = api.run(
+            tiny_scenario(offered_traffic=(4e-4,)), engines=("model",)
+        ).series("model")[0]
+        keys = []
+        for index in range(count):
+            key = task_key(tiny_scenario(offered_traffic=(4e-4,)), "model", 4e-4 + index * 1e-6)
+            store.put(key, record)
+            keys.append(key)
+        return keys
+
+    def test_clear_removes_everything(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._fill(store, 3)
+        assert store.clear() == 3
+        assert len(store) == 0
+
+    def test_prune_keeps_most_recently_used(self, tmp_path):
+        import os
+
+        store = ResultStore(tmp_path)
+        keys = self._fill(store, 4)
+        # Age everything, then touch the first key through a hit.
+        for index, key in enumerate(keys):
+            stamp = 1_000_000 + index
+            os.utime(store.path_for(key), (stamp, stamp))
+        assert store.get(keys[0]) is not None  # refreshes mtime to "now"
+        removed = store.prune(2)
+        assert removed == 2
+        assert keys[0] in store  # most recently used survives
+        assert keys[1] not in store
+
+    def test_prune_rejects_negative(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultStore(tmp_path).prune(-1)
+
+    def test_describe_mentions_root_and_count(self, tmp_path):
+        store = ResultStore(tmp_path)
+        self._fill(store, 2)
+        text = store.describe()
+        assert str(tmp_path) in text
+        assert "2 records" in text

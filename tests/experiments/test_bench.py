@@ -99,23 +99,66 @@ class TestParallelBench:
         )
         assert parallel["parallel"] is True
         assert parallel["workers"] == 2
+        assert parallel["fan_out"] == "scenario"
         assert sequential["parallel"] is False
         assert sequential["workers"] == 1
+        assert "scaling" not in sequential
+        # The per-scenario trajectory entries are always measured
+        # sequentially so messages/sec stays comparable across PRs; the
+        # shared-pool fan-out is recorded in the scaling curve instead.
         seq_entry = sequential["scenarios"]["heterogeneous"]
         par_entry = parallel["scenarios"]["heterogeneous"]
-        assert par_entry["workers"] == 2
+        assert par_entry["workers"] == 1
         assert seq_entry["workers"] == 1
-        # Parallel sweeps are bit-identical: same messages measured, and the
-        # elapsed end-to-end time is recorded alongside the summed wall.
         assert par_entry["measured_messages"] == seq_entry["measured_messages"]
         assert par_entry["elapsed_seconds"] > 0
         assert seq_entry["elapsed_seconds"] > 0
 
-    def test_parallel_text_mentions_workers(self):
+    def test_parallel_payload_records_speedup_vs_workers_curve(self):
         payload = run_bench(
             ("heterogeneous",), points=2, smoke=True, parallel=True, workers=2
         )
-        assert "2 workers" in bench_to_text(payload)
+        curve = payload["scaling"]
+        assert [rung["workers"] for rung in curve] == [1, 2]
+        total = payload["scenarios"]["heterogeneous"]["measured_messages"]
+        for rung in curve:
+            # Bit-identical executions at every rung: same messages measured.
+            assert rung["measured_messages"] == total
+            assert rung["elapsed_seconds"] > 0
+            assert rung["messages_per_second"] > 0
+            assert rung["speedup"] > 0
+        assert curve[0]["speedup"] == pytest.approx(1.0)
+
+    def test_scenario_fan_out_shares_one_pool_across_scenarios(self):
+        payload = run_bench(
+            ("heterogeneous", "hotspot"), points=1, smoke=True, parallel=True, workers=2
+        )
+        # Two one-point scenarios: only scenario-level fan-out can use two
+        # workers at all (point-level fan-out would cap at one task each).
+        assert payload["workers"] == 2
+        assert payload["fan_out"] == "scenario"
+        assert [rung["workers"] for rung in payload["scaling"]] == [1, 2]
+        total = sum(
+            entry["measured_messages"] for entry in payload["scenarios"].values()
+        )
+        assert payload["scaling"][-1]["measured_messages"] == total
+
+    def test_parallel_text_mentions_workers_and_curve(self):
+        payload = run_bench(
+            ("heterogeneous",), points=2, smoke=True, parallel=True, workers=2
+        )
+        text = bench_to_text(payload)
+        assert "2 workers" in text
+        assert "scenario fan-out" in text
+        assert "1 worker" in text
+
+    def test_worker_ladder_doubles_to_the_effective_count(self):
+        from repro.experiments.bench import _worker_ladder
+
+        assert _worker_ladder(1) == [1]
+        assert _worker_ladder(2) == [1, 2]
+        assert _worker_ladder(4) == [1, 2, 4]
+        assert _worker_ladder(6) == [1, 2, 4, 6]
 
 
 class TestDiffBenchScript:

@@ -23,6 +23,7 @@ class TestParser:
             "ablation",
             "report",
             "bench",
+            "campaign",
         } <= choices
 
     def test_missing_command_errors(self):
@@ -277,3 +278,108 @@ class TestRunCommand:
         )
         assert code == 2
         assert "baseline file not found" in capsys.readouterr().err
+
+
+class TestCampaignCommand:
+    @staticmethod
+    def _tiny_plan(tmp_path):
+        """A two-scenario plan small enough for a unit test."""
+        import json
+
+        plan = {
+            "name": "cli-test",
+            "entries": [
+                {"scenario": "heterogeneous", "points": 2, "budget": "quick", "seed": 0},
+                {
+                    "scenario": "heterogeneous",
+                    "points": 2,
+                    "budget": "quick",
+                    "seed": 1,
+                    "label": "reseeded",
+                    "engines": ["model", "sim"],
+                },
+            ],
+        }
+        path = tmp_path / "plan.json"
+        path.write_text(json.dumps(plan))
+        return path
+
+    def test_example_writes_a_runnable_plan(self, tmp_path, capsys):
+        import json
+
+        plan_path = tmp_path / "plan.json"
+        assert main(["campaign", "example", str(plan_path), "--points", "2"]) == 0
+        assert plan_path.exists()
+        plan = json.loads(plan_path.read_text())
+        assert [entry["scenario"] for entry in plan["entries"]] == [
+            "heterogeneous",
+            "hotspot",
+        ]
+        assert "campaign run" in capsys.readouterr().out
+
+    def test_run_cold_then_warm_hits_the_store(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+        cold_json = tmp_path / "cold.json"
+        warm_json = tmp_path / "warm.json"
+        assert main(["campaign", "run", str(plan), "--json", str(cold_json)]) == 0
+        cold_out = capsys.readouterr().out
+        assert "0 cached, 8 computed" in cold_out
+        assert (
+            main(
+                ["campaign", "run", str(plan), "--progress", "--json", str(warm_json)]
+            )
+            == 0
+        )
+        warm_out = capsys.readouterr().out
+        assert "8 cached, 0 computed" in warm_out
+        assert "(cache" in warm_out  # per-task streaming lines
+        cold = json.loads(cold_json.read_text())
+        warm = json.loads(warm_json.read_text())
+        assert json.dumps(cold["runsets"], sort_keys=True) == json.dumps(
+            warm["runsets"], sort_keys=True
+        )
+        assert warm["execution"]["cache_hits"] == warm["execution"]["tasks"] == 8
+
+    def test_run_no_store_computes_fresh(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+        assert main(["campaign", "run", str(plan), "--no-store"]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "run", str(plan), "--no-store"]) == 0
+        assert "0 cached, 8 computed" in capsys.readouterr().out
+
+    def test_run_missing_plan_reports_error(self, tmp_path, capsys):
+        assert main(["campaign", "run", str(tmp_path / "nope.json")]) == 2
+        assert "campaign plan not found" in capsys.readouterr().err
+
+    def test_run_malformed_plan_reports_error(self, tmp_path, capsys):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"entries": [{"scenario": 12}]}')
+        assert main(["campaign", "run", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_store_subcommand_reports_clears_and_prunes(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+        assert main(["campaign", "run", str(plan)]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "store"]) == 0
+        assert "8 records" in capsys.readouterr().out
+        assert main(["campaign", "store", "--prune", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "pruned 5 records" in out
+        assert "3 records" in out
+        assert main(["campaign", "store", "--clear"]) == 0
+        out = capsys.readouterr().out
+        assert "removed 3 records" in out
+        assert "0 records" in out
+
+    def test_store_explicit_path_beats_env(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
+        assert main(["campaign", "store", "--store", str(tmp_path / "explicit")]) == 0
+        assert "explicit" in capsys.readouterr().out
