@@ -3,7 +3,11 @@
 Runs a small two-scenario campaign twice against a throwaway result store:
 the first execution streams every task as it finishes (records + progress
 events), the second is served entirely from the content-addressed store —
-bit-identical records, zero simulator invocations.
+bit-identical records, zero simulator invocations.  The cold run executes
+under a :class:`~repro.campaign.RetryPolicy`, the configuration for a real
+unattended campaign: a crashed or hung worker is re-queued (streaming
+``TaskRetried``) instead of sinking the run.  The store is then migrated to
+the single-file SQLite backend and re-read, record-identically.
 
 Run from the repository root with::
 
@@ -14,9 +18,10 @@ from __future__ import annotations
 
 import tempfile
 
-from repro import Campaign, CampaignExecutor, ResultStore
-from repro.campaign import TaskCompleted
+from repro import Campaign, CampaignExecutor, ResultStore, RetryPolicy
+from repro.campaign import TaskCompleted, TaskRetried
 from repro.experiments.compare import compare_campaign
+from repro.store import migrate_store
 
 
 def main() -> None:
@@ -29,8 +34,15 @@ def main() -> None:
     with tempfile.TemporaryDirectory() as tmp:
         store = ResultStore(tmp)
 
-        print("cold execution (streaming):")
-        executor = CampaignExecutor(plan, parallel=True, store=store)
+        print("cold execution (streaming, crash-tolerant):")
+        executor = CampaignExecutor(
+            plan,
+            parallel=True,
+            store=store,
+            # Survive worker failure: 3 attempts per task, hung workers
+            # killed after 10 minutes — a no-op on a healthy run.
+            retry=RetryPolicy(max_attempts=3, timeout_seconds=600),
+        )
         for event in executor.execute():
             if isinstance(event, TaskCompleted):
                 task = event.task
@@ -39,9 +51,19 @@ def main() -> None:
                     f" lambda_g={task.lambda_g:.2e} latency={event.record.latency:10.2f}"
                     f" ({'cache' if event.from_cache else 'ran'})"
                 )
+            elif isinstance(event, TaskRetried):
+                print(
+                    f"  [retry] {event.task.task_id} attempt "
+                    f"{event.attempt}/{event.max_attempts}: {event.error}"
+                )
         print()
 
-        print("warm execution (all records from the store):")
+        print("packing the store into one SQLite file:")
+        moved = migrate_store(store, "sqlite")
+        print(f"  migrated {moved} records -> {store.describe()}")
+        print()
+
+        print("warm execution (all records from the migrated store):")
         result = CampaignExecutor(plan, parallel=True, store=store).collect()
         print(f"  {result.describe()}")
         assert result.cache_misses == 0

@@ -16,9 +16,12 @@ The package provides, as importable building blocks:
   :class:`~repro.api.Scenario` objects (JSON round-trippable), pluggable
   analysis/simulation engines and a parallel :func:`repro.api.run`,
 * the **Campaign API** (:mod:`repro.campaign`): multi-scenario execution
-  plans flattened into one shared-pool task queue, streamed as they finish
-  and backed by a content-addressed result store (:mod:`repro.store`) so
-  re-runs only simulate what changed,
+  plans flattened into one shared-pool task queue, streamed as they finish,
+  made fault-tolerant by a :class:`~repro.campaign.RetryPolicy` (crashed or
+  hung workers are re-queued, exhausted tasks surface as structured
+  failures) and backed by a content-addressed result store
+  (:mod:`repro.store`, pluggable directory / single-file SQLite backends)
+  so re-runs only simulate what changed,
 * a command line, ``repro-multicluster`` (:mod:`repro.cli`).
 
 Quick start — one declarative call runs the model and the simulator over the
@@ -44,8 +47,10 @@ from repro.api import RunRecord, RunSet, Scenario, run, scenario
 from repro.campaign import (
     Campaign,
     CampaignEntry,
+    CampaignExecutionError,
     CampaignExecutor,
     CampaignResult,
+    RetryPolicy,
     run_campaign,
 )
 from repro.experiments.configs import table1_system
@@ -56,13 +61,14 @@ from repro.sim.simulator import MultiClusterSimulator
 from repro.store import ResultStore
 from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "__version__",
     "api",
     "Campaign",
     "CampaignEntry",
+    "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignResult",
     "ClusterSpec",
@@ -73,6 +79,7 @@ __all__ = [
     "MultiClusterSpec",
     "MultiClusterSystem",
     "ResultStore",
+    "RetryPolicy",
     "RunRecord",
     "RunSet",
     "Scenario",

@@ -545,6 +545,7 @@ def run(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     store: Optional[Any] = None,
+    retry: Optional[Any] = None,
 ) -> RunSet:
     """Evaluate ``scenario`` under every engine and collect a :class:`RunSet`.
 
@@ -574,6 +575,11 @@ def run(
         computed records (bit-identical by the golden-seed discipline) and
         persisting new ones.  ``None`` (the default) computes everything
         fresh, preserving the established ``run()`` behaviour.
+    retry:
+        Optional :class:`repro.campaign.RetryPolicy` re-queuing tasks whose
+        pooled workers crash or hang.  ``None`` (the default) gives every
+        task one attempt; a task failure then raises a
+        :class:`repro.campaign.CampaignExecutionError`.
 
     Records are ordered engine-by-engine in the order given, each series in
     load-grid order.
@@ -587,7 +593,7 @@ def run(
         name=scenario.name or "run",
     )
     executor = CampaignExecutor(
-        campaign, parallel=parallel, max_workers=max_workers, store=store
+        campaign, parallel=parallel, max_workers=max_workers, store=store, retry=retry
     )
     return executor.collect().runsets[0]
 

@@ -22,6 +22,18 @@ experiment campaign as one schedulable unit:
   and :meth:`~CampaignExecutor.collect` is the blocking wrapper that
   preserves ``run()``-style ergonomics, assembling one
   :class:`~repro.api.RunSet` per entry.
+* a :class:`RetryPolicy` makes unattended campaigns survive their workers:
+  a pooled task whose worker **crashes** (the pool breaks) or **hangs**
+  (exceeds the per-task timeout; the worker is killed) is re-queued onto a
+  fresh pool up to ``max_attempts`` times — each re-queue streams a
+  :class:`TaskRetried` event — and a task that exhausts its attempts streams
+  a structured :class:`TaskFailed` event instead of taking down the whole
+  campaign.  :meth:`~CampaignExecutor.collect` then either raises a
+  :class:`CampaignExecutionError` (``strict=True``, the default) or returns
+  partial :class:`~repro.api.RunSet`\\ s with the failures attached as
+  metadata (``strict=False``).  Retried tasks are re-evaluated from the
+  scenario seed alone, so a retried record is bit-identical to one produced
+  by a crash-free run.
 * the **content-addressed result store** (:mod:`repro.store`) backs every
   execution by default: tasks are keyed by a hash of the scenario JSON,
   engine name, operating point (the seed lives in the scenario) and the
@@ -46,9 +58,17 @@ Quick start::
 
 from __future__ import annotations
 
+import json
 import os
 import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures import (
+    CancelledError,
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -60,6 +80,7 @@ from typing import (
     List,
     Optional,
     Sequence,
+    Set,
     Tuple,
     Union,
 )
@@ -83,11 +104,15 @@ __all__ = [
     "Campaign",
     "CampaignEntry",
     "CampaignEvent",
+    "CampaignExecutionError",
     "CampaignExecutor",
     "CampaignProgress",
     "CampaignResult",
     "CampaignTask",
+    "RetryPolicy",
     "TaskCompleted",
+    "TaskFailed",
+    "TaskRetried",
     "run_campaign",
 ]
 
@@ -273,6 +298,71 @@ class Campaign:
 
 
 # --------------------------------------------------------------------------- #
+# Retry policy
+# --------------------------------------------------------------------------- #
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor treats tasks whose workers fail.
+
+    Attributes
+    ----------
+    max_attempts:
+        Total attempts a task gets (first run included).  ``1`` means no
+        retries: a failing task goes straight to :class:`TaskFailed`.
+    timeout_seconds:
+        Per-task wall-clock budget for *pooled* tasks, measured from the
+        moment a worker picks the task up.  A task over budget has its
+        worker killed and is re-queued (the timeout is the only way a hung
+        worker ever returns); ``None`` disables the timeout.  Inline tasks
+        run in the calling process and cannot be killed, so the timeout does
+        not apply to them.
+    backoff_seconds:
+        Sleep before re-queuing a failed task (grows by
+        ``backoff_multiplier`` per prior attempt).  ``0`` retries
+        immediately — the right default for crash recovery, where the
+        failure is not load-dependent.
+    backoff_multiplier:
+        Exponential factor applied per additional attempt.
+    """
+
+    max_attempts: int = 3
+    timeout_seconds: Optional[float] = None
+    backoff_seconds: float = 0.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValidationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.timeout_seconds is not None and self.timeout_seconds <= 0:
+            raise ValidationError(
+                f"timeout_seconds must be > 0 or None, got {self.timeout_seconds}"
+            )
+        if self.backoff_seconds < 0:
+            raise ValidationError(
+                f"backoff_seconds must be >= 0, got {self.backoff_seconds}"
+            )
+        if self.backoff_multiplier < 1:
+            raise ValidationError(
+                f"backoff_multiplier must be >= 1, got {self.backoff_multiplier}"
+            )
+
+    def delay_before(self, attempt: int) -> float:
+        """Backoff before attempt number ``attempt`` (2-based: first retry)."""
+        if attempt <= 1 or self.backoff_seconds == 0:
+            return 0.0
+        return self.backoff_seconds * self.backoff_multiplier ** (attempt - 2)
+
+
+#: The executor default: one attempt, no timeout.  Failures still surface as
+#: structured :class:`TaskFailed` events (never a mid-stream exception), so
+#: the pre-retry behaviour — collect() raising on the first failure — is
+#: preserved through strict collection rather than a crashed campaign.
+NO_RETRY = RetryPolicy(max_attempts=1)
+
+
+# --------------------------------------------------------------------------- #
 # Tasks and streaming events
 # --------------------------------------------------------------------------- #
 @dataclass(frozen=True)
@@ -289,6 +379,11 @@ class CampaignTask:
     #: cacheable (engine given as an instance, or the store is disabled)
     cache_key: Optional[str] = None
 
+    @property
+    def task_id(self) -> str:
+        """Human-stable identity used by fault injection and failure reports."""
+        return f"{self.label}:{self.engine}:{self.point_index}"
+
 
 @dataclass(frozen=True)
 class TaskCompleted:
@@ -303,6 +398,37 @@ class TaskCompleted:
 
 
 @dataclass(frozen=True)
+class TaskRetried:
+    """Streamed when a failed task is re-queued for another attempt."""
+
+    task: CampaignTask
+    #: the attempt number that just failed (1-based)
+    attempt: int
+    max_attempts: int
+    #: what happened: exception repr, "worker crashed …" or "timed out …"
+    error: str
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
+class TaskFailed:
+    """Streamed when a task exhausts its retry budget: the structured failure.
+
+    The campaign keeps going; strict :meth:`CampaignExecutor.collect` raises
+    a :class:`CampaignExecutionError` carrying these once the stream drains,
+    and non-strict collection returns them on the :class:`CampaignResult`.
+    """
+
+    task: CampaignTask
+    #: attempts consumed (== the policy's max_attempts)
+    attempts: int
+    error: str
+    done: int
+    total: int
+    elapsed_seconds: float
+
+
+@dataclass(frozen=True)
 class CampaignProgress:
     """Streamed at the start and end of an execution (and cheap to emit)."""
 
@@ -310,9 +436,27 @@ class CampaignProgress:
     total: int
     cache_hits: int
     elapsed_seconds: float
+    failed: int = 0
+    retries: int = 0
 
 
-CampaignEvent = Union[TaskCompleted, CampaignProgress]
+CampaignEvent = Union[TaskCompleted, TaskRetried, TaskFailed, CampaignProgress]
+
+
+class CampaignExecutionError(RuntimeError):
+    """Raised by strict collection when tasks exhausted their retry budget."""
+
+    def __init__(self, failures: Sequence[TaskFailed]) -> None:
+        self.failures: Tuple[TaskFailed, ...] = tuple(failures)
+        lines = [
+            f"{len(self.failures)} campaign task(s) failed after exhausting retries:"
+        ]
+        lines.extend(
+            f"  {failure.task.task_id} (lambda_g={failure.task.lambda_g:.6g}, "
+            f"{failure.attempts} attempts): {failure.error}"
+            for failure in self.failures
+        )
+        super().__init__("\n".join(lines))
 
 
 # --------------------------------------------------------------------------- #
@@ -328,10 +472,15 @@ class CampaignResult:
     cache_hits: int
     cache_misses: int
     elapsed_seconds: float
+    #: tasks that exhausted their retry budget (non-strict collection only;
+    #: their records are absent from the runsets)
+    failures: Tuple[TaskFailed, ...] = ()
+    #: re-queues that happened along the way (0 on a healthy campaign)
+    task_retries: int = 0
 
     @property
     def total_tasks(self) -> int:
-        return self.cache_hits + self.cache_misses
+        return self.cache_hits + self.cache_misses + len(self.failures)
 
     def runset(self, label: str) -> RunSet:
         """The :class:`~repro.api.RunSet` of the entry labelled ``label``."""
@@ -346,11 +495,60 @@ class CampaignResult:
         return iter(zip(self.labels, self.runsets))
 
     def describe(self) -> str:
-        return (
+        text = (
             f"{self.campaign.describe()}; {self.total_tasks} tasks in "
             f"{self.elapsed_seconds:.2f} s ({self.cache_hits} cached, "
             f"{self.cache_misses} computed)"
         )
+        if self.task_retries:
+            text += f", {self.task_retries} retries"
+        if self.failures:
+            text += f", {len(self.failures)} FAILED"
+        return text
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side entry point and fault injection
+# --------------------------------------------------------------------------- #
+#: Environment variable holding the fault-injection spec (tests / CI only).
+FAULT_ENV = "REPRO_CAMPAIGN_FAULT"
+
+
+def _maybe_inject_fault(task_id: str) -> None:
+    """Deterministic worker-fault injection for tests and the CI crash job.
+
+    ``REPRO_CAMPAIGN_FAULT`` holds a JSON object ``{"kind": "crash"|"hang",
+    "task": "<label>:<engine>:<point_index>", "marker": "<path>"}``.  The
+    matching pooled task triggers the fault exactly once — the marker file
+    records that it fired — so the retried attempt succeeds and a test can
+    prove crash recovery produces records identical to a clean run.
+    """
+    spec = os.environ.get(FAULT_ENV)
+    if not spec:
+        return
+    try:
+        fault = json.loads(spec)
+        kind = fault["kind"]
+        target = fault["task"]
+        marker = Path(fault["marker"])
+    except (ValueError, KeyError, TypeError):
+        return
+    if target != task_id or marker.exists():
+        return
+    marker.parent.mkdir(parents=True, exist_ok=True)
+    marker.touch()
+    if kind == "crash":
+        os._exit(3)  # die the way a segfaulting / OOM-killed worker dies
+    if kind == "hang":
+        time.sleep(3600.0)  # wedge: only the task timeout can reclaim this
+
+
+def _pool_evaluate(
+    engine: Engine, scenario: Scenario, lambda_g: float, task_id: str
+) -> RunRecord:
+    """Process-pool worker: evaluate one campaign task (fault hook included)."""
+    _maybe_inject_fault(task_id)
+    return _evaluate_point(engine, scenario, lambda_g)
 
 
 # --------------------------------------------------------------------------- #
@@ -378,6 +576,11 @@ class CampaignExecutor:
         ``~/.cache/repro``; pass a :class:`~repro.store.ResultStore` to pin
         a location or ``None`` to disable caching entirely (every task is
         computed fresh and nothing is written).
+    retry:
+        The :class:`RetryPolicy` applied to failing tasks.  The default
+        (``None``) gives every task one attempt and no timeout; pass e.g.
+        ``RetryPolicy(max_attempts=3, timeout_seconds=600)`` for unattended
+        campaigns that must survive crashed or hung workers.
     """
 
     def __init__(
@@ -387,10 +590,12 @@ class CampaignExecutor:
         parallel: bool = False,
         max_workers: Optional[int] = None,
         store: Union[ResultStore, None, str] = "default",
+        retry: Optional[RetryPolicy] = None,
     ) -> None:
         self.campaign = campaign
         self.parallel = parallel
         self.max_workers = max_workers
+        self.retry = retry if retry is not None else NO_RETRY
         if store == "default":
             self.store: Optional[ResultStore] = ResultStore()
         elif store is None:
@@ -456,13 +661,48 @@ class CampaignExecutor:
         order.  Records served from the result store are yielded first and
         marked ``from_cache=True``; they carry the wall-clock metadata of
         the run that originally produced them.
+
+        Task failures never escape as exceptions mid-stream: a failed
+        attempt with retries left streams :class:`TaskRetried` and the task
+        is re-queued (crashed pools are rebuilt, hung workers are killed at
+        the retry policy's timeout), and a task that exhausts its attempts
+        streams a structured :class:`TaskFailed` so the rest of the campaign
+        completes regardless.
         """
         started = time.perf_counter()
+        policy = self.retry
         tasks = self.tasks()
         total = len(tasks)
         done = 0
         hits = 0
+        failed = 0
+        retries = 0
         yield CampaignProgress(0, total, 0, 0.0)
+
+        def _failure_event(
+            task: CampaignTask, attempts_used: int, reason: str
+        ) -> Union[TaskFailed, TaskRetried]:
+            """Book a failed attempt: terminal TaskFailed or a TaskRetried."""
+            nonlocal done, failed, retries
+            if attempts_used >= policy.max_attempts:
+                done += 1
+                failed += 1
+                return TaskFailed(
+                    task=task,
+                    attempts=attempts_used,
+                    error=reason,
+                    done=done,
+                    total=total,
+                    elapsed_seconds=time.perf_counter() - started,
+                )
+            retries += 1
+            return TaskRetried(
+                task=task,
+                attempt=attempts_used,
+                max_attempts=policy.max_attempts,
+                error=reason,
+                elapsed_seconds=time.perf_counter() - started,
+            )
 
         # Serve cache hits first: instant, and it means an interrupted
         # campaign streams everything it already knows before simulating.
@@ -502,8 +742,23 @@ class CampaignExecutor:
             pooled = []
 
         for task in inline:
-            yield self._complete(task, self._evaluate(task), started, done, total)
-            done += 1
+            attempt = 0
+            while True:
+                attempt += 1
+                try:
+                    record = self._evaluate(task)
+                except Exception as error:  # noqa: BLE001 - structured failure path
+                    event = _failure_event(task, attempt, repr(error))
+                    yield event
+                    if isinstance(event, TaskFailed):
+                        break
+                    delay = policy.delay_before(attempt + 1)
+                    if delay > 0:
+                        time.sleep(delay)
+                    continue
+                yield self._complete(task, record, started, done, total)
+                done += 1
+                break
 
         if pooled:
             # Compile every pooled entry's network core in the parent before
@@ -519,31 +774,183 @@ class CampaignExecutor:
                 prepare = getattr(engine, "prepare", None)
                 if prepare is not None:
                     prepare(self.campaign.entries[task.entry_index].scenario)
-            workers = (
-                self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
-            )
-            workers = max(1, min(workers, len(pooled)))
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                futures = {
-                    pool.submit(
-                        _evaluate_point,
-                        self._engines[task.entry_index][task.engine_index],
-                        self.campaign.entries[task.entry_index].scenario,
-                        task.lambda_g,
-                    ): task
-                    for task in pooled
-                }
-                for future in as_completed(futures):
-                    task = futures[future]
-                    yield self._complete(task, future.result(), started, done, total)
-                    done += 1
 
-        yield CampaignProgress(done, total, hits, time.perf_counter() - started)
+            attempts: Dict[CampaignTask, int] = {task: 0 for task in pooled}
+            pending: List[CampaignTask] = list(pooled)
+            while pending:
+                # One "round" per pool: a crashed worker poisons its whole
+                # ProcessPoolExecutor, so recovery means a fresh pool over
+                # everything the previous one left unfinished.
+                requeue: List[CampaignTask] = []
+                for event in self._pooled_round(
+                    pending, attempts, requeue, _failure_event, started,
+                    lambda: done, total,
+                ):
+                    if isinstance(event, TaskCompleted):
+                        done += 1
+                    yield event
+                pending = requeue
+                if pending:
+                    delay = max(
+                        policy.delay_before(attempts[task] + 1) for task in pending
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+
+        yield CampaignProgress(
+            done, total, hits, time.perf_counter() - started, failed, retries
+        )
+
+    def _pooled_round(
+        self,
+        pending: Sequence[CampaignTask],
+        attempts: Dict[CampaignTask, int],
+        requeue: List[CampaignTask],
+        _failure_event: Callable[[CampaignTask, int, str], Union[TaskFailed, TaskRetried]],
+        started: float,
+        current_done: Callable[[], int],
+        total: int,
+    ) -> Iterator[CampaignEvent]:
+        """Run one process pool over ``pending``, streaming its events.
+
+        Tasks that must run again land in ``requeue``: failed attempts with
+        retries left (attempt counted), plus innocent casualties of a
+        timeout kill (attempt *not* counted — the culprit is known).  When
+        the pool breaks from a worker crash the culprit is unknowable, so
+        every unfinished task of the round is charged an attempt; with a
+        deterministic crasher that converges in ``max_attempts`` rounds, and
+        transient collateral completes on the rebuilt pool.
+        """
+        policy = self.retry
+        workers = (
+            self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
+        )
+        workers = max(1, min(workers, len(pending)))
+        pool = ProcessPoolExecutor(max_workers=workers)
+        try:
+            futures: Dict[Future, CampaignTask] = {
+                pool.submit(
+                    _pool_evaluate,
+                    self._engines[task.entry_index][task.engine_index],
+                    self.campaign.entries[task.entry_index].scenario,
+                    task.lambda_g,
+                    task.task_id,
+                ): task
+                for task in pending
+            }
+            outstanding: Set[Future] = set(futures)
+            #: submission order; the executor feeds workers FIFO, so the
+            #: first `workers` unresolved futures are the ones actually
+            #: executing (a queued future reports running() the moment it
+            #: enters the call queue, which must not start its clock)
+            order: List[Future] = list(futures)
+            deadlines: Dict[Future, float] = {}
+            timed_out: Set[CampaignTask] = set()
+            killed_for_timeout = False
+            poll = (
+                min(0.25, max(0.01, policy.timeout_seconds / 10))
+                if policy.timeout_seconds is not None
+                else None
+            )
+            while outstanding:
+                finished, outstanding = wait(
+                    outstanding, timeout=poll, return_when=FIRST_COMPLETED
+                )
+                for future in finished:
+                    task = futures[future]
+                    try:
+                        record = future.result()
+                    except (BrokenProcessPool, CancelledError):
+                        if task in timed_out:
+                            attempts[task] += 1
+                            event = _failure_event(
+                                task,
+                                attempts[task],
+                                f"timed out after {policy.timeout_seconds:g} s "
+                                "(worker killed)",
+                            )
+                        elif killed_for_timeout:
+                            # Innocent casualty of our own timeout kill: the
+                            # culprit is known, so re-queue without charging
+                            # an attempt (and without noise in the stream).
+                            requeue.append(task)
+                            continue
+                        else:
+                            attempts[task] += 1
+                            event = _failure_event(
+                                task,
+                                attempts[task],
+                                "worker crashed (process pool broke before the "
+                                "task finished)",
+                            )
+                        yield event
+                        if isinstance(event, TaskRetried):
+                            requeue.append(task)
+                    except Exception as error:  # noqa: BLE001 - worker-side failure
+                        attempts[task] += 1
+                        event = _failure_event(task, attempts[task], repr(error))
+                        yield event
+                        if isinstance(event, TaskRetried):
+                            requeue.append(task)
+                    else:
+                        yield TaskCompleted(
+                            task=task,
+                            record=self._persist(task, record),
+                            from_cache=False,
+                            done=current_done() + 1,
+                            total=total,
+                            elapsed_seconds=time.perf_counter() - started,
+                        )
+                if policy.timeout_seconds is not None and outstanding:
+                    now = time.monotonic()
+                    # The timeout clock starts when a worker picks the task
+                    # up, not while it waits in the queue.  future.running()
+                    # alone over-counts: the pool's call queue holds one
+                    # task beyond the worker count and marks it running, so
+                    # clamp the clock to the first `workers` unresolved
+                    # futures in submission order — the executing set under
+                    # the pool's FIFO feed.
+                    executing = [
+                        future for future in order if future in outstanding
+                    ][:workers]
+                    for future in executing:
+                        if future not in deadlines and future.running():
+                            deadlines[future] = now + policy.timeout_seconds
+                    expired = [
+                        future
+                        for future in executing
+                        if future in deadlines and now >= deadlines[future]
+                    ]
+                    if expired and not killed_for_timeout:
+                        for future in expired:
+                            timed_out.add(futures[future])
+                        killed_for_timeout = True
+                        # A hung worker never returns; killing the pool's
+                        # processes resolves every outstanding future as
+                        # broken, and the round's cleanup re-queues them.
+                        self._kill_pool_workers(pool)
+        finally:
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    @staticmethod
+    def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+        processes = getattr(pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
 
     def _evaluate(self, task: CampaignTask) -> RunRecord:
         engine = self._engines[task.entry_index][task.engine_index]
         scenario = self.campaign.entries[task.entry_index].scenario
         return engine.evaluate(scenario, task.lambda_g)
+
+    def _persist(self, task: CampaignTask, record: RunRecord) -> RunRecord:
+        """Write a freshly computed record through to the store."""
+        if self.store is not None and task.cache_key is not None:
+            self.store.put(task.cache_key, record)
+        return record
 
     def _complete(
         self,
@@ -554,11 +961,9 @@ class CampaignExecutor:
         total: int,
     ) -> TaskCompleted:
         """Persist a freshly computed record and wrap it as an event."""
-        if self.store is not None and task.cache_key is not None:
-            self.store.put(task.cache_key, record)
         return TaskCompleted(
             task=task,
-            record=record,
+            record=self._persist(task, record),
             from_cache=False,
             done=done + 1,
             total=total,
@@ -567,7 +972,10 @@ class CampaignExecutor:
 
     # ---------------------------------------------------------------- blocking
     def collect(
-        self, *, on_event: Optional[Callable[[CampaignEvent], None]] = None
+        self,
+        *,
+        strict: bool = True,
+        on_event: Optional[Callable[[CampaignEvent], None]] = None,
     ) -> CampaignResult:
         """Drain :meth:`execute` and assemble one RunSet per campaign entry.
 
@@ -577,10 +985,20 @@ class CampaignExecutor:
         assemble identical RunSets.  ``on_event`` (when given) observes every
         streamed event, which is how the CLI renders live progress without
         re-implementing collection.
+
+        ``strict`` decides what happens when tasks exhausted their retry
+        budget: ``True`` (the default) raises a
+        :class:`CampaignExecutionError` carrying every :class:`TaskFailed`;
+        ``False`` returns *partial* RunSets — the failed tasks' records are
+        simply absent, and the failures ride along as
+        :attr:`CampaignResult.failures` so callers can tell a short series
+        from a complete one.
         """
         records: Dict[Tuple[int, int, int], RunRecord] = {}
+        failures: List[TaskFailed] = []
         hits = 0
         misses = 0
+        retries = 0
         elapsed = 0.0
         for event in self.execute():
             if on_event is not None:
@@ -594,14 +1012,21 @@ class CampaignExecutor:
                     hits += 1
                 else:
                     misses += 1
+            elif isinstance(event, TaskFailed):
+                failures.append(event)
+            elif isinstance(event, TaskRetried):
+                retries += 1
             else:
                 elapsed = max(elapsed, event.elapsed_seconds)
+        if failures and strict:
+            raise CampaignExecutionError(failures)
         runsets = []
         for entry_index, entry in enumerate(self.campaign.entries):
             ordered = tuple(
                 records[(entry_index, engine_index, point_index)]
                 for engine_index in range(len(self._engines[entry_index]))
                 for point_index in range(len(entry.scenario.offered_traffic))
+                if (entry_index, engine_index, point_index) in records
             )
             runsets.append(RunSet(scenario=entry.scenario, records=ordered))
         return CampaignResult(
@@ -611,6 +1036,8 @@ class CampaignExecutor:
             cache_hits=hits,
             cache_misses=misses,
             elapsed_seconds=elapsed,
+            failures=tuple(failures),
+            task_retries=retries,
         )
 
 
@@ -620,10 +1047,12 @@ def run_campaign(
     parallel: bool = False,
     max_workers: Optional[int] = None,
     store: Union[ResultStore, None, str] = "default",
+    retry: Optional[RetryPolicy] = None,
+    strict: bool = True,
     on_event: Optional[Callable[[CampaignEvent], None]] = None,
 ) -> CampaignResult:
     """Execute ``campaign`` and block for the full :class:`CampaignResult`."""
     executor = CampaignExecutor(
-        campaign, parallel=parallel, max_workers=max_workers, store=store
+        campaign, parallel=parallel, max_workers=max_workers, store=store, retry=retry
     )
-    return executor.collect(on_event=on_event)
+    return executor.collect(strict=strict, on_event=on_event)

@@ -19,10 +19,14 @@ Sub-commands mirror the experiment harness:
   comparing against a previous artifact via ``--baseline``; ``--parallel``
   adds the shared-pool speedup-vs-workers curve);
 * ``campaign``   — the multi-scenario Campaign API: ``campaign run
-  plan.json --parallel --progress`` executes a JSON plan over one shared
-  process pool with streaming progress and the content-addressed result
-  store, ``campaign example`` writes a starter plan, ``campaign store``
-  inspects / prunes / clears the store.
+  plan.json --parallel --progress[=bar]`` executes a JSON plan over one
+  shared process pool with streaming progress (or an aggregated
+  per-scenario bar) and the content-addressed result store;
+  ``--retries``/``--task-timeout`` make unattended campaigns survive
+  crashed or hung workers (``--allow-failures`` reports partial results
+  instead of failing); ``campaign example`` writes a starter plan;
+  ``campaign store`` inspects / prunes / clears / ``--migrate``\\ s the
+  store between its directory and SQLite backends.
 
 Every command is pure text output (tables / CSV / JSON); nothing requires a
 plotting stack.
@@ -250,8 +254,13 @@ def build_parser() -> argparse.ArgumentParser:
     )
     campaign_run.add_argument(
         "--progress",
-        action="store_true",
-        help="stream one line per finished task (records + done/total/elapsed)",
+        nargs="?",
+        const="plain",
+        default=None,
+        choices=("plain", "bar"),
+        help="live progress: 'plain' (default when the flag is bare) streams one "
+        "line per finished task; 'bar' renders a single aggregated bar with "
+        "per-scenario completion counts",
     )
     campaign_run.add_argument(
         "--no-store",
@@ -263,6 +272,43 @@ def build_parser() -> argparse.ArgumentParser:
         type=Path,
         default=None,
         help="result store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    campaign_run.add_argument(
+        "--backend",
+        choices=("directory", "sqlite"),
+        default=None,
+        help="result store backend (default: $REPRO_STORE_BACKEND, else "
+        "auto-detected from the store directory)",
+    )
+    campaign_run.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per task (default 1 = no retries); crashed or hung "
+        "pooled workers are re-queued onto a fresh worker up to N times",
+    )
+    campaign_run.add_argument(
+        "--task-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-task wall-clock budget for pooled tasks; a worker over "
+        "budget is killed and the task re-queued (requires --retries > 1 to "
+        "actually retry)",
+    )
+    campaign_run.add_argument(
+        "--backoff",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="base sleep before re-queuing a failed task (doubles per attempt)",
+    )
+    campaign_run.add_argument(
+        "--allow-failures",
+        action="store_true",
+        help="finish the campaign even if tasks exhaust their retries: report "
+        "partial results instead of exiting with an error",
     )
     campaign_run.add_argument(
         "--json",
@@ -289,13 +335,28 @@ def build_parser() -> argparse.ArgumentParser:
     )
 
     campaign_store = campaign_sub.add_parser(
-        "store", help="inspect or evict the content-addressed result store"
+        "store", help="inspect, evict or migrate the content-addressed result store"
     )
     campaign_store.add_argument(
         "--store",
         type=Path,
         default=None,
         help="result store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    campaign_store.add_argument(
+        "--backend",
+        choices=("directory", "sqlite"),
+        default=None,
+        help="result store backend (default: $REPRO_STORE_BACKEND, else "
+        "auto-detected from the store directory)",
+    )
+    campaign_store.add_argument(
+        "--migrate",
+        choices=("directory", "sqlite"),
+        default=None,
+        metavar="BACKEND",
+        help="convert the store to the given backend record-identically "
+        "(directory = one JSON file per record, sqlite = single indexed store.db)",
     )
     campaign_store.add_argument(
         "--clear", action="store_true", help="delete every cached record"
@@ -557,11 +618,79 @@ def _cmd_bench(args: argparse.Namespace) -> int:
 def _campaign_store(args: argparse.Namespace) -> "ResultStore":
     from repro.store import ResultStore
 
-    return ResultStore(args.store) if args.store is not None else ResultStore()
+    backend = getattr(args, "backend", None)
+    root = args.store if args.store is not None else None
+    return ResultStore(root, backend=backend)
+
+
+class _ProgressBar:
+    """One-line ``--progress=bar`` renderer: campaign bar + per-scenario counts.
+
+    Pure ``\\r`` redraw on stdout — no curses, no dependencies — aggregating
+    completion per scenario label so a many-scenario campaign reads at a
+    glance where the work is.
+    """
+
+    WIDTH = 30
+
+    def __init__(self, campaign) -> None:
+        self.totals = {
+            label: len(entry.engines) * len(entry.scenario.offered_traffic)
+            for label, entry in zip(campaign.labels, campaign.entries)
+        }
+        self.done = {label: 0 for label in self.totals}
+        self.total = sum(self.totals.values())
+        self.failed = 0
+        self.retries = 0
+        self._last_width = 0
+
+    def update(self, event) -> None:
+        from repro.campaign import TaskCompleted, TaskFailed, TaskRetried
+
+        if isinstance(event, TaskCompleted):
+            self.done[event.task.label] += 1
+        elif isinstance(event, TaskFailed):
+            self.done[event.task.label] += 1
+            self.failed += 1
+        elif isinstance(event, TaskRetried):
+            self.retries += 1
+        else:
+            return
+        self.render()
+
+    def render(self) -> None:
+        done = sum(self.done.values())
+        filled = int(self.WIDTH * done / self.total) if self.total else self.WIDTH
+        bar = "#" * filled + "-" * (self.WIDTH - filled)
+        scenarios = "  ".join(
+            f"{label} {count}/{self.totals[label]}"
+            for label, count in self.done.items()
+        )
+        line = f"[{bar}] {done}/{self.total}  {scenarios}"
+        if self.retries:
+            line += f"  ({self.retries} retries)"
+        if self.failed:
+            line += f"  ({self.failed} FAILED)"
+        # Pad over the previous render so a shrinking line leaves no litter.
+        padding = " " * max(self._last_width - len(line), 0)
+        self._last_width = len(line)
+        print(f"\r{line}{padding}", end="", flush=True)
+
+    def finish(self) -> None:
+        if self._last_width:
+            print(flush=True)
 
 
 def _cmd_campaign_run(args: argparse.Namespace) -> int:
-    from repro.campaign import Campaign, CampaignExecutor, TaskCompleted
+    from repro.campaign import (
+        Campaign,
+        CampaignExecutionError,
+        CampaignExecutor,
+        RetryPolicy,
+        TaskCompleted,
+        TaskFailed,
+        TaskRetried,
+    )
     from repro.experiments.compare import compare_campaign
     from repro.utils.serialization import to_jsonable
 
@@ -572,43 +701,99 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
     except (TypeError, ValueError, KeyError) as error:
         raise ValidationError(f"invalid campaign plan {args.plan}: {error}") from error
     store = None if args.no_store else _campaign_store(args)
+    retry = None
+    if args.retries != 1 or args.task_timeout is not None or args.backoff:
+        retry = RetryPolicy(
+            max_attempts=args.retries,
+            timeout_seconds=args.task_timeout,
+            backoff_seconds=args.backoff,
+        )
     executor = CampaignExecutor(
-        campaign, parallel=args.parallel, max_workers=args.workers, store=store
+        campaign,
+        parallel=args.parallel,
+        max_workers=args.workers,
+        store=store,
+        retry=retry,
     )
     print(campaign.describe())
     if store is not None:
-        print(f"result store: {store.root}")
+        print(f"result store: {store.root} [{store.backend.name}]")
     print()
 
-    def _print_event(event) -> None:
-        if not args.progress or not isinstance(event, TaskCompleted):
-            return
-        task = event.task
-        origin = "cache" if event.from_cache else "ran"
-        print(
-            f"[{event.done}/{event.total}] {task.label} {task.engine} "
-            f"lambda_g={task.lambda_g:.6g} latency={event.record.latency:.6g} "
-            f"({origin}, {event.elapsed_seconds:.2f} s elapsed)"
-        )
+    bar = _ProgressBar(campaign) if args.progress == "bar" else None
 
-    result = executor.collect(on_event=_print_event)
-    if args.progress:
+    def _print_event(event) -> None:
+        if bar is not None:
+            bar.update(event)
+            return
+        if args.progress is None:
+            return
+        if isinstance(event, TaskCompleted):
+            task = event.task
+            origin = "cache" if event.from_cache else "ran"
+            print(
+                f"[{event.done}/{event.total}] {task.label} {task.engine} "
+                f"lambda_g={task.lambda_g:.6g} latency={event.record.latency:.6g} "
+                f"({origin}, {event.elapsed_seconds:.2f} s elapsed)"
+            )
+        elif isinstance(event, TaskRetried):
+            print(
+                f"[retry] {event.task.task_id} lambda_g={event.task.lambda_g:.6g} "
+                f"attempt {event.attempt}/{event.max_attempts} failed: {event.error}"
+            )
+        elif isinstance(event, TaskFailed):
+            print(
+                f"[FAILED {event.done}/{event.total}] {event.task.task_id} "
+                f"after {event.attempts} attempts: {event.error}"
+            )
+
+    try:
+        result = executor.collect(
+            strict=not args.allow_failures, on_event=_print_event
+        )
+    except CampaignExecutionError as error:
+        if bar is not None:
+            bar.finish()
+        print(f"error: {error}", file=sys.stderr)
+        return 3
+    if bar is not None:
+        bar.finish()
+    if args.progress is not None:
         print()
+    failed_labels = {failure.task.label for failure in result.failures}
     for label, runset in result:
         header = runset.scenario.describe()
         if label != runset.scenario.name:
             header = f"{label}: {header}"
+        if label in failed_labels:
+            # A partial series misaligns against the load grid; name the
+            # holes instead of tabulating around them.
+            missing = [
+                failure.task.task_id
+                for failure in result.failures
+                if failure.task.label == label
+            ]
+            print(f"== {header}")
+            print(f"   PARTIAL: missing {', '.join(missing)}")
+            print()
+            continue
         print(f"== {header}")
         print(sweep_to_table(sweep_result_from_runset(runset)).to_text())
         print()
-    for label, report in compare_campaign(result).items():
-        print(f"-- {label}")
-        print(agreement_to_text(report))
-        print()
-    print(
+    if not failed_labels:
+        for label, report in compare_campaign(result).items():
+            print(f"-- {label}")
+            print(agreement_to_text(report))
+            print()
+    summary = (
         f"{result.total_tasks} tasks in {result.elapsed_seconds:.2f} s "
         f"({result.cache_hits} cached, {result.cache_misses} computed)"
     )
+    if result.task_retries:
+        summary += f", {result.task_retries} retries"
+    if result.failures:
+        summary += f", {len(result.failures)} FAILED"
+    print(summary)
     if args.json is not None:
         payload = {
             "name": campaign.name,
@@ -623,6 +808,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 "elapsed_seconds": result.elapsed_seconds,
                 "parallel": bool(args.parallel),
                 "store": str(store.root) if store is not None else None,
+                "store_backend": store.backend.name if store is not None else None,
+                "task_retries": result.task_retries,
+                "failures": [
+                    {
+                        "task": failure.task.task_id,
+                        "lambda_g": failure.task.lambda_g,
+                        "attempts": failure.attempts,
+                        "error": failure.error,
+                    }
+                    for failure in result.failures
+                ],
             },
         }
         path = dump_json(payload, args.json)
@@ -656,7 +852,15 @@ def _cmd_campaign_example(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_store(args: argparse.Namespace) -> int:
+    from repro.store import migrate_store
+
     store = _campaign_store(args)
+    if args.migrate is not None:
+        moved = migrate_store(store, args.migrate)
+        if moved:
+            print(f"migrated {moved} records to the {args.migrate} backend")
+        else:
+            print(f"store already uses the {args.migrate} backend")
     if args.clear:
         removed = store.clear()
         print(f"removed {removed} records")

@@ -22,7 +22,9 @@ machine-readable across PRs::
       "scenarios": {"fig3": {"wall_clock_seconds": ..,
                              "messages_per_second": .., ...}, ...},
       "scaling": [{"workers": 1, "elapsed_seconds": ..,
-                   "messages_per_second": .., "speedup": 1.0}, ...],  # --parallel
+                   "messages_per_second": .., "speedup": 1.0,
+                   "retries": 0}, ...],                  # --parallel
+      "task_retries": 0,                                 # --parallel
       "baseline": {"label": .., "scenarios": {...}},   # when compared
       "speedup": {"fig3": 2.2, ...}                    # when compared
     }
@@ -102,14 +104,23 @@ def _measure_scaling(
     process pool — scenario-level fan-out, not per-scenario pool churn.
     Results are bit-identical across rungs (each point is reproducible from
     the scenario seed alone); only the elapsed time changes.
+
+    Pooled rungs run under the campaign retry policy (one re-queue per
+    task), so a transient worker death cannot sink a benchmark run; each
+    rung records how many retries it needed (0 on healthy hardware — a
+    non-zero count flags that the elapsed time includes recovery work).
     """
-    from repro.campaign import CampaignExecutor
+    from repro.campaign import CampaignExecutor, RetryPolicy
 
     curve: List[Dict[str, Any]] = []
     baseline_elapsed = None
     for workers in _worker_ladder(effective_workers):
         executor = CampaignExecutor(
-            campaign, parallel=workers > 1, max_workers=workers, store=None
+            campaign,
+            parallel=workers > 1,
+            max_workers=workers,
+            store=None,
+            retry=RetryPolicy(max_attempts=2),
         )
         started = time.perf_counter()
         result = executor.collect()
@@ -129,6 +140,7 @@ def _measure_scaling(
                 "measured_messages": int(measured),
                 "messages_per_second": round(measured / elapsed, 1),
                 "speedup": round(baseline_elapsed / elapsed, 2),
+                "retries": int(result.task_retries),
             }
         )
     return curve
@@ -215,6 +227,9 @@ def run_bench(
         campaign = bench_campaign(scenarios, points=points, sim=sim)
         payload["fan_out"] = "scenario"
         payload["scaling"] = _measure_scaling(campaign, effective_workers)
+        # Worker re-queues across every rung: 0 on healthy hardware, and a
+        # non-zero value flags elapsed times that include crash recovery.
+        payload["task_retries"] = sum(rung["retries"] for rung in payload["scaling"])
     return payload
 
 
@@ -276,9 +291,12 @@ def bench_to_text(payload: Dict[str, Any]) -> str:
     if scaling:
         lines.append("  shared-pool scenario fan-out (all scenarios, one pool):")
         for rung in scaling:
-            lines.append(
+            line = (
                 f"    {rung['workers']:>2} workers  {rung['elapsed_seconds']:>8.3f} s  "
                 f"{rung['messages_per_second']:>9.1f} msg/s  "
                 f"({rung['speedup']:.2f}x vs 1 worker)"
             )
+            if rung.get("retries"):
+                line += f"  [{rung['retries']} retries]"
+            lines.append(line)
     return "\n".join(lines)

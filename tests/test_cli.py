@@ -383,3 +383,125 @@ class TestCampaignCommand:
         monkeypatch.setenv("REPRO_STORE", str(tmp_path / "env-store"))
         assert main(["campaign", "store", "--store", str(tmp_path / "explicit")]) == 0
         assert "explicit" in capsys.readouterr().out
+
+    def test_progress_bar_renders_per_scenario_counts(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+        assert main(["campaign", "run", str(plan), "--progress=bar"]) == 0
+        out = capsys.readouterr().out
+        assert "[" in out and "#" in out  # the bar itself
+        assert "heterogeneous 4/4" in out  # per-scenario completion
+        assert "reseeded 4/4" in out
+        assert "8/8" in out  # campaign aggregate
+
+    def test_store_migrate_round_trip_keeps_cache_hits(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        monkeypatch.delenv("REPRO_STORE_BACKEND", raising=False)
+        plan = self._tiny_plan(tmp_path)
+        assert main(["campaign", "run", str(plan), "--json", str(tmp_path / "cold.json")]) == 0
+        capsys.readouterr()
+        assert main(["campaign", "store", "--migrate", "sqlite"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 8 records" in out and "[sqlite]" in out
+        assert (tmp_path / "store" / "store.db").exists()
+        assert main(["campaign", "run", str(plan), "--json", str(tmp_path / "warm.json")]) == 0
+        assert "8 cached, 0 computed" in capsys.readouterr().out
+        cold = json.loads((tmp_path / "cold.json").read_text())
+        warm = json.loads((tmp_path / "warm.json").read_text())
+        assert json.dumps(cold["runsets"], sort_keys=True) == json.dumps(
+            warm["runsets"], sort_keys=True
+        )
+        assert warm["execution"]["store_backend"] == "sqlite"
+        assert main(["campaign", "store", "--migrate", "directory"]) == 0
+        out = capsys.readouterr().out
+        assert "migrated 8 records" in out and "[directory]" in out
+        assert not (tmp_path / "store" / "store.db").exists()
+
+    def test_run_survives_injected_worker_crash(self, tmp_path, capsys, monkeypatch):
+        import json
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+        marker = tmp_path / "crash-marker"
+        monkeypatch.setenv(
+            "REPRO_CAMPAIGN_FAULT",
+            json.dumps(
+                {"kind": "crash", "task": "heterogeneous:sim:0", "marker": str(marker)}
+            ),
+        )
+        result_json = tmp_path / "crashed.json"
+        assert (
+            main(
+                [
+                    "campaign", "run", str(plan),
+                    "--parallel", "--workers", "2",
+                    "--retries", "3", "--progress",
+                    "--json", str(result_json),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert marker.exists()
+        assert "[retry]" in out and "worker crashed" in out
+        assert "retries" in out
+        execution = json.loads(result_json.read_text())["execution"]
+        assert execution["task_retries"] >= 1
+        assert execution["failures"] == []
+        assert execution["cache_misses"] == 8
+
+    def test_run_exhausted_retries_exit_code_and_allow_failures(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import json
+
+        monkeypatch.setenv("REPRO_STORE", str(tmp_path / "store"))
+        plan = self._tiny_plan(tmp_path)
+
+        def arm_fault(marker_name):
+            monkeypatch.setenv(
+                "REPRO_CAMPAIGN_FAULT",
+                json.dumps(
+                    {
+                        "kind": "crash",
+                        "task": "heterogeneous:sim:0",
+                        "marker": str(tmp_path / marker_name),
+                    }
+                ),
+            )
+
+        # Strict (the default): exhausted retries exit 3 with the failure list.
+        arm_fault("strict-marker")
+        assert (
+            main(
+                ["campaign", "run", str(plan), "--no-store",
+                 "--parallel", "--workers", "2"]
+            )
+            == 3
+        )
+        err = capsys.readouterr().err
+        assert "failed after exhausting retries" in err
+        # --allow-failures: exit 0, partial tables, failures in the JSON.
+        arm_fault("lenient-marker")
+        result_json = tmp_path / "partial.json"
+        assert (
+            main(
+                ["campaign", "run", str(plan), "--no-store",
+                 "--parallel", "--workers", "2",
+                 "--allow-failures", "--json", str(result_json)]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "PARTIAL" in out and "FAILED" in out
+        payload = json.loads(result_json.read_text())
+        assert payload["execution"]["failures"]
+        for failure in payload["execution"]["failures"]:
+            assert failure["attempts"] == 1
+
