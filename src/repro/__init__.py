@@ -22,6 +22,11 @@ The package provides, as importable building blocks:
   failures) and backed by a content-addressed result store
   (:mod:`repro.store`, pluggable directory / single-file SQLite backends)
   so re-runs only simulate what changed,
+* the **campaign service** (:mod:`repro.service`): a persistent warm
+  worker daemon (compiled route tables shared via
+  :mod:`multiprocessing.shared_memory`) behind a stdlib asyncio HTTP
+  front-end (``repro-multicluster serve``) that streams campaign progress
+  to any number of concurrent clients as server-sent events,
 * a command line, ``repro-multicluster`` (:mod:`repro.cli`).
 
 Quick start — one declarative call runs the model and the simulator over the
@@ -61,7 +66,7 @@ from repro.sim.simulator import MultiClusterSimulator
 from repro.store import ResultStore
 from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "__version__",

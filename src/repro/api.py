@@ -546,6 +546,7 @@ def run(
     max_workers: Optional[int] = None,
     store: Optional[Any] = None,
     retry: Optional[Any] = None,
+    backend: Optional[Any] = None,
 ) -> RunSet:
     """Evaluate ``scenario`` under every engine and collect a :class:`RunSet`.
 
@@ -580,6 +581,12 @@ def run(
         pooled workers crash or hang.  ``None`` (the default) gives every
         task one attempt; a task failure then raises a
         :class:`repro.campaign.CampaignExecutionError`.
+    backend:
+        Optional :class:`repro.campaign.WorkerBackend` supplying the worker
+        pool — e.g. :class:`repro.service.PersistentPoolBackend` to run this
+        call's pooled tasks on a warm
+        :class:`~repro.service.daemon.WorkerDaemon` instead of a fresh
+        ephemeral pool.  ``None`` (the default) keeps the ephemeral pool.
 
     Records are ordered engine-by-engine in the order given, each series in
     load-grid order.
@@ -593,7 +600,12 @@ def run(
         name=scenario.name or "run",
     )
     executor = CampaignExecutor(
-        campaign, parallel=parallel, max_workers=max_workers, store=store, retry=retry
+        campaign,
+        parallel=parallel,
+        max_workers=max_workers,
+        store=store,
+        retry=retry,
+        backend=backend,
     )
     return executor.collect().runsets[0]
 

@@ -15,7 +15,11 @@ experiment campaign as one schedulable unit:
 * :class:`CampaignExecutor` — flattens every (scenario, engine, lambda_g)
   task of the plan into **one work queue** and fans the expensive misses out
   over a **single shared process pool**: scenario-level parallelism for
-  free, no per-scenario pool churn.  Execution is *streaming* —
+  free, no per-scenario pool churn.  Where that pool lives is pluggable
+  through :class:`WorkerBackend` — :class:`EphemeralPoolBackend` (the
+  default) builds one pool per campaign, while the campaign service's
+  :class:`~repro.service.daemon.PersistentPoolBackend` reuses a warm,
+  long-lived daemon pool across campaigns.  Execution is *streaming* —
   :meth:`~CampaignExecutor.execute` yields a :class:`TaskCompleted` event
   (carrying the :class:`~repro.api.RunRecord`) per finished task plus
   :class:`CampaignProgress` events with done/total counts and elapsed time —
@@ -59,7 +63,10 @@ Quick start::
 from __future__ import annotations
 
 import json
+import multiprocessing
 import os
+import shutil
+import tempfile
 import time
 from concurrent.futures import (
     CancelledError,
@@ -109,10 +116,12 @@ __all__ = [
     "CampaignProgress",
     "CampaignResult",
     "CampaignTask",
+    "EphemeralPoolBackend",
     "RetryPolicy",
     "TaskCompleted",
     "TaskFailed",
     "TaskRetried",
+    "WorkerBackend",
     "run_campaign",
 ]
 
@@ -310,12 +319,13 @@ class RetryPolicy:
         Total attempts a task gets (first run included).  ``1`` means no
         retries: a failing task goes straight to :class:`TaskFailed`.
     timeout_seconds:
-        Per-task wall-clock budget for *pooled* tasks, measured from the
-        moment a worker picks the task up.  A task over budget has its
-        worker killed and is re-queued (the timeout is the only way a hung
-        worker ever returns); ``None`` disables the timeout.  Inline tasks
-        run in the calling process and cannot be killed, so the timeout does
-        not apply to them.
+        Per-task wall-clock budget, measured from the moment a worker picks
+        the task up.  A pooled task over budget has its worker killed and is
+        re-queued (the timeout is the only way a hung worker ever returns);
+        ``None`` disables the timeout.  Inline tasks honour the timeout too:
+        when one is set, each inline attempt runs in a disposable child
+        process (the kill harness) so a hung evaluation can be reclaimed —
+        without a timeout they run in the calling process as before.
     backoff_seconds:
         Sleep before re-queuing a failed task (grows by
         ``backoff_multiplier`` per prior attempt).  ``0`` retries
@@ -513,6 +523,10 @@ class CampaignResult:
 #: Environment variable holding the fault-injection spec (tests / CI only).
 FAULT_ENV = "REPRO_CAMPAIGN_FAULT"
 
+#: Sentinel for "crash attribution not attempted yet" inside a pool round
+#: (``None`` already means "attempted and failed").
+_UNDETERMINED = object()
+
 
 def _maybe_inject_fault(task_id: str) -> None:
     """Deterministic worker-fault injection for tests and the CI crash job.
@@ -543,12 +557,177 @@ def _maybe_inject_fault(task_id: str) -> None:
         time.sleep(3600.0)  # wedge: only the task timeout can reclaim this
 
 
+def _note_worker_task(registry_dir: Optional[str], task_id: str) -> None:
+    """Tag this worker's pid with the task it is about to run.
+
+    The executor reads these tags when a pool breaks: the dead pids name the
+    tasks that actually took workers down, so innocent casualties of the
+    shared crash re-queue without being charged an attempt.  Written before
+    the fault hook so even an injected crash leaves its tag behind.
+    """
+    if registry_dir is None:
+        return
+    try:
+        Path(registry_dir, str(os.getpid())).write_text(task_id, encoding="utf-8")
+    except OSError:  # pragma: no cover - registry loss degrades to charge-all
+        pass
+
+
 def _pool_evaluate(
-    engine: Engine, scenario: Scenario, lambda_g: float, task_id: str
+    engine: Engine,
+    scenario: Scenario,
+    lambda_g: float,
+    task_id: str,
+    registry_dir: Optional[str] = None,
 ) -> RunRecord:
     """Process-pool worker: evaluate one campaign task (fault hook included)."""
+    _note_worker_task(registry_dir, task_id)
     _maybe_inject_fault(task_id)
     return _evaluate_point(engine, scenario, lambda_g)
+
+
+class _HarnessFailure(RuntimeError):
+    """An inline kill-harness failure carrying a pre-formatted reason string."""
+
+
+def _inline_task_main(conn, engine, scenario, lambda_g, task_id) -> None:
+    """Disposable-process entry for inline tasks running under a timeout."""
+    try:
+        record = _pool_evaluate(engine, scenario, lambda_g, task_id)
+    except BaseException as error:  # noqa: BLE001 - marshalled to the parent
+        try:
+            conn.send(("error", repr(error)))
+        except Exception:  # pragma: no cover - parent already gone
+            pass
+    else:
+        conn.send(("ok", record))
+    finally:
+        conn.close()
+
+
+# --------------------------------------------------------------------------- #
+# Worker backends
+# --------------------------------------------------------------------------- #
+class WorkerBackend:
+    """Where pooled campaign tasks execute.
+
+    :class:`CampaignExecutor` is backend-agnostic: it drives rounds of
+    submissions through this interface, so the same :class:`RetryPolicy`
+    crash/timeout machinery applies whether the pool lives for one campaign
+    (:class:`EphemeralPoolBackend`, the default) or persists across many
+    (:class:`repro.service.daemon.PersistentPoolBackend`).
+
+    Round protocol, driven once per pool round of one execution::
+
+        begin_round(workers) -> effective concurrency
+        submit(...) per task -> Future
+        note_workers()                  # snapshot pids for crash forensics
+        [dead_worker_pids() / kill_workers() as failures demand]
+        end_round(broken=...)           # always runs, via finally
+
+    ``close()`` releases whatever state outlives a round (nothing, for the
+    ephemeral backend).
+    """
+
+    #: Persistent backends keep warm workers between campaigns; the executor
+    #: then never demotes a lone pooled task to inline execution.
+    persistent = False
+
+    def prepare_entry(self, engine: Engine, scenario: Scenario) -> None:
+        """Warm one (engine, scenario) pair before its tasks are submitted."""
+        prepare = getattr(engine, "prepare", None)
+        if prepare is not None:
+            prepare(scenario)
+
+    def begin_round(self, workers: int) -> int:
+        """Make the pool ready for one round; returns the concurrency to
+        assume when clamping the per-task timeout clock."""
+        raise NotImplementedError
+
+    def submit(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        lambda_g: float,
+        task_id: str,
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        """Submit one task; ``named_engine`` marks registry engines, which a
+        persistent backend may cache worker-side by (name, scenario)."""
+        raise NotImplementedError
+
+    def note_workers(self) -> None:
+        """Snapshot the pool's worker pids (after the round's submissions)."""
+
+    def dead_worker_pids(self) -> Tuple[int, ...]:
+        """Pids from the last snapshot whose processes have died."""
+        return ()
+
+    def kill_workers(self) -> None:
+        """Terminate every worker (the timeout reclaim path)."""
+
+    def end_round(self, *, broken: bool) -> None:
+        """Finish the round; ``broken`` reports a poisoned pool."""
+
+    def close(self) -> None:
+        """Release any cross-round state."""
+
+
+class EphemeralPoolBackend(WorkerBackend):
+    """One fresh :class:`ProcessPoolExecutor` per round — the classic mode.
+
+    A crashed worker poisons its whole pool, so recovery is simply a new
+    pool over whatever the old one left unfinished; nothing survives the
+    round, and fork-started workers inherit the caches
+    :meth:`~WorkerBackend.prepare_entry` warmed in this process.
+    """
+
+    def __init__(self) -> None:
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._workers: Dict[int, Any] = {}
+
+    def begin_round(self, workers: int) -> int:
+        self._pool = ProcessPoolExecutor(max_workers=workers)
+        self._workers = {}
+        return workers
+
+    def submit(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        lambda_g: float,
+        task_id: str,
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        return self._pool.submit(
+            _pool_evaluate, engine, scenario, lambda_g, task_id, registry_dir
+        )
+
+    def note_workers(self) -> None:
+        self._workers = dict(getattr(self._pool, "_processes", None) or {})
+
+    def dead_worker_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid for pid, process in self._workers.items() if not process.is_alive()
+        )
+
+    def kill_workers(self) -> None:
+        processes = getattr(self._pool, "_processes", None) or {}
+        for process in list(processes.values()):
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
+
+    def end_round(self, *, broken: bool) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=False, cancel_futures=True)
+            self._pool = None
+            self._workers = {}
 
 
 # --------------------------------------------------------------------------- #
@@ -581,6 +760,12 @@ class CampaignExecutor:
         (``None``) gives every task one attempt and no timeout; pass e.g.
         ``RetryPolicy(max_attempts=3, timeout_seconds=600)`` for unattended
         campaigns that must survive crashed or hung workers.
+    backend:
+        The :class:`WorkerBackend` pooled tasks execute on.  The default
+        (``None``) builds a fresh :class:`EphemeralPoolBackend` — one
+        process pool per campaign, the pre-service behaviour.  Pass a
+        :class:`repro.service.daemon.PersistentPoolBackend` to run on a
+        warm, long-lived worker daemon shared across campaigns.
     """
 
     def __init__(
@@ -591,11 +776,13 @@ class CampaignExecutor:
         max_workers: Optional[int] = None,
         store: Union[ResultStore, None, str] = "default",
         retry: Optional[RetryPolicy] = None,
+        backend: Optional[WorkerBackend] = None,
     ) -> None:
         self.campaign = campaign
         self.parallel = parallel
         self.max_workers = max_workers
         self.retry = retry if retry is not None else NO_RETRY
+        self.backend = backend if backend is not None else EphemeralPoolBackend()
         if store == "default":
             self.store: Optional[ResultStore] = ResultStore()
         elif store is None:
@@ -735,9 +922,11 @@ class CampaignExecutor:
                 pooled.append(task)
             else:
                 inline.append(task)
-        if len(pooled) == 1:
+        if len(pooled) == 1 and not self.backend.persistent:
             # A pool of one buys no parallelism and pays process spawn plus
-            # engine pickling — evaluate the lone task in this process.
+            # engine pickling — evaluate the lone task in this process.  A
+            # persistent backend keeps warm workers either way, so lone
+            # tasks stay out of the serving process there.
             inline.extend(pooled)
             pooled = []
 
@@ -746,9 +935,14 @@ class CampaignExecutor:
             while True:
                 attempt += 1
                 try:
-                    record = self._evaluate(task)
+                    record = self._evaluate_inline(task)
                 except Exception as error:  # noqa: BLE001 - structured failure path
-                    event = _failure_event(task, attempt, repr(error))
+                    reason = (
+                        str(error)
+                        if isinstance(error, _HarnessFailure)
+                        else repr(error)
+                    )
+                    event = _failure_event(task, attempt, reason)
                     yield event
                     if isinstance(event, TaskFailed):
                         break
@@ -761,9 +955,13 @@ class CampaignExecutor:
                 break
 
         if pooled:
-            # Compile every pooled entry's network core in the parent before
-            # forking: fork-started workers inherit the module-level caches,
-            # spawn-started workers compile once per process, not per point.
+            # Compile every pooled entry's network core before the workers
+            # see it.  The ephemeral backend prepares in this process —
+            # fork-started workers inherit the module-level caches,
+            # spawn-started workers compile once per process, not per point
+            # — and the persistent backend additionally exports the compiled
+            # tables to shared memory so daemon workers map instead of
+            # rebuild.
             prepared = set()
             for task in pooled:
                 slot = (task.entry_index, task.engine_index)
@@ -771,31 +969,40 @@ class CampaignExecutor:
                     continue
                 prepared.add(slot)
                 engine = self._engines[task.entry_index][task.engine_index]
-                prepare = getattr(engine, "prepare", None)
-                if prepare is not None:
-                    prepare(self.campaign.entries[task.entry_index].scenario)
+                self.backend.prepare_entry(
+                    engine, self.campaign.entries[task.entry_index].scenario
+                )
 
+            # Per-execution worker-pid registry: workers tag their pid with
+            # the task they run, which is what lets a broken pool charge the
+            # actual culprits instead of every unfinished task.
+            registry_dir = tempfile.mkdtemp(prefix="repro-campaign-pids-")
             attempts: Dict[CampaignTask, int] = {task: 0 for task in pooled}
             pending: List[CampaignTask] = list(pooled)
-            while pending:
-                # One "round" per pool: a crashed worker poisons its whole
-                # ProcessPoolExecutor, so recovery means a fresh pool over
-                # everything the previous one left unfinished.
-                requeue: List[CampaignTask] = []
-                for event in self._pooled_round(
-                    pending, attempts, requeue, _failure_event, started,
-                    lambda: done, total,
-                ):
-                    if isinstance(event, TaskCompleted):
-                        done += 1
-                    yield event
-                pending = requeue
-                if pending:
-                    delay = max(
-                        policy.delay_before(attempts[task] + 1) for task in pending
-                    )
-                    if delay > 0:
-                        time.sleep(delay)
+            try:
+                while pending:
+                    # One "round" per pool: a crashed worker poisons its
+                    # whole process pool, so recovery means a fresh (or
+                    # restarted) pool over everything the previous one left
+                    # unfinished.
+                    requeue: List[CampaignTask] = []
+                    for event in self._pooled_round(
+                        pending, attempts, requeue, _failure_event, started,
+                        lambda: done, total, registry_dir,
+                    ):
+                        if isinstance(event, TaskCompleted):
+                            done += 1
+                        yield event
+                    pending = requeue
+                    if pending:
+                        delay = max(
+                            policy.delay_before(attempts[task] + 1)
+                            for task in pending
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+            finally:
+                shutil.rmtree(registry_dir, ignore_errors=True)
 
         yield CampaignProgress(
             done, total, hits, time.perf_counter() - started, failed, retries
@@ -810,35 +1017,45 @@ class CampaignExecutor:
         started: float,
         current_done: Callable[[], int],
         total: int,
+        registry_dir: Optional[str] = None,
     ) -> Iterator[CampaignEvent]:
-        """Run one process pool over ``pending``, streaming its events.
+        """Run one backend round over ``pending``, streaming its events.
 
         Tasks that must run again land in ``requeue``: failed attempts with
         retries left (attempt counted), plus innocent casualties of a
-        timeout kill (attempt *not* counted — the culprit is known).  When
-        the pool breaks from a worker crash the culprit is unknowable, so
-        every unfinished task of the round is charged an attempt; with a
-        deterministic crasher that converges in ``max_attempts`` rounds, and
-        transient collateral completes on the rebuilt pool.
+        timeout kill or of *another* task's worker crash (attempt *not*
+        counted — the culprit is known, from the kill itself or from the
+        dead workers' pid tags).  Only when crash attribution fails — no
+        dead pid observed, or no dead worker had tagged an unfinished task —
+        is every unfinished task of the round charged an attempt, the
+        fallback that makes a deterministic crasher converge in
+        ``max_attempts`` rounds.
         """
         policy = self.retry
-        workers = (
+        backend = self.backend
+        requested = (
             self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
         )
-        workers = max(1, min(workers, len(pending)))
-        pool = ProcessPoolExecutor(max_workers=workers)
+        workers = backend.begin_round(max(1, min(requested, len(pending))))
+        broken = False
         try:
-            futures: Dict[Future, CampaignTask] = {
-                pool.submit(
-                    _pool_evaluate,
-                    self._engines[task.entry_index][task.engine_index],
-                    self.campaign.entries[task.entry_index].scenario,
-                    task.lambda_g,
-                    task.task_id,
-                ): task
-                for task in pending
-            }
+            futures: Dict[Future, CampaignTask] = {}
+            for task in pending:
+                entry = self.campaign.entries[task.entry_index]
+                futures[
+                    backend.submit(
+                        self._engines[task.entry_index][task.engine_index],
+                        entry.scenario,
+                        task.lambda_g,
+                        task.task_id,
+                        registry_dir,
+                        named_engine=isinstance(entry.engines[task.engine_index], str),
+                    )
+                ] = task
+            backend.note_workers()
             outstanding: Set[Future] = set(futures)
+            unresolved: Set[str] = {task.task_id for task in pending}
+            crash_culprits: Any = _UNDETERMINED
             #: submission order; the executor feeds workers FIFO, so the
             #: first `workers` unresolved futures are the ones actually
             #: executing (a queued future reports running() the moment it
@@ -861,6 +1078,7 @@ class CampaignExecutor:
                     try:
                         record = future.result()
                     except (BrokenProcessPool, CancelledError):
+                        broken = True
                         if task in timed_out:
                             attempts[task] += 1
                             event = _failure_event(
@@ -876,6 +1094,20 @@ class CampaignExecutor:
                             requeue.append(task)
                             continue
                         else:
+                            if crash_culprits is _UNDETERMINED:
+                                crash_culprits = self._crash_culprits(
+                                    registry_dir, unresolved
+                                )
+                            if (
+                                crash_culprits is not None
+                                and task.task_id not in crash_culprits
+                            ):
+                                # Collateral casualty of another task's
+                                # crash: the dead workers' pid tags name the
+                                # culprits, so re-queue without charging an
+                                # attempt.
+                                requeue.append(task)
+                                continue
                             attempts[task] += 1
                             event = _failure_event(
                                 task,
@@ -887,12 +1119,14 @@ class CampaignExecutor:
                         if isinstance(event, TaskRetried):
                             requeue.append(task)
                     except Exception as error:  # noqa: BLE001 - worker-side failure
+                        unresolved.discard(task.task_id)
                         attempts[task] += 1
                         event = _failure_event(task, attempts[task], repr(error))
                         yield event
                         if isinstance(event, TaskRetried):
                             requeue.append(task)
                     else:
+                        unresolved.discard(task.task_id)
                         yield TaskCompleted(
                             task=task,
                             record=self._persist(task, record),
@@ -925,26 +1159,98 @@ class CampaignExecutor:
                         for future in expired:
                             timed_out.add(futures[future])
                         killed_for_timeout = True
+                        broken = True
                         # A hung worker never returns; killing the pool's
                         # processes resolves every outstanding future as
                         # broken, and the round's cleanup re-queues them.
-                        self._kill_pool_workers(pool)
+                        backend.kill_workers()
         finally:
-            pool.shutdown(wait=False, cancel_futures=True)
+            backend.end_round(broken=broken)
 
-    @staticmethod
-    def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
-        processes = getattr(pool, "_processes", None) or {}
-        for process in list(processes.values()):
+    def _crash_culprits(
+        self, registry_dir: Optional[str], unresolved: Set[str]
+    ) -> Optional[Set[str]]:
+        """Which unfinished tasks were running on the workers that died.
+
+        Workers tag a per-pid registry file with their task id before
+        picking it up, so when the pool breaks the dead pids name the tasks
+        that actually took workers down.  Returns ``None`` when attribution
+        is impossible (no dead pid observed, or no dead worker had tagged a
+        still-unfinished task) — the caller then falls back to charging
+        every unfinished task, which is what guarantees a deterministic
+        crasher converges within ``max_attempts`` rounds.
+        """
+        if registry_dir is None:
+            return None
+        # A broken pool means a worker died abruptly, but its death may not
+        # be *observable* yet: the pool's manager thread reaps workers
+        # concurrently, and a lost waitpid race reads as "still alive"
+        # (multiprocessing treats ECHILD as not-yet-started).  Poll briefly
+        # until at least one death shows up rather than misattributing.
+        deadline = time.monotonic() + 0.5
+        dead = self.backend.dead_worker_pids()
+        while not dead and time.monotonic() < deadline:
+            time.sleep(0.02)
+            dead = self.backend.dead_worker_pids()
+        culprits: Set[str] = set()
+        for pid in dead:
             try:
-                process.terminate()
-            except Exception:  # pragma: no cover - already-dead worker
-                pass
+                tag = Path(registry_dir, str(pid)).read_text(encoding="utf-8")
+            except OSError:
+                continue  # died before tagging any task: attributes nothing
+            culprits.add(tag)
+        culprits &= unresolved
+        return culprits or None
 
     def _evaluate(self, task: CampaignTask) -> RunRecord:
         engine = self._engines[task.entry_index][task.engine_index]
         scenario = self.campaign.entries[task.entry_index].scenario
         return engine.evaluate(scenario, task.lambda_g)
+
+    def _evaluate_inline(self, task: CampaignTask) -> RunRecord:
+        """One inline attempt, under the policy timeout when one is set.
+
+        Without a timeout the task runs in this process — cheap engines,
+        zero overhead, memoised models reused.  With one, each attempt runs
+        in a disposable child process (the inline kill harness) so a hung
+        evaluation can actually be reclaimed, extending the pooled path's
+        timeout guarantee to inline tasks at the cost of a process spawn
+        per attempt.
+        """
+        timeout = self.retry.timeout_seconds
+        if timeout is None:
+            return self._evaluate(task)
+        engine = self._engines[task.entry_index][task.engine_index]
+        scenario = self.campaign.entries[task.entry_index].scenario
+        context = multiprocessing.get_context()
+        receiver, sender = context.Pipe(duplex=False)
+        process = context.Process(
+            target=_inline_task_main,
+            args=(sender, engine, scenario, task.lambda_g, task.task_id),
+            daemon=True,
+        )
+        process.start()
+        sender.close()
+        try:
+            if not receiver.poll(timeout):
+                raise _HarnessFailure(
+                    f"timed out after {timeout:g} s (inline worker killed)"
+                )
+            try:
+                status, payload = receiver.recv()
+            except EOFError:
+                raise _HarnessFailure(
+                    "worker crashed (inline harness process died before the "
+                    "task finished)"
+                ) from None
+            if status == "ok":
+                return payload
+            raise _HarnessFailure(payload)
+        finally:
+            if process.is_alive():
+                process.terminate()
+            process.join()
+            receiver.close()
 
     def _persist(self, task: CampaignTask, record: RunRecord) -> RunRecord:
         """Write a freshly computed record through to the store."""
@@ -1048,11 +1354,17 @@ def run_campaign(
     max_workers: Optional[int] = None,
     store: Union[ResultStore, None, str] = "default",
     retry: Optional[RetryPolicy] = None,
+    backend: Optional[WorkerBackend] = None,
     strict: bool = True,
     on_event: Optional[Callable[[CampaignEvent], None]] = None,
 ) -> CampaignResult:
     """Execute ``campaign`` and block for the full :class:`CampaignResult`."""
     executor = CampaignExecutor(
-        campaign, parallel=parallel, max_workers=max_workers, store=store, retry=retry
+        campaign,
+        parallel=parallel,
+        max_workers=max_workers,
+        store=store,
+        retry=retry,
+        backend=backend,
     )
     return executor.collect(strict=strict, on_event=on_event)

@@ -26,7 +26,13 @@ Sub-commands mirror the experiment harness:
   crashed or hung workers (``--allow-failures`` reports partial results
   instead of failing); ``campaign example`` writes a starter plan;
   ``campaign store`` inspects / prunes / clears / ``--migrate``\\ s the
-  store between its directory and SQLite backends.
+  store between its directory and SQLite backends;
+* ``serve``      — the campaign service (:mod:`repro.service`): a persistent
+  warm worker daemon behind a stdlib HTTP front-end that accepts campaign
+  plans as JSON on ``POST /campaigns`` and streams progress back as
+  server-sent events; compiled route tables live in shared memory, so a
+  warm daemon skips the per-campaign compile entirely and fully cached
+  plans are answered straight from the result store.
 
 Every command is pure text output (tables / CSV / JSON); nothing requires a
 plotting stack.
@@ -367,6 +373,58 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="keep only the N most recently used records",
+    )
+
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="serve campaign plans over HTTP from a persistent warm worker pool",
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default 127.0.0.1)"
+    )
+    serve_parser.add_argument(
+        "--port",
+        type=int,
+        default=8765,
+        help="TCP port (default 8765; 0 binds a free ephemeral port)",
+    )
+    serve_parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="persistent worker processes (default: CPU count)",
+    )
+    serve_parser.add_argument(
+        "--no-store",
+        action="store_true",
+        help="disable the result store: compute every task fresh, cache nothing",
+    )
+    serve_parser.add_argument(
+        "--store",
+        type=Path,
+        default=None,
+        help="result store directory (default: $REPRO_STORE or ~/.cache/repro)",
+    )
+    serve_parser.add_argument(
+        "--backend",
+        choices=("directory", "sqlite"),
+        default=None,
+        help="result store backend (default: $REPRO_STORE_BACKEND, else "
+        "auto-detected from the store directory)",
+    )
+    serve_parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="N",
+        help="attempts per task for served campaigns (default 1 = no retries); "
+        "a crashed worker pool is restarted and its tasks re-queued",
+    )
+    serve_parser.add_argument(
+        "--no-shared-memory",
+        action="store_true",
+        help="skip the shared-memory export of compiled tables (debugging aid; "
+        "workers recompile instead of mapping)",
     )
 
     return parser
@@ -873,6 +931,19 @@ def _cmd_campaign_store(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.campaign import RetryPolicy
+    from repro.service import WorkerDaemon, serve
+
+    if args.retries < 1:
+        raise ValidationError(f"--retries must be >= 1, got {args.retries}")
+    store = None if args.no_store else _campaign_store(args)
+    retry = RetryPolicy(max_attempts=args.retries) if args.retries > 1 else None
+    daemon = WorkerDaemon(args.workers, use_shared_memory=not args.no_shared_memory)
+    serve(args.host, args.port, daemon=daemon, store=store, retry=retry)
+    return 0
+
+
 def _cmd_campaign(args: argparse.Namespace) -> int:
     if args.campaign_command == "run":
         return _cmd_campaign_run(args)
@@ -906,6 +977,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "serve":
+            return _cmd_serve(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover
     except ValidationError as error:
         print(f"error: {error}", file=sys.stderr)

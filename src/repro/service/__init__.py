@@ -1,0 +1,26 @@
+"""The campaign service: a warm worker daemon plus an async serving front-end.
+
+Two layers, separable on purpose:
+
+* :mod:`repro.service.daemon` — :class:`WorkerDaemon`, a process pool that
+  survives across campaigns, with compiled route tables and topology
+  metadata exported once into shared memory so workers map instead of
+  rebuild, and :class:`PersistentPoolBackend`, the
+  :class:`~repro.campaign.WorkerBackend` adapter that lets any
+  :class:`~repro.campaign.CampaignExecutor` run on it unchanged.
+* :mod:`repro.service.server` — :class:`CampaignServer`, a stdlib-asyncio
+  HTTP front-end (CLI: ``repro serve``) that accepts campaign plans as
+  JSON, multiplexes concurrent clients onto one shared daemon, and streams
+  the executor's events back as server-sent events; warm requests are
+  answered straight from the result store without touching a worker.
+"""
+
+from repro.service.daemon import PersistentPoolBackend, WorkerDaemon
+from repro.service.server import CampaignServer, serve
+
+__all__ = [
+    "CampaignServer",
+    "PersistentPoolBackend",
+    "WorkerDaemon",
+    "serve",
+]

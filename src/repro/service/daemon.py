@@ -1,0 +1,414 @@
+"""The persistent worker-pool daemon behind the campaign service.
+
+The ephemeral executor pays pool spawn plus per-worker warm-up for every
+campaign; the recorded scaling curve showed that overhead *exceeding* the
+simulation work at two workers.  A :class:`WorkerDaemon` amortises all of it
+across a stream of campaigns:
+
+* **one pool, many campaigns** — the :class:`ProcessPoolExecutor` outlives
+  any single campaign; a broken pool (crashed worker) is restarted in place
+  and campaigns in flight re-queue through their
+  :class:`~repro.campaign.RetryPolicy` exactly as they would on an
+  ephemeral pool.
+* **compiled state in shared memory** — the first campaign touching a tree
+  shape compiles its route tables and topology metadata once, in the daemon
+  process, and exports them via :mod:`repro.topology.shm` /
+  :mod:`repro.routing.shm`; every worker (including workers born *after* a
+  restart, which inherit nothing useful) maps the arrays instead of
+  rebuilding them.
+* **warm worker-side engines** — workers cache one engine instance per
+  (engine name, scenario), so the memoised simulator, its warmed stream
+  pool and its prepared route tables survive from task to task and from
+  campaign to campaign.
+
+:class:`PersistentPoolBackend` adapts one daemon to the
+:class:`~repro.campaign.WorkerBackend` protocol, one backend instance per
+executor; any number of backends may share a daemon concurrently — that is
+precisely how :mod:`repro.service.server` multiplexes clients.
+
+Sharing has one documented caveat: a :class:`~repro.campaign.RetryPolicy`
+*timeout kill* terminates the daemon's workers, which also breaks any other
+campaign running on it (those campaigns recover through their own retry
+rounds).  The serving front-end therefore defaults to no per-task timeout.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import multiprocessing
+import os
+import threading
+from concurrent.futures import Future, ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.api import Engine, Scenario, _evaluate_point
+from repro.campaign import WorkerBackend, _maybe_inject_fault, _note_worker_task
+from repro.routing.shm import export_route_tables, install_route_tables
+from repro.topology.shm import SharedArena, export_trees, install_trees
+from repro.utils.validation import ValidationError
+
+__all__ = ["PersistentPoolBackend", "WorkerDaemon"]
+
+
+# --------------------------------------------------------------------------- #
+# Worker-side state (one copy per worker process)
+# --------------------------------------------------------------------------- #
+#: Arenas attached in this worker, keyed by export-batch token.  Kept
+#: referenced for the worker's lifetime: the NumPy views installed into the
+#: compile caches alias these segments.
+_ATTACHED: Dict[str, Tuple[SharedArena, ...]] = {}
+
+#: (engine name, canonical scenario JSON) -> (engine, scenario) pairs whose
+#: memoised simulator state stays warm across tasks and campaigns.  Bounded
+#: like the compile caches: cleared wholesale when it outgrows the limit.
+_WORKER_ENGINES: Dict[Tuple[str, str], Tuple[Engine, Scenario]] = {}
+_WORKER_ENGINE_CACHE_LIMIT = 32
+
+
+def _attach_batches(batches: Sequence[Dict[str, Any]]) -> None:
+    """Map every not-yet-seen export batch into this worker's caches."""
+    for batch in batches:
+        token = batch["token"]
+        if token in _ATTACHED:
+            continue
+        arenas: List[SharedArena] = []
+        if batch.get("trees") is not None:
+            arenas.append(install_trees(batch["trees"]))
+        if batch.get("routes") is not None:
+            arenas.append(install_route_tables(batch["routes"]))
+        _ATTACHED[token] = tuple(arenas)
+
+
+def _daemon_evaluate(
+    batches: Optional[Sequence[Dict[str, Any]]],
+    engine: Engine,
+    scenario: Scenario,
+    lambda_g: float,
+    task_id: str,
+    registry_dir: Optional[str],
+    cache_key: Optional[Tuple[str, str]],
+) -> Any:
+    """Daemon worker entry: attach shared state once, reuse warm engines.
+
+    Mirrors :func:`repro.campaign._pool_evaluate` (pid tag first, then the
+    fault hook, then evaluation) so the executor's crash/timeout machinery
+    observes identical worker behaviour on both backends.
+    """
+    _note_worker_task(registry_dir, task_id)
+    if batches:
+        _attach_batches(batches)
+    _maybe_inject_fault(task_id)
+    if cache_key is not None:
+        cached = _WORKER_ENGINES.get(cache_key)
+        if cached is None:
+            if len(_WORKER_ENGINES) >= _WORKER_ENGINE_CACHE_LIMIT:
+                _WORKER_ENGINES.clear()
+            _WORKER_ENGINES[cache_key] = (engine, scenario)
+        else:
+            # Evaluate against the *cached* scenario object: engine
+            # memoisation is identity-based, so the freshly unpickled (but
+            # equal) scenario would rebuild the simulator it came to reuse.
+            engine, scenario = cached
+    return _evaluate_point(engine, scenario, lambda_g)
+
+
+def _scenario_shapes(scenario: Scenario) -> List[Tuple[int, int]]:
+    """The tree shapes a scenario's system compiles (clusters plus ICN2)."""
+    spec = scenario.system
+    heights = (*spec.cluster_heights, spec.icn2_height)
+    return list(dict.fromkeys((spec.m, height) for height in heights))
+
+
+# --------------------------------------------------------------------------- #
+# The daemon
+# --------------------------------------------------------------------------- #
+class WorkerDaemon:
+    """A long-lived worker pool plus the shared compiled state it serves.
+
+    Lifecycle: construct (optionally :meth:`start`), run any number of
+    campaigns through :class:`PersistentPoolBackend`, then :meth:`shutdown`
+    — which is what unlinks every shared-memory segment the daemon
+    exported.  Also usable as a context manager.  All public methods are
+    thread-safe; the serving front-end drives one daemon from several
+    executor threads at once.
+
+    Workers are spawned on demand by the pool (up to ``max_workers``) and
+    persist until a crash or shutdown; a broken pool is replaced lazily on
+    the next submission, and :attr:`restarts` counts those replacements.
+    """
+
+    def __init__(
+        self, max_workers: Optional[int] = None, *, use_shared_memory: bool = True
+    ) -> None:
+        self.max_workers = max(
+            1, int(max_workers) if max_workers is not None else (os.cpu_count() or 1)
+        )
+        self.use_shared_memory = bool(use_shared_memory)
+        self._lock = threading.RLock()
+        self._pool: Optional[ProcessPoolExecutor] = None
+        self._pool_generation = 0
+        self._arenas: List[SharedArena] = []
+        self._batches: List[Dict[str, Any]] = []
+        self._exported: Set[Tuple[int, int]] = set()
+        self._closed = False
+        #: tasks handed to workers (never incremented for store hits, which
+        #: the executor serves before any submission — the "warm requests
+        #: bypass workers" invariant is an assertion on this counter)
+        self.tasks_dispatched = 0
+        self.restarts = 0
+        atexit.register(self._cleanup_segments)
+
+    # ------------------------------------------------------------- lifecycle
+    def start(self) -> "WorkerDaemon":
+        """Create the pool eagerly (otherwise the first submission does)."""
+        with self._lock:
+            self._ensure_pool()
+        return self
+
+    def __enter__(self) -> "WorkerDaemon":
+        return self.start()
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.shutdown()
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._closed:
+            raise ValidationError("worker daemon is shut down")
+        if self._pool is None:
+            # Spawn, not fork: the serving front-end submits from executor
+            # threads while the event-loop thread runs, and forking a
+            # multithreaded process leaves children deadlocked on inherited
+            # locks.  Spawned workers also inherit no compiled caches, which
+            # is exactly the case the shared-memory export exists for.
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.max_workers,
+                mp_context=multiprocessing.get_context("spawn"),
+            )
+            self._pool_generation += 1
+        return self._pool
+
+    def shutdown(self, *, wait: bool = True) -> None:
+        """Stop the workers and unlink every exported shm segment."""
+        with self._lock:
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=wait, cancel_futures=True)
+        self._cleanup_segments()
+
+    def _cleanup_segments(self) -> None:
+        with self._lock:
+            arenas, self._arenas = self._arenas, []
+            self._batches = []
+            self._exported = set()
+        for arena in arenas:
+            arena.destroy()
+
+    # ------------------------------------------------------------ preparation
+    def prepare(self, engine: Engine, scenario: Scenario) -> None:
+        """Warm this process for one (engine, scenario) and export its shapes.
+
+        The engine's own ``prepare`` compiles the system and route tables in
+        the daemon process; shapes not yet exported are then packed into
+        fresh shared-memory arenas so the spawn-started workers — which
+        inherit none of this process's caches — map them instead of
+        recompiling.
+        """
+        prepare = getattr(engine, "prepare", None)
+        if prepare is not None:
+            prepare(scenario)
+        if not self.use_shared_memory or not getattr(engine, "expensive", True):
+            return
+        with self._lock:
+            shapes = [
+                shape
+                for shape in _scenario_shapes(scenario)
+                if shape not in self._exported
+            ]
+            if not shapes:
+                return
+            tree_arena, tree_manifest = export_trees(shapes)
+            route_arena, route_manifest = export_route_tables(shapes)
+            self._arenas.extend((tree_arena, route_arena))
+            self._batches.append(
+                {
+                    "token": f"{id(self)}-{len(self._batches)}",
+                    "trees": tree_manifest,
+                    "routes": route_manifest,
+                }
+            )
+            self._exported.update(shapes)
+
+    # ------------------------------------------------------------- execution
+    def submit(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        lambda_g: float,
+        task_id: str,
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        """Hand one task to the pool, restarting it once if it arrived broken.
+
+        Only registry-named engines get a worker-side cache key (an engine
+        *instance* may carry arbitrary programmatic state that must not be
+        conflated across campaigns by name).
+        """
+        with self._lock:
+            pool = self._ensure_pool()
+            batches = tuple(self._batches) if self.use_shared_memory else None
+            cache_key = (
+                (engine.name, json.dumps(scenario.to_dict(), sort_keys=True))
+                if named_engine
+                else None
+            )
+            self.tasks_dispatched += 1
+        args = (batches, engine, scenario, lambda_g, task_id, registry_dir, cache_key)
+        try:
+            return pool.submit(_daemon_evaluate, *args)
+        except (BrokenProcessPool, RuntimeError):
+            # The pool broke under another campaign between rounds; retire
+            # it and resubmit on a fresh one (a second failure propagates).
+            with self._lock:
+                self._retire_pool(pool)
+                pool = self._ensure_pool()
+            return pool.submit(_daemon_evaluate, *args)
+
+    def _retire_pool(self, pool: ProcessPoolExecutor) -> None:
+        """Drop ``pool`` if it is still current (idempotent across sharers)."""
+        if self._pool is pool:
+            self._pool = None
+            self.restarts += 1
+            pool.shutdown(wait=False, cancel_futures=True)
+
+    def pool_generation(self) -> int:
+        """Ensure a pool exists and return its generation number."""
+        with self._lock:
+            self._ensure_pool()
+            return self._pool_generation
+
+    def restart(self, generation: Optional[int] = None) -> None:
+        """Retire the current pool (if ``generation`` still names it).
+
+        Several backends sharing one daemon all report the same broken pool;
+        the generation guard makes sure it is only restarted once.  The
+        replacement pool is created lazily by the next submission.
+        """
+        with self._lock:
+            pool = self._pool
+            if pool is None:
+                return
+            if generation is not None and generation != self._pool_generation:
+                return
+            self._retire_pool(pool)
+
+    # ------------------------------------------------------------ observation
+    def worker_snapshot(self) -> Dict[int, Any]:
+        """pid -> process handle for the current pool's live workers."""
+        with self._lock:
+            if self._pool is None:
+                return {}
+            return dict(getattr(self._pool, "_processes", None) or {})
+
+    def worker_pids(self) -> Tuple[int, ...]:
+        return tuple(self.worker_snapshot())
+
+    def kill_workers(self) -> None:
+        """Terminate every worker (the executor's timeout reclaim path).
+
+        This breaks the shared pool for *every* campaign running on the
+        daemon; sharers recover through their retry rounds.
+        """
+        for process in self.worker_snapshot().values():
+            try:
+                process.terminate()
+            except Exception:  # pragma: no cover - already-dead worker
+                pass
+
+    def segment_names(self) -> Tuple[str, ...]:
+        """Names of the shm segments this daemon currently owns."""
+        with self._lock:
+            return tuple(arena.name for arena in self._arenas)
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-able health snapshot (the ``/health`` endpoint body)."""
+        with self._lock:
+            return {
+                "max_workers": self.max_workers,
+                "worker_pids": sorted(self.worker_pids()),
+                "tasks_dispatched": self.tasks_dispatched,
+                "restarts": self.restarts,
+                "shared_memory": self.use_shared_memory,
+                "shared_memory_segments": list(self.segment_names()),
+                "closed": self._closed,
+            }
+
+
+# --------------------------------------------------------------------------- #
+# The executor adapter
+# --------------------------------------------------------------------------- #
+class PersistentPoolBackend(WorkerBackend):
+    """Run a campaign's pooled tasks on a shared :class:`WorkerDaemon`.
+
+    One backend instance per :class:`~repro.campaign.CampaignExecutor`; any
+    number of instances may point at the same daemon concurrently.  The
+    executor's retry machinery is unchanged: a broken round retires the
+    daemon's pool (once, generation-guarded) and the next round's
+    submissions bring up a fresh one.
+    """
+
+    persistent = True
+
+    def __init__(self, daemon: WorkerDaemon) -> None:
+        self.daemon = daemon
+        self._workers: Dict[int, Any] = {}
+        self._generation: Optional[int] = None
+
+    def prepare_entry(self, engine: Engine, scenario: Scenario) -> None:
+        self.daemon.prepare(engine, scenario)
+
+    def begin_round(self, workers: int) -> int:
+        self._generation = self.daemon.pool_generation()
+        return max(1, min(workers, self.daemon.max_workers))
+
+    def submit(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        lambda_g: float,
+        task_id: str,
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        return self.daemon.submit(
+            engine,
+            scenario,
+            lambda_g,
+            task_id,
+            registry_dir,
+            named_engine=named_engine,
+        )
+
+    def note_workers(self) -> None:
+        self._workers = self.daemon.worker_snapshot()
+
+    def dead_worker_pids(self) -> Tuple[int, ...]:
+        return tuple(
+            pid for pid, process in self._workers.items() if not process.is_alive()
+        )
+
+    def kill_workers(self) -> None:
+        self.daemon.kill_workers()
+
+    def end_round(self, *, broken: bool) -> None:
+        if broken:
+            self.daemon.restart(self._generation)
+        self._workers = {}
+
+    def close(self) -> None:
+        """The daemon's lifecycle belongs to its owner, not any one campaign."""

@@ -51,6 +51,7 @@ import json
 import os
 import sqlite3
 import tempfile
+import threading
 import time
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Protocol, Union, runtime_checkable
@@ -87,6 +88,11 @@ STALE_TMP_SECONDS = 3600.0
 
 #: How long a SQLite operation waits on a writer lock before giving up.
 _SQLITE_BUSY_SECONDS = 30.0
+
+#: Upper bound on :func:`migrate_store` re-scan passes.  Each pass drains the
+#: records a live writer added to the source layout during the previous pass;
+#: a writer outrunning eight consecutive full drains is not converging anyway.
+_MIGRATE_MAX_PASSES = 8
 
 
 def kernel_switches() -> Dict[str, str]:
@@ -387,6 +393,43 @@ class DirectoryBackend:
         return f"DirectoryBackend({str(self.root)!r})"
 
 
+class _CachedConnection:
+    """One thread's live handle to one database file (plus its identity)."""
+
+    __slots__ = ("conn", "ddl_done", "inode")
+
+    def __init__(self, conn: sqlite3.Connection, inode: Optional[tuple]) -> None:
+        self.conn = conn
+        self.ddl_done = False
+        self.inode = inode
+
+
+class _ConnectionCache:
+    __slots__ = ("pid", "entries")
+
+    def __init__(self, pid: int) -> None:
+        self.pid = pid
+        self.entries: Dict[str, _CachedConnection] = {}
+
+
+_SQLITE_LOCAL = threading.local()
+
+
+def _thread_connections() -> Dict[str, _CachedConnection]:
+    """This thread's connection cache, discarded wholesale after a fork.
+
+    SQLite handles must not cross ``fork()``: a child that finds the cache
+    stamped with its parent's pid abandons those entries (without closing —
+    the parent still owns them) and starts fresh.
+    """
+    pid = os.getpid()
+    cache = getattr(_SQLITE_LOCAL, "cache", None)
+    if cache is None or cache.pid != pid:
+        cache = _ConnectionCache(pid)
+        _SQLITE_LOCAL.cache = cache
+    return cache.entries
+
+
 class SqliteBackend:
     """Every record in one indexed SQLite file (``<root>/store.db``).
 
@@ -396,9 +439,14 @@ class SqliteBackend:
     LRU eviction is one query instead of a stat() walk, and a paper-budget
     sweep with thousands of records costs one inode instead of thousands.
 
-    Connections are opened per operation: cheap at this call rate, and it
-    keeps the backend safe to share across threads and fork-started pool
-    workers without any connection hand-off protocol.
+    Connections are cached per (process, thread, database file): the serving
+    front-end answers a warm request with hundreds of record reads, and a
+    fresh connection per read made connection setup the dominant cost of a
+    fully cached campaign.  The cache is safe by construction — entries are
+    thread-local (sqlite3's own thread affinity is never violated), a forked
+    child abandons its parent's handles, and every operation stats the
+    database file first, so a deleted or replaced ``store.db`` drops the
+    stale handle instead of reading a ghost inode.
     """
 
     name = "sqlite"
@@ -419,37 +467,72 @@ class SqliteBackend:
         self.db_path = self.root / self.DB_FILENAME
 
     # ------------------------------------------------------------ connections
-    def _connect(self, *, create: bool) -> Optional[sqlite3.Connection]:
-        """A fresh connection, or ``None`` when reading a store that isn't there."""
-        if not create and not self.db_path.is_file():
-            return None
-        if create:
-            self.root.mkdir(parents=True, exist_ok=True)
-        conn = sqlite3.connect(str(self.db_path), timeout=_SQLITE_BUSY_SECONDS)
+    def _db_inode(self) -> Optional[tuple]:
         try:
-            # synchronous is per-connection (read_text's LRU refresh writes);
-            # WAL mode persists in the database header, so only creating
-            # connections pay for the journal-mode switch and the DDL — a
-            # schema-less file on the read path just degrades to misses.
-            conn.execute("PRAGMA synchronous=NORMAL")
+            stat = os.stat(self.db_path)
+        except OSError:
+            return None
+        return (stat.st_dev, stat.st_ino)
+
+    def _evict_cached(self) -> None:
+        """Drop (and close) this thread's cached handle to this database."""
+        entry = _thread_connections().pop(str(self.db_path), None)
+        if entry is not None:
+            with contextlib.suppress(Exception):
+                entry.conn.close()
+
+    def _connect(self, *, create: bool) -> Optional[sqlite3.Connection]:
+        """This thread's cached connection, or ``None`` when reading a store
+        that isn't there."""
+        inode = self._db_inode()
+        if not create and inode is None:
+            # Deleted out from under us: a stale handle would keep serving
+            # the unlinked inode, so the miss must also drop it.
+            self._evict_cached()
+            return None
+        cache = _thread_connections()
+        path = str(self.db_path)
+        entry = cache.get(path)
+        if entry is not None and entry.inode != inode:
+            # store.db was removed or replaced since this handle was opened.
+            self._evict_cached()
+            entry = None
+        if entry is None:
             if create:
-                conn.execute("PRAGMA journal_mode=WAL")
-                for statement in self._SCHEMA_SQL:
-                    conn.execute(statement)
-                conn.commit()
-        except BaseException:
-            conn.close()
-            raise
-        return conn
+                self.root.mkdir(parents=True, exist_ok=True)
+            conn = sqlite3.connect(str(self.db_path), timeout=_SQLITE_BUSY_SECONDS)
+            try:
+                # synchronous is per-connection (read_text's LRU refresh
+                # writes); WAL mode persists in the database header and is
+                # switched on together with the DDL below — a schema-less
+                # file on the read path just degrades to misses.
+                conn.execute("PRAGMA synchronous=NORMAL")
+            except BaseException:
+                conn.close()
+                raise
+            entry = cache[path] = _CachedConnection(conn, self._db_inode())
+        if create and not entry.ddl_done:
+            entry.conn.execute("PRAGMA journal_mode=WAL")
+            for statement in self._SCHEMA_SQL:
+                entry.conn.execute(statement)
+            entry.conn.commit()
+            entry.ddl_done = True
+        return entry.conn
 
     @contextlib.contextmanager
     def _cursor(self, *, create: bool) -> Iterator[Optional[sqlite3.Connection]]:
         conn = self._connect(create=create)
+        if conn is None:
+            yield None
+            return
         try:
             yield conn
-        finally:
-            if conn is not None:
-                conn.close()
+        except BaseException:
+            # The handle outlives this operation: never leave a failed
+            # transaction open on it.
+            with contextlib.suppress(sqlite3.Error):
+                conn.rollback()
+            raise
 
     # ------------------------------------------------------------- payload I/O
     def read_text(self, key: str) -> Optional[str]:
@@ -564,6 +647,7 @@ class SqliteBackend:
 
     def delete_database(self) -> None:
         """Remove the database files entirely (post-migration cleanup)."""
+        self._evict_cached()
         for suffix in ("", "-wal", "-shm"):
             with contextlib.suppress(OSError):
                 os.unlink(f"{self.db_path}{suffix}")
@@ -747,6 +831,14 @@ def migrate_store(store: ResultStore, to: str) -> int:
     ``--migrate`` picks up exactly where the interrupt hit.  Keys the
     target already holds are dropped from the source rather than copied
     back, preserving the target's fresher record and LRU stamp.
+
+    Migration is also **live-traffic safe**: each pass works from a key
+    snapshot (cheap under WAL — readers and the migrating writer never block
+    each other), then re-snapshots and drains again, so records a still-
+    running campaign writes into the source layout *during* a pass are
+    picked up by the next one.  The loop ends when a snapshot comes back
+    empty (bounded by :data:`_MIGRATE_MAX_PASSES`); writers that attach
+    after the final pass see the migrated layout via backend auto-detection.
     """
     if to not in STORE_BACKENDS:
         raise ValidationError(
@@ -762,22 +854,31 @@ def migrate_store(store: ResultStore, to: str) -> int:
         source = store.backend
         target = STORE_BACKENDS[to](store.root)
     moved = 0
-    for key in list(source.keys()):
-        if target.get_last_used(key) is not None:
-            # The target's copy is the newer one (written after the source's
-            # was, by construction of the interrupt); just drop the stale
-            # source record.
+    for _ in range(_MIGRATE_MAX_PASSES):
+        snapshot = list(source.keys())
+        if not snapshot:
+            break
+        progressed = False
+        for key in snapshot:
+            if target.get_last_used(key) is not None:
+                # The target's copy is the newer one (written after the
+                # source's was, by construction of the interrupt); just drop
+                # the stale source record.
+                source.delete(key)
+                progressed = True
+                continue
+            stamp = source.get_last_used(key)
+            text = source.read_text(key)
+            if text is None:
+                continue  # lost a race with a concurrent eviction
+            target.write_text(key, text)
+            if stamp is not None:
+                target.set_last_used(key, stamp)
             source.delete(key)
-            continue
-        stamp = source.get_last_used(key)
-        text = source.read_text(key)
-        if text is None:
-            continue  # lost a race with a concurrent eviction
-        target.write_text(key, text)
-        if stamp is not None:
-            target.set_last_used(key, stamp)
-        source.delete(key)
-        moved += 1
+            moved += 1
+            progressed = True
+        if not progressed:
+            break  # nothing readable left; don't spin on unreachable keys
     source.housekeep()
     if isinstance(source, SqliteBackend) and source.count() == 0:
         source.delete_database()

@@ -1,0 +1,300 @@
+"""Shared-memory export of compiled topology metadata.
+
+:class:`~repro.topology.compile.CompiledTree` is rebuilt per process today:
+fork-started pool workers inherit the module caches for free, but a
+*persistent* worker daemon (:mod:`repro.service.daemon`) outlives any one
+campaign and may host spawn-started or restarted workers that inherited
+nothing.  This module gives the daemon an explicit transport: the compiled
+flat metadata arrays are copied once into one
+:mod:`multiprocessing.shared_memory` segment and every worker maps them as
+zero-copy NumPy views instead of re-walking the object-graph topology.
+
+Two halves:
+
+* :class:`SharedArena` — one named shared-memory segment packing several
+  named 1-D NumPy arrays, with a JSON-able layout manifest so the receiving
+  process can rebuild the views without pickling array data.
+* :func:`export_trees` / :func:`attach_trees` / :func:`install_trees` — the
+  :class:`CompiledTree` codec over an arena.  Attached trees are
+  :class:`SharedCompiledTree` instances duck-typing the *array* surface of a
+  compiled tree (the hot path); the decompile surface (``channels`` /
+  ``channel_ids``) deliberately does not cross the process boundary and
+  raises loudly if touched.
+
+Ownership discipline: the exporting process (the daemon parent) owns every
+segment and is the only one that may ``unlink`` it.  Attaching processes
+map, read, and simply exit — :func:`SharedArena.attach` unregisters the
+segment from the :mod:`multiprocessing.resource_tracker`, which would
+otherwise tear the owner's segment down when the first attacher exits
+(CPython registers attached segments exactly like created ones).
+"""
+
+from __future__ import annotations
+
+import secrets
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, Iterable, List, Tuple
+
+import numpy as np
+
+from repro.topology.compile import _COMPILED_TREES, CompiledTree, compile_tree
+from repro.utils.validation import ValidationError
+
+__all__ = [
+    "SharedArena",
+    "SharedCompiledTree",
+    "attach_trees",
+    "export_trees",
+    "install_trees",
+]
+
+#: Prefix of every segment this package creates; the shutdown tests sweep
+#: ``/dev/shm`` for leftovers by this marker.
+SEGMENT_PREFIX = "repro_shm"
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Detach ``segment`` from the resource tracker (attacher side only).
+
+    CPython's resource tracker registers *attached* segments as if the
+    attacher had created them, then unlinks everything it tracked when that
+    process exits — which would destroy the daemon's segment the moment the
+    first worker finishes.  The owner keeps its registration; attachers must
+    not.
+    """
+    try:
+        resource_tracker.unregister(segment._name, "shared_memory")  # noqa: SLF001
+    except Exception:  # pragma: no cover - tracker variations across versions
+        pass
+
+
+class SharedArena:
+    """One shared-memory segment holding several named 1-D NumPy arrays.
+
+    Created by the exporting process (``owner=True``) from a name->array
+    mapping; rebuilt in any other process from the :meth:`manifest` dict.
+    Views returned by :meth:`array` alias the segment directly — no copy.
+    """
+
+    def __init__(
+        self,
+        segment: shared_memory.SharedMemory,
+        layout: Dict[str, Dict[str, Any]],
+        *,
+        owner: bool,
+    ) -> None:
+        self._segment = segment
+        self._layout = layout
+        self._owner = owner
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        """The segment name (``/dev/shm/<name>`` on Linux)."""
+        return self._segment.name
+
+    @property
+    def owner(self) -> bool:
+        return self._owner
+
+    @classmethod
+    def create(cls, arrays: Dict[str, np.ndarray]) -> "SharedArena":
+        """Pack ``arrays`` (copied) into one fresh segment and own it."""
+        layout: Dict[str, Dict[str, Any]] = {}
+        offset = 0
+        packed: List[Tuple[int, np.ndarray]] = []
+        for key, array in arrays.items():
+            flat = np.ascontiguousarray(array).reshape(-1)
+            layout[key] = {
+                "offset": offset,
+                "count": int(flat.shape[0]),
+                "dtype": str(flat.dtype),
+            }
+            packed.append((offset, flat))
+            offset += flat.nbytes
+        segment = shared_memory.SharedMemory(
+            create=True,
+            size=max(1, offset),
+            name=f"{SEGMENT_PREFIX}_{secrets.token_hex(6)}",
+        )
+        for start, flat in packed:
+            view = np.ndarray(flat.shape, dtype=flat.dtype, buffer=segment.buf, offset=start)
+            view[:] = flat
+        return cls(segment, layout, owner=True)
+
+    @classmethod
+    def attach(cls, manifest: Dict[str, Any]) -> "SharedArena":
+        """Map an existing segment from its :meth:`manifest` (read-only use)."""
+        segment = shared_memory.SharedMemory(name=manifest["segment"], create=False)
+        _untrack(segment)
+        return cls(segment, dict(manifest["layout"]), owner=False)
+
+    def manifest(self) -> Dict[str, Any]:
+        """JSON-able description another process can :meth:`attach` from."""
+        return {"segment": self.name, "layout": self._layout}
+
+    def array(self, key: str) -> np.ndarray:
+        """Zero-copy view of the named array."""
+        entry = self._layout[key]
+        return np.ndarray(
+            (entry["count"],),
+            dtype=np.dtype(entry["dtype"]),
+            buffer=self._segment.buf,
+            offset=entry["offset"],
+        )
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself survives)."""
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._segment.close()
+        except BufferError:  # pragma: no cover - live views keep the map open
+            self._closed = False
+
+    def destroy(self) -> None:
+        """Owner-only: unlink the segment from the system, then unmap."""
+        if self._owner:
+            try:
+                # Workers launched with an inherited tracker fd (spawn and
+                # fork both share the parent's tracker on POSIX) have already
+                # unregistered this name when they attached; re-registering
+                # first keeps unlink's own unregister balanced, so the
+                # tracker never logs a spurious KeyError at exit.
+                resource_tracker.register(self._segment._name, "shared_memory")  # noqa: SLF001
+            except Exception:  # pragma: no cover - tracker variations
+                pass
+            try:
+                self._segment.unlink()
+            except FileNotFoundError:  # pragma: no cover - already gone
+                pass
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "owner" if self._owner else "view"
+        return f"SharedArena({self.name!r}, {len(self._layout)} arrays, {role})"
+
+
+class SharedCompiledTree:
+    """The array surface of a :class:`CompiledTree`, mapped from an arena.
+
+    Satisfies everything the simulator and the system compiler read —
+    ``num_nodes`` / ``num_switches`` / ``num_channels`` plus the four flat
+    metadata arrays.  The decompile surface needs ``Channel`` objects, which
+    never cross the process boundary: touching it raises a
+    :class:`ValidationError` naming the daemon as the place to decompile.
+    """
+
+    __slots__ = (
+        "m",
+        "n",
+        "num_nodes",
+        "num_switches",
+        "num_channels",
+        "kind_codes",
+        "is_node_channel",
+        "source_ids",
+        "target_ids",
+        "_arena",
+    )
+
+    def __init__(self, meta: Dict[str, Any], arena: SharedArena) -> None:
+        self.m = int(meta["m"])
+        self.n = int(meta["n"])
+        self.num_nodes = int(meta["num_nodes"])
+        self.num_switches = int(meta["num_switches"])
+        self.num_channels = int(meta["num_channels"])
+        prefix = _tree_prefix(self.m, self.n)
+        self.kind_codes = arena.array(f"{prefix}/kind_codes")
+        self.is_node_channel = arena.array(f"{prefix}/is_node_channel")
+        self.source_ids = arena.array(f"{prefix}/source_ids")
+        self.target_ids = arena.array(f"{prefix}/target_ids")
+        self._arena = arena
+
+    def _no_objects(self, what: str) -> ValidationError:
+        return ValidationError(
+            f"shared compiled tree (m={self.m}, n={self.n}) has no {what}: "
+            "channel objects do not cross the process boundary — decompile "
+            "in the owning (daemon) process"
+        )
+
+    @property
+    def channels(self):
+        raise self._no_objects("channel objects")
+
+    @property
+    def channel_ids(self):
+        raise self._no_objects("channel-id map")
+
+    def index_of(self, channel) -> int:
+        raise self._no_objects("channel-id map")
+
+    def channel_at(self, cid: int):
+        raise self._no_objects("channel objects")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedCompiledTree(m={self.m}, n={self.n}, "
+            f"channels={self.num_channels}, segment={self._arena.name!r})"
+        )
+
+
+def _tree_prefix(m: int, n: int) -> str:
+    return f"tree-{int(m)}x{int(n)}"
+
+
+def export_trees(shapes: Iterable[Tuple[int, int]]) -> Tuple[SharedArena, Dict[str, Any]]:
+    """Compile (or reuse) every shape and pack its arrays into one arena.
+
+    Returns the owning arena plus a JSON-able manifest for
+    :func:`attach_trees`.  The caller (the daemon) keeps the arena alive for
+    its lifetime and calls :meth:`SharedArena.destroy` at shutdown.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    trees: List[Dict[str, int]] = []
+    for m, n in dict.fromkeys((int(m), int(n)) for m, n in shapes):
+        compiled = compile_tree(m, n)
+        if not isinstance(compiled, CompiledTree):  # pragma: no cover - guard
+            raise ValidationError(
+                f"cannot re-export shape ({m}, {n}): the cache already holds "
+                "a shared view, and only an owning process may export"
+            )
+        prefix = _tree_prefix(m, n)
+        arrays[f"{prefix}/kind_codes"] = compiled.kind_codes
+        arrays[f"{prefix}/is_node_channel"] = compiled.is_node_channel
+        arrays[f"{prefix}/source_ids"] = compiled.source_ids
+        arrays[f"{prefix}/target_ids"] = compiled.target_ids
+        trees.append(
+            {
+                "m": m,
+                "n": n,
+                "num_nodes": compiled.num_nodes,
+                "num_switches": compiled.num_switches,
+                "num_channels": compiled.num_channels,
+            }
+        )
+    arena = SharedArena.create(arrays)
+    manifest = dict(arena.manifest())
+    manifest["trees"] = trees
+    return arena, manifest
+
+
+def attach_trees(manifest: Dict[str, Any]) -> Tuple[SharedArena, Tuple[SharedCompiledTree, ...]]:
+    """Map an :func:`export_trees` manifest into shared tree views."""
+    arena = SharedArena.attach(manifest)
+    return arena, tuple(SharedCompiledTree(meta, arena) for meta in manifest["trees"])
+
+
+def install_trees(manifest: Dict[str, Any]) -> SharedArena:
+    """Attach and publish the shared trees through :func:`compile_tree`.
+
+    Shapes already compiled in this process (e.g. fork-inherited) win — the
+    shared view only fills cache misses, so an owning process can never
+    shadow its own real :class:`CompiledTree` objects.  Returns the arena;
+    the caller must keep it referenced for as long as the views are in use.
+    """
+    arena, shared = attach_trees(manifest)
+    for tree in shared:
+        _COMPILED_TREES.setdefault((tree.m, tree.n), tree)
+    return arena

@@ -316,6 +316,95 @@ class TestPooledCrashRecovery:
         assert len(completed) == 4  # every task still completed
 
 
+class TestInlineKillHarness:
+    """With a timeout set, inline attempts run in a disposable child process
+    so a hung evaluation can actually be reclaimed (``parallel=False`` used
+    to mean the timeout was silently unenforceable)."""
+
+    def campaign(self):
+        return Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY, traffic=(4e-4,)), engines=("sim",)),
+            )
+        )
+
+    def test_timeout_happy_path_is_bit_identical(self):
+        reference = run_campaign(self.campaign(), store=None)
+        harnessed = run_campaign(
+            self.campaign(),
+            store=None,
+            retry=RetryPolicy(max_attempts=2, timeout_seconds=60.0),
+        )
+        assert harnessed.task_retries == 0
+        # Records survive the pipe crossing unchanged.
+        assert canonical(harnessed) == canonical(reference)
+
+    def test_hung_inline_task_is_killed_and_retried(self, tmp_path, monkeypatch):
+        reference = run_campaign(self.campaign(), store=None)
+        marker = inject_fault(monkeypatch, tmp_path, "hang", "tiny:sim:0")
+        recovered = run_campaign(
+            self.campaign(),
+            store=None,
+            retry=RetryPolicy(max_attempts=2, timeout_seconds=1.5),
+        )
+        assert marker.exists()
+        assert recovered.task_retries == 1
+        assert not recovered.failures
+        assert canonical(recovered) == canonical(reference)
+
+    def test_inline_timeout_exhaustion_is_a_structured_failure(
+        self, tmp_path, monkeypatch
+    ):
+        inject_fault(monkeypatch, tmp_path, "hang", "tiny:sim:0")
+        result = run_campaign(
+            self.campaign(),
+            store=None,
+            retry=RetryPolicy(max_attempts=1, timeout_seconds=1.0),
+            strict=False,
+        )
+        assert len(result.failures) == 1
+        assert "timed out" in result.failures[0].error
+        assert "inline worker killed" in result.failures[0].error
+
+    def test_crashed_harness_child_reports_and_recovers(self, tmp_path, monkeypatch):
+        marker = inject_fault(monkeypatch, tmp_path, "crash", "tiny:sim:0")
+        events = list(
+            CampaignExecutor(
+                self.campaign(),
+                store=None,
+                retry=RetryPolicy(max_attempts=2, timeout_seconds=60.0),
+            ).execute()
+        )
+        assert marker.exists()
+        retried = [event for event in events if isinstance(event, TaskRetried)]
+        assert len(retried) == 1
+        assert "inline harness process died" in retried[0].error
+        assert sum(isinstance(event, TaskCompleted) for event in events) == 1
+
+    def test_no_timeout_keeps_inline_tasks_in_process(self):
+        import os
+
+        class PidEngine:
+            name = "pid"
+            expensive = False
+
+            def evaluate(self, scenario, lambda_g):
+                record = api.AnalyticalEngine(name=self.name).evaluate(
+                    scenario, lambda_g
+                )
+                self.pid = os.getpid()
+                return record
+
+        engine = PidEngine()
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(scenario=scenario_for(TINY, traffic=(4e-4,)), engines=(engine,)),
+            )
+        )
+        run_campaign(campaign, store=None, retry=RetryPolicy(max_attempts=2))
+        assert engine.pid == os.getpid()  # no harness child without a timeout
+
+
 class TestPooledTimeout:
     def test_hung_worker_is_killed_and_retried(self, tmp_path, monkeypatch):
         campaign = sim_campaign()

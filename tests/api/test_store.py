@@ -471,3 +471,178 @@ class TestMigration:
         for key in keys:
             assert store.get(key) is not None
             assert key in store
+
+
+def _fork_read_text(backend, key, conn):
+    """Fork-child probe: read through a backend whose parent already holds a
+    cached connection (module-level so the fork context can run it)."""
+    conn.send(backend.read_text(key))
+    conn.close()
+
+
+class TestSqliteConnectionCache:
+    """The per-thread connection cache behind warm serving reads."""
+
+    def _seed(self, tmp_path):
+        backend = SqliteBackend(tmp_path)
+        backend.write_text("alpha", '{"v": 1}')
+        return backend
+
+    def test_same_thread_reuses_one_connection(self, tmp_path):
+        backend = self._seed(tmp_path)
+        first = backend._connect(create=False)
+        second = backend._connect(create=False)
+        assert first is second
+
+    def test_two_backend_objects_share_the_thread_cache(self, tmp_path):
+        self._seed(tmp_path)
+        # The cache keys on the database file, not the backend instance —
+        # the server and the executor hitting one store share one handle.
+        assert SqliteBackend(tmp_path)._connect(create=False) is SqliteBackend(
+            tmp_path
+        )._connect(create=False)
+
+    def test_threads_get_their_own_connections(self, tmp_path):
+        import threading
+
+        backend = self._seed(tmp_path)
+        here = backend._connect(create=False)
+        seen = {}
+
+        def worker():
+            seen["conn"] = backend._connect(create=False)
+            seen["read"] = backend.read_text("alpha")
+
+        thread = threading.Thread(target=worker)
+        thread.start()
+        thread.join()
+        assert seen["conn"] is not here  # sqlite3 thread affinity respected
+        assert seen["read"] == '{"v": 1}'
+
+    def test_deleted_database_is_noticed_not_served_from_a_ghost(self, tmp_path):
+        backend = self._seed(tmp_path)
+        assert backend.read_text("alpha") is not None  # handle now cached
+        for leftover in tmp_path.glob(f"{SqliteBackend.DB_FILENAME}*"):
+            leftover.unlink()
+        # A cached handle would happily keep reading the unlinked inode;
+        # the stat-first discipline must turn this into an honest miss...
+        assert backend.read_text("alpha") is None
+        assert list(backend.keys()) == []
+        # ...and the next write rebuilds a fresh database.
+        backend.write_text("beta", '{"v": 2}')
+        assert backend.read_text("beta") == '{"v": 2}'
+
+    def test_replaced_database_drops_the_stale_handle(self, tmp_path, monkeypatch):
+        backend = self._seed(tmp_path)
+        assert backend.read_text("alpha") is not None
+        # Replace store.db wholesale (a different file at the same path —
+        # what a restore-from-backup or an rsync deploy does).
+        replacement = SqliteBackend(tmp_path / "staging")
+        replacement.write_text("gamma", '{"v": 3}')
+        replacement._evict_cached()
+        for leftover in tmp_path.glob(f"{SqliteBackend.DB_FILENAME}*"):
+            leftover.unlink()
+        (tmp_path / "staging" / SqliteBackend.DB_FILENAME).rename(
+            tmp_path / SqliteBackend.DB_FILENAME
+        )
+        assert backend.read_text("alpha") is None
+        assert backend.read_text("gamma") == '{"v": 3}'
+
+    def test_forked_child_abandons_the_parents_handle(self, tmp_path):
+        import multiprocessing
+
+        backend = self._seed(tmp_path)
+        assert backend.read_text("alpha") is not None  # parent handle cached
+        context = multiprocessing.get_context("fork")
+        receiver, sender = context.Pipe(duplex=False)
+        child = context.Process(
+            target=_fork_read_text, args=(backend, "alpha", sender)
+        )
+        child.start()
+        sender.close()
+        try:
+            assert receiver.poll(30)
+            assert receiver.recv() == '{"v": 1}'  # child re-opened, pid-stamped
+        finally:
+            child.join()
+            receiver.close()
+        assert child.exitcode == 0
+        assert backend.read_text("alpha") == '{"v": 1}'  # parent handle intact
+
+    def test_exception_rolls_back_without_closing_the_handle(self, tmp_path):
+        backend = self._seed(tmp_path)
+        conn = backend._connect(create=False)
+        with pytest.raises(RuntimeError):
+            with backend._cursor(create=False):
+                raise RuntimeError("mid-operation failure")
+        assert backend._connect(create=False) is conn  # survived the failure
+        assert backend.read_text("alpha") == '{"v": 1}'
+
+
+class TestLiveMigration:
+    """``--migrate`` under concurrent writers: late records must cross too."""
+
+    def _fill(self, store, count=2):
+        record = api.run(
+            tiny_scenario(offered_traffic=(4e-4,)), engines=("model",)
+        ).series("model")[0]
+        text = None
+        keys = []
+        for index in range(count):
+            key = task_key(tiny_scenario(), "model", 4e-4 + index * 1e-6)
+            store.put(key, record)
+            keys.append(key)
+            text = store.backend.read_text(key)
+        return keys, text
+
+    def test_record_written_mid_migration_is_picked_up(self, tmp_path, monkeypatch):
+        store = ResultStore(tmp_path, backend="directory")
+        keys, text = self._fill(store)
+        source = store.backend
+        original_delete = source.delete
+        late = {}
+
+        def delete_then_write_late(key):
+            original_delete(key)
+            if not late:
+                # A concurrent campaign lands a record *after* the initial
+                # snapshot was taken — the re-snapshot pass must catch it.
+                late["key"] = task_key(tiny_scenario(), "model", 9e-4)
+                source.write_text(late["key"], text)
+
+        monkeypatch.setattr(source, "delete", delete_then_write_late)
+        moved = migrate_store(store, "sqlite")
+        assert moved == 3
+        assert store.backend.name == "sqlite"
+        assert late["key"] in store
+        assert store.backend.read_text(late["key"]) == text
+        assert list(DirectoryBackend(tmp_path).keys()) == []
+
+    def test_migration_terminates_under_constant_write_load(
+        self, tmp_path, monkeypatch
+    ):
+        from repro.store import _MIGRATE_MAX_PASSES
+
+        store = ResultStore(tmp_path, backend="directory")
+        keys, text = self._fill(store)
+        source = store.backend
+        original_delete = source.delete
+        injected = []
+
+        def delete_and_always_write(key):
+            original_delete(key)
+            late = task_key(tiny_scenario(), "model", 1e-3 + len(injected) * 1e-6)
+            source.write_text(late, text)
+            injected.append(late)
+
+        monkeypatch.setattr(source, "delete", delete_and_always_write)
+        # A writer that never stops can starve a drain loop forever; the
+        # pass cap bounds the chase and leaves stragglers resumable.
+        moved = migrate_store(store, "sqlite")
+        assert moved == 2 * _MIGRATE_MAX_PASSES
+        stragglers = list(DirectoryBackend(tmp_path).keys())
+        assert len(stragglers) == 2
+        # Quiet store: re-running the same migration drains the stragglers.
+        assert migrate_store(store, "sqlite") == 2
+        assert list(DirectoryBackend(tmp_path).keys()) == []
+        assert len(store) == len(keys) + len(injected)

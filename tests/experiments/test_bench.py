@@ -119,7 +119,12 @@ class TestParallelBench:
             ("heterogeneous",), points=2, smoke=True, parallel=True, workers=2
         )
         curve = payload["scaling"]
-        assert [rung["workers"] for rung in curve] == [1, 2]
+        cold = [rung for rung in curve if rung["mode"] == "cold"]
+        daemon = [rung for rung in curve if rung["mode"] == "daemon"]
+        assert [rung["workers"] for rung in cold] == [1, 2]
+        # One warm-daemon rung at the top worker count closes the curve.
+        assert [rung["workers"] for rung in daemon] == [2]
+        assert daemon[0]["warmup_seconds"] > 0
         total = payload["scenarios"]["heterogeneous"]["measured_messages"]
         for rung in curve:
             # Bit-identical executions at every rung: same messages measured.
@@ -128,6 +133,18 @@ class TestParallelBench:
             assert rung["messages_per_second"] > 0
             assert rung["speedup"] > 0
         assert curve[0]["speedup"] == pytest.approx(1.0)
+        # Cold rungs compare against the sequential baseline; the daemon
+        # rung compares warm-service vs the cold rung at the same width and
+        # carries the sequential ratio separately.
+        assert cold[1]["speedup"] == pytest.approx(
+            curve[0]["elapsed_seconds"] / cold[1]["elapsed_seconds"], abs=0.01
+        )
+        assert daemon[0]["speedup"] == pytest.approx(
+            cold[1]["elapsed_seconds"] / daemon[0]["elapsed_seconds"], abs=0.01
+        )
+        assert daemon[0]["speedup_vs_sequential"] == pytest.approx(
+            curve[0]["elapsed_seconds"] / daemon[0]["elapsed_seconds"], abs=0.01
+        )
 
     def test_scenario_fan_out_shares_one_pool_across_scenarios(self):
         payload = run_bench(
@@ -137,7 +154,11 @@ class TestParallelBench:
         # workers at all (point-level fan-out would cap at one task each).
         assert payload["workers"] == 2
         assert payload["fan_out"] == "scenario"
-        assert [rung["workers"] for rung in payload["scaling"]] == [1, 2]
+        assert [(rung["workers"], rung["mode"]) for rung in payload["scaling"]] == [
+            (1, "cold"),
+            (2, "cold"),
+            (2, "daemon"),
+        ]
         total = sum(
             entry["measured_messages"] for entry in payload["scenarios"].values()
         )
@@ -151,6 +172,7 @@ class TestParallelBench:
         assert "2 workers" in text
         assert "scenario fan-out" in text
         assert "1 worker" in text
+        assert "daemon" in text
 
     def test_worker_ladder_doubles_to_the_effective_count(self):
         from repro.experiments.bench import _worker_ladder

@@ -1,0 +1,265 @@
+"""Tests of the persistent worker daemon and its executor backend.
+
+The daemon's workers are *spawn*-started (the serving front-end submits
+from threads, and forking a multithreaded process deadlocks), so workers
+inherit none of this process's compiled caches — every table they read
+arrives through the shared-memory export.  That makes the bit-identity
+assertions here a real end-to-end check of the shm path, not a formality.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.campaign import (
+    Campaign,
+    CampaignEntry,
+    RetryPolicy,
+    run_campaign,
+)
+from repro.model.parameters import MessageSpec
+from repro.service.daemon import PersistentPoolBackend, WorkerDaemon
+from repro.sim.config import SimulationConfig
+from repro.store import ResultStore, jsonable_record
+from repro.topology.multicluster import MultiClusterSpec
+from repro.topology.shm import _untrack
+from repro.utils.validation import ValidationError
+
+
+def segment_exists(name: str) -> bool:
+    """Probe a segment by name without letting the tracker adopt it."""
+    from multiprocessing import shared_memory
+
+    try:
+        probe = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return False
+    _untrack(probe)
+    probe.close()
+    return True
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+WIDE = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1), name="wide")
+FAST = SimulationConfig(measured_messages=300, warmup_messages=30, drain_messages=30, seed=3)
+
+
+def scenario_for(system, *, traffic=(4e-4, 8e-4)) -> api.Scenario:
+    return api.Scenario(
+        system=system,
+        message=MessageSpec(32, 256),
+        offered_traffic=traffic,
+        sim=FAST,
+        name=system.name,
+    )
+
+
+def sim_campaign(*, traffic=(4e-4, 8e-4)) -> Campaign:
+    return Campaign(
+        entries=(
+            CampaignEntry(scenario=scenario_for(TINY, traffic=traffic), engines=("sim",)),
+            CampaignEntry(scenario=scenario_for(WIDE, traffic=traffic), engines=("sim",)),
+        ),
+        name="two",
+    )
+
+
+def strip_wall_clock(obj):
+    if isinstance(obj, dict):
+        return {k: strip_wall_clock(v) for k, v in obj.items() if k != "wall_clock_seconds"}
+    if isinstance(obj, list):
+        return [strip_wall_clock(v) for v in obj]
+    return obj
+
+
+def canonical(result) -> str:
+    return json.dumps(
+        [
+            [strip_wall_clock(jsonable_record(record)) for record in runset.records]
+            for runset in result.runsets
+        ],
+        sort_keys=True,
+    )
+
+
+def inject_fault(monkeypatch, tmp_path, kind, task_id):
+    marker = tmp_path / "fault-marker"
+    monkeypatch.setenv(
+        "REPRO_CAMPAIGN_FAULT",
+        json.dumps({"kind": kind, "task": task_id, "marker": str(marker)}),
+    )
+    return marker
+
+
+@pytest.fixture(scope="module")
+def daemon():
+    """One warm daemon shared by the healthy-path tests (worker spawn is the
+    expensive part; fault tests build their own so the injection env var is
+    present when *their* workers spawn)."""
+    with WorkerDaemon(2) as shared:
+        yield shared
+
+
+def run_on(daemon, campaign, **kwargs):
+    kwargs.setdefault("store", None)
+    return run_campaign(
+        campaign,
+        parallel=True,
+        max_workers=daemon.max_workers,
+        backend=PersistentPoolBackend(daemon),
+        **kwargs,
+    )
+
+
+class TestDaemonExecution:
+    def test_records_bit_identical_to_sequential(self, daemon):
+        """The acceptance criterion: daemon-served records match a clean
+        sequential run bit for bit (wall clock aside)."""
+        campaign = sim_campaign()
+        reference = run_campaign(campaign, store=None)
+        served = run_on(daemon, campaign)
+        assert not served.failures
+        assert canonical(served) == canonical(reference)
+
+    def test_exported_segments_back_the_campaign(self, daemon):
+        run_on(daemon, sim_campaign())
+        names = daemon.segment_names()
+        assert names  # trees + routes crossed into shared memory
+        assert all(name.startswith("repro_shm") for name in names)
+        assert all(segment_exists(name) for name in names)
+
+    def test_dispatch_counter_counts_submissions(self, daemon):
+        before = daemon.tasks_dispatched
+        result = run_on(daemon, sim_campaign(traffic=(5e-4,)))
+        assert result.cache_misses == 2
+        assert daemon.tasks_dispatched == before + 2
+
+    def test_warm_store_requests_bypass_the_workers(self, daemon, tmp_path):
+        campaign = sim_campaign(traffic=(6e-4,))
+        store = ResultStore(tmp_path / "store")
+        cold = run_on(daemon, campaign, store=store)
+        assert cold.cache_misses == 2 and cold.cache_hits == 0
+        dispatched = daemon.tasks_dispatched
+        warm = run_on(daemon, campaign, store=store)
+        assert warm.cache_hits == 2 and warm.cache_misses == 0
+        # The invariant the service's warm path rests on: a fully cached
+        # campaign never submits anything to a worker.
+        assert daemon.tasks_dispatched == dispatched
+        assert canonical(warm) == canonical(cold)
+
+    def test_second_campaign_reuses_the_pool(self, daemon):
+        generation = daemon.pool_generation()
+        run_on(daemon, sim_campaign(traffic=(7e-4,)))
+        assert daemon.pool_generation() == generation  # no pool churn
+
+    def test_stats_surface(self, daemon):
+        stats = daemon.stats()
+        assert stats["max_workers"] == 2
+        assert stats["shared_memory"] is True
+        assert stats["closed"] is False
+        assert stats["tasks_dispatched"] >= 0
+        assert isinstance(stats["worker_pids"], list)
+        assert isinstance(stats["shared_memory_segments"], list)
+        json.dumps(stats)  # the /health body must be JSON-able
+
+
+class TestDaemonFaults:
+    def test_crash_mid_campaign_requeues_and_restarts_the_pool(
+        self, tmp_path, monkeypatch
+    ):
+        campaign = sim_campaign()
+        reference = run_campaign(campaign, store=None)
+        marker = inject_fault(monkeypatch, tmp_path, "crash", "tiny:sim:0")
+        with WorkerDaemon(2) as daemon:
+            recovered = run_on(
+                daemon, campaign, retry=RetryPolicy(max_attempts=3)
+            )
+            assert marker.exists()
+            assert daemon.restarts >= 1  # the broken pool was retired in place
+            assert daemon.pool_generation() >= 2
+        assert recovered.task_retries >= 1
+        assert not recovered.failures
+        assert canonical(recovered) == canonical(reference)
+
+    def test_collateral_casualty_of_a_crash_is_not_charged(
+        self, tmp_path, monkeypatch
+    ):
+        """Worker-pid tagging at work: with *no* retry budget, the task whose
+        worker died is the only failure — the innocent task that broke with
+        the same pool re-queues uncharged and completes."""
+        campaign = sim_campaign(traffic=(4e-4,))  # two tasks, one per entry
+        inject_fault(monkeypatch, tmp_path, "crash", "tiny:sim:0")
+        with WorkerDaemon(1) as daemon:  # one worker: serial, deterministic
+            result = run_on(
+                daemon,
+                campaign,
+                retry=RetryPolicy(max_attempts=1),
+                strict=False,
+            )
+        assert [failure.task.task_id for failure in result.failures] == ["tiny:sim:0"]
+        assert result.task_retries == 0  # the free re-queue is not a retry
+        assert len(result.runset("wide").records) == 1  # casualty completed
+        assert len(result.runset("tiny").records) == 0
+
+    def test_hung_worker_is_killed_and_the_campaign_recovers(
+        self, tmp_path, monkeypatch
+    ):
+        campaign = sim_campaign(traffic=(4e-4,))
+        reference = run_campaign(campaign, store=None)
+        marker = inject_fault(monkeypatch, tmp_path, "hang", "wide:sim:0")
+        with WorkerDaemon(2) as daemon:
+            recovered = run_on(
+                daemon,
+                campaign,
+                retry=RetryPolicy(max_attempts=2, timeout_seconds=2.0),
+            )
+            assert marker.exists()
+            assert daemon.restarts >= 1  # the timeout kill broke the pool
+        assert recovered.task_retries >= 1
+        assert not recovered.failures
+        assert canonical(recovered) == canonical(reference)
+
+
+class TestDaemonLifecycle:
+    def test_shutdown_unlinks_every_shm_segment(self):
+        with WorkerDaemon(2) as daemon:
+            run_on(daemon, sim_campaign(traffic=(4e-4,)))
+            names = daemon.segment_names()
+            assert names and all(segment_exists(name) for name in names)
+        # Context exit is shutdown(): nothing may survive in /dev/shm.
+        assert daemon.segment_names() == ()
+        assert all(not segment_exists(name) for name in names)
+
+    def test_shutdown_is_idempotent_and_closes_for_good(self):
+        daemon = WorkerDaemon(1).start()
+        daemon.shutdown()
+        daemon.shutdown()
+        assert daemon.stats()["closed"] is True
+        with pytest.raises(ValidationError, match="shut down"):
+            daemon.submit(
+                api.AnalyticalEngine(),
+                scenario_for(TINY, traffic=(4e-4,)),
+                4e-4,
+                "tiny:model:0",
+                None,
+                named_engine=True,
+            )
+
+    def test_shared_memory_opt_out_exports_nothing(self):
+        daemon = WorkerDaemon(2, use_shared_memory=False)
+        try:
+            backend = PersistentPoolBackend(daemon)
+            backend.prepare_entry(
+                api.SimulationEngine(), scenario_for(TINY, traffic=(4e-4,))
+            )
+            assert daemon.segment_names() == ()
+            assert daemon.stats()["shared_memory"] is False
+        finally:
+            daemon.shutdown()
+
+    def test_worker_count_floor(self):
+        daemon = WorkerDaemon(0)
+        try:
+            assert daemon.max_workers == 1
+        finally:
+            daemon.shutdown()

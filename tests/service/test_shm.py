@@ -1,0 +1,243 @@
+"""Tests of the shared-memory export/attach codecs behind the worker daemon.
+
+Ownership discipline under test: the exporting process owns every segment
+and is the only one that unlinks it; attachers map, read, and exit.  The
+leak assertions probe the segment by name — a destroyed arena must be
+unattachable afterwards, which on Linux is the same thing as no leftover
+``/dev/shm/repro_shm*`` entry.
+"""
+
+import numpy as np
+import pytest
+
+from multiprocessing import shared_memory
+
+from repro.routing.compile import (
+    CompiledTreeRoutes,
+    clear_route_caches,
+    compile_tree_routes,
+)
+from repro.routing.shm import (
+    SharedTreeRoutes,
+    attach_route_tables,
+    export_route_tables,
+    install_route_tables,
+)
+from repro.topology.compile import CompiledTree, clear_compile_caches, compile_tree
+from repro.topology.shm import (
+    SEGMENT_PREFIX,
+    SharedArena,
+    SharedCompiledTree,
+    _untrack,
+    attach_trees,
+    export_trees,
+    install_trees,
+)
+from repro.utils.validation import ValidationError
+
+SHAPE = (4, 2)
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_caches():
+    """Isolate the module-level compile caches: installs must not leak
+    shared views into other tests, and other tests' caches must not shadow
+    the export paths here."""
+    clear_compile_caches()
+    clear_route_caches()
+    yield
+    clear_compile_caches()
+    clear_route_caches()
+
+
+def segment_exists(name: str) -> bool:
+    """Probe a segment by name without letting the tracker adopt it."""
+    try:
+        probe = shared_memory.SharedMemory(name=name, create=False)
+    except FileNotFoundError:
+        return False
+    _untrack(probe)
+    probe.close()
+    return True
+
+
+class TestSharedArena:
+    ARRAYS = {
+        "ints": np.arange(7, dtype=np.int64),
+        "bytes": np.array([1, 0, 1], dtype=np.uint8),
+        "floats": np.linspace(0.0, 1.0, 5, dtype=np.float64),
+    }
+
+    def test_round_trip_preserves_values_and_dtypes(self):
+        arena = SharedArena.create(self.ARRAYS)
+        try:
+            view = SharedArena.attach(arena.manifest())
+            for key, expected in self.ARRAYS.items():
+                got = view.array(key)
+                assert got.dtype == expected.dtype
+                np.testing.assert_array_equal(got, expected)
+            view.close()
+        finally:
+            arena.destroy()
+
+    def test_views_alias_the_segment_zero_copy(self):
+        arena = SharedArena.create({"a": np.zeros(4, dtype=np.int32)})
+        try:
+            view = SharedArena.attach(arena.manifest())
+            arena.array("a")[2] = 99  # write through the owner...
+            assert view.array("a")[2] == 99  # ...visible in the attacher
+            view.close()
+        finally:
+            arena.destroy()
+
+    def test_segment_name_carries_the_sweepable_prefix(self):
+        arena = SharedArena.create({"a": np.zeros(1, dtype=np.int8)})
+        try:
+            assert arena.name.startswith(SEGMENT_PREFIX)
+            assert arena.owner
+        finally:
+            arena.destroy()
+
+    def test_destroy_unlinks_the_segment(self):
+        arena = SharedArena.create({"a": np.ones(3, dtype=np.float32)})
+        name = arena.name
+        assert segment_exists(name)
+        arena.destroy()
+        assert not segment_exists(name)
+
+    def test_attacher_close_leaves_the_owners_segment_alive(self):
+        arena = SharedArena.create({"a": np.ones(3, dtype=np.float32)})
+        try:
+            view = SharedArena.attach(arena.manifest())
+            view.close()
+            assert segment_exists(arena.name)  # attacher exit must not unlink
+        finally:
+            arena.destroy()
+
+    def test_destroy_is_idempotent(self):
+        arena = SharedArena.create({"a": np.zeros(2, dtype=np.int16)})
+        arena.destroy()
+        arena.destroy()  # second unlink finds nothing and stays silent
+        assert not segment_exists(arena.name)
+
+
+class TestSharedTrees:
+    def test_attached_tree_matches_the_compiled_arrays(self):
+        compiled = compile_tree(*SHAPE)
+        assert isinstance(compiled, CompiledTree)
+        arena, manifest = export_trees([SHAPE])
+        try:
+            view_arena, (shared,) = attach_trees(manifest)
+            assert isinstance(shared, SharedCompiledTree)
+            assert (shared.m, shared.n) == SHAPE
+            assert shared.num_nodes == compiled.num_nodes
+            assert shared.num_switches == compiled.num_switches
+            assert shared.num_channels == compiled.num_channels
+            np.testing.assert_array_equal(shared.kind_codes, compiled.kind_codes)
+            np.testing.assert_array_equal(
+                shared.is_node_channel, compiled.is_node_channel
+            )
+            np.testing.assert_array_equal(shared.source_ids, compiled.source_ids)
+            np.testing.assert_array_equal(shared.target_ids, compiled.target_ids)
+            view_arena.close()
+        finally:
+            arena.destroy()
+
+    def test_duplicate_shapes_export_once(self):
+        arena, manifest = export_trees([SHAPE, SHAPE, (4, 2)])
+        try:
+            assert len(manifest["trees"]) == 1
+        finally:
+            arena.destroy()
+
+    def test_decompile_surface_refuses_to_cross_the_boundary(self):
+        arena, manifest = export_trees([SHAPE])
+        try:
+            _, (shared,) = attach_trees(manifest)
+            with pytest.raises(ValidationError, match="process boundary"):
+                shared.channels
+            with pytest.raises(ValidationError, match="process boundary"):
+                shared.channel_ids
+            with pytest.raises(ValidationError, match="process boundary"):
+                shared.index_of(None)
+            with pytest.raises(ValidationError, match="process boundary"):
+                shared.channel_at(0)
+        finally:
+            arena.destroy()
+
+    def test_install_fills_cache_misses_only(self):
+        arena, manifest = export_trees([SHAPE])
+        try:
+            clear_compile_caches()
+            view = install_trees(manifest)
+            assert isinstance(compile_tree(*SHAPE), SharedCompiledTree)
+            view.close()
+
+            # An owning process with a real compiled tree keeps it: the
+            # shared view must never shadow objects this process built.
+            clear_compile_caches()
+            compiled = compile_tree(*SHAPE)
+            view = install_trees(manifest)
+            assert compile_tree(*SHAPE) is compiled
+            view.close()
+        finally:
+            arena.destroy()
+
+
+class TestSharedRoutes:
+    def test_attached_tables_match_the_compiled_routes(self):
+        real = compile_tree_routes(*SHAPE)
+        assert isinstance(real, CompiledTreeRoutes)
+        real.ensure_complete()
+        arena, manifest = export_route_tables([SHAPE])
+        try:
+            _, (shared,) = attach_route_tables(manifest)
+            assert isinstance(shared, SharedTreeRoutes)
+            assert shared.num_nodes == real.num_nodes
+            pairs = shared.num_nodes * shared.num_nodes
+            assert len(shared.full) == pairs == len(real.full)
+            for pair in range(pairs):
+                assert shared.full[pair] == real.full[pair]
+                assert shared.ascending[pair] == real.ascending[pair]
+                assert shared.descending[pair] == real.descending[pair]
+                assert shared.full_has_switch[pair] == bool(real.full_has_switch[pair])
+        finally:
+            arena.destroy()
+
+    def test_diagonal_pairs_have_no_route(self):
+        arena, manifest = export_route_tables([SHAPE])
+        try:
+            _, (shared,) = attach_route_tables(manifest)
+            for node in range(shared.num_nodes):
+                assert shared.full[node * shared.num_nodes + node] is None
+        finally:
+            arena.destroy()
+
+    def test_shared_tables_present_a_complete_lazy_shape(self):
+        arena, manifest = export_route_tables([SHAPE])
+        try:
+            _, (shared,) = attach_route_tables(manifest)
+            assert shared.lazy is True
+            assert shared.compiled_rows == set(range(shared.num_nodes))
+            # The fill hooks the system compiler may call are no-ops.
+            shared._fill_row(0)
+            shared.ensure_pair(0, 1)
+            shared.ensure_complete()
+        finally:
+            arena.destroy()
+
+    def test_install_fills_cache_misses_only(self):
+        arena, manifest = export_route_tables([SHAPE])
+        try:
+            clear_route_caches()
+            view = install_route_tables(manifest)
+            assert isinstance(compile_tree_routes(*SHAPE), SharedTreeRoutes)
+            view.close()
+
+            clear_route_caches()
+            real = compile_tree_routes(*SHAPE)
+            view = install_route_tables(manifest)
+            assert compile_tree_routes(*SHAPE) is real
+            view.close()
+        finally:
+            arena.destroy()

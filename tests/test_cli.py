@@ -24,6 +24,7 @@ class TestParser:
             "report",
             "bench",
             "campaign",
+            "serve",
         } <= choices
 
     def test_missing_command_errors(self):
@@ -505,3 +506,39 @@ class TestCampaignCommand:
         for failure in payload["execution"]["failures"]:
             assert failure["attempts"] == 1
 
+
+
+class TestServeCommand:
+    """Parser-level coverage; the served byte stream is exercised end to end
+    in tests/service/test_server.py (main(["serve"]) would block)."""
+
+    def test_serve_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.command == "serve"
+        assert args.host == "127.0.0.1"
+        assert args.port == 8765
+        assert args.workers is None
+        assert args.retries == 1
+        assert args.no_store is False
+        assert args.no_shared_memory is False
+        assert args.store is None and args.backend is None
+
+    def test_serve_flags_parse(self):
+        args = build_parser().parse_args(
+            [
+                "serve",
+                "--host", "0.0.0.0",
+                "--port", "0",
+                "--workers", "4",
+                "--no-store",
+                "--retries", "3",
+                "--no-shared-memory",
+            ]
+        )
+        assert args.port == 0 and args.workers == 4
+        assert args.retries == 3
+        assert args.no_store and args.no_shared_memory
+
+    def test_serve_rejects_a_zero_retry_budget(self, capsys):
+        assert main(["serve", "--retries", "0"]) == 2
+        assert "retries" in capsys.readouterr().err
