@@ -4,7 +4,12 @@
 The benchmarks smoke job regenerates the perf artifact on every push; this
 script fails the job when any scenario's ``messages_per_second`` fell more
 than the tolerated fraction below the committed trajectory point, so a
-kernel regression cannot land silently.
+kernel regression cannot land silently.  It additionally gates the
+vectorized kernel itself: the fresh payload's ``kernels`` rungs (matched
+budget, interleaved reps) must show ``kernel="vectorized"`` beating the FSM
+dispatch kernel by at least :data:`KERNEL_GATE_MIN` on
+:data:`KERNEL_GATE_SCENARIO` — the rung pair is measured on the same
+machine seconds apart, so the ratio is robust where absolutes are not.
 
 Smoke payloads run a few hundred messages on whatever runner CI hands out,
 so the default tolerance is deliberately wide (30%): it catches "the hot
@@ -22,6 +27,12 @@ import sys
 from pathlib import Path
 
 DEFAULT_TOLERANCE = 0.30
+
+#: The kernel rung the vectorized-speedup gate reads (the paper's 1120-node
+#: fig3 organisation — the large-topology case the vectorized core exists
+#: for) and the minimum speedup over the FSM dispatch kernel it demands.
+KERNEL_GATE_SCENARIO = "fig3"
+KERNEL_GATE_MIN = 1.5
 
 
 def load_payload(path: Path) -> dict:
@@ -69,6 +80,41 @@ def diff_payloads(fresh: dict, committed: dict, tolerance: float) -> list[str]:
     return regressions
 
 
+def check_kernel_gate(
+    fresh: dict,
+    scenario: str = KERNEL_GATE_SCENARIO,
+    minimum: float = KERNEL_GATE_MIN,
+) -> list[str]:
+    """The vectorized-kernel speedup gate over the fresh payload's rungs.
+
+    Reads the ``kernels`` section ``run_bench`` always records: the FSM
+    dispatch and vectorized kernels at matched budget.  Payloads that do not
+    cover the gate scenario (e.g. a partial local run) are skipped; a
+    payload that covers it but lacks the vectorized rung, or whose rung
+    falls below the minimum, fails.
+    """
+    if scenario not in fresh.get("scenarios", {}):
+        return []
+    rungs = fresh.get("kernels") or []
+    vectorized = next(
+        (
+            rung
+            for rung in rungs
+            if rung.get("scenario") == scenario and rung.get("kernel") == "vectorized"
+        ),
+        None,
+    )
+    if vectorized is None:
+        return [f"{scenario}: fresh payload has no vectorized kernel rung"]
+    speedup = vectorized.get("speedup") or 0.0
+    if speedup < minimum:
+        return [
+            f"{scenario}: vectorized kernel is only {speedup:.2f}x the FSM "
+            f"dispatch kernel (gate {minimum:.1f}x at matched budget)"
+        ]
+    return []
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--fresh", type=Path, required=True, help="freshly generated payload")
@@ -86,17 +132,25 @@ def main(argv: list[str] | None = None) -> int:
     committed = load_payload(args.committed)
     check_comparable(fresh, committed)
     regressions = diff_payloads(fresh, committed, args.tolerance)
+    regressions += check_kernel_gate(fresh)
     for name, entry in fresh["scenarios"].items():
         reference = committed["scenarios"].get(name, {})
         before = reference.get("messages_per_second")
         ratio = f" ({entry['messages_per_second'] / before:.2f}x committed)" if before else ""
         print(f"{name:<14} {entry['messages_per_second']:>10.1f} msg/s{ratio}")
+    for rung in fresh.get("kernels", []):
+        if rung.get("kernel") != "vectorized":
+            continue
+        print(
+            f"{rung['scenario']:<14} vectorized {rung['speedup']:>5.2f}x "
+            f"vs dispatch at matched budget"
+        )
     if regressions:
-        print("\nmessages/sec regression beyond tolerance:", file=sys.stderr)
+        print("\nbenchmark gate failures:", file=sys.stderr)
         for line in regressions:
             print(f"  {line}", file=sys.stderr)
         return 1
-    print("\nno messages/sec regression beyond tolerance")
+    print("\nno messages/sec regression beyond tolerance; kernel gate holds")
     return 0
 
 

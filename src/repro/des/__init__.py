@@ -24,6 +24,7 @@ for a fixed seed — under either scheduler.
 from repro.des.exceptions import Interrupt, QueueEmpty, SimulationError, StopSimulation
 from repro.des.events import Event, Timeout, Process, AllOf, AnyOf, ConditionValue
 from repro.des.calendar import CalendarQueue
+from repro.des.ring import CalendarRing, FifoRing
 from repro.des.core import Environment
 from repro.des.resources import (
     Resource,
@@ -39,6 +40,8 @@ from repro.des.monitor import TimeWeightedValue, Tally, Counter
 
 __all__ = [
     "CalendarQueue",
+    "CalendarRing",
+    "FifoRing",
     "Environment",
     "Event",
     "QueueEmpty",

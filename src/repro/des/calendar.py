@@ -17,6 +17,16 @@ the entries of its own bucket.  This implementation is a two-level heap —
 
 so a push touches one small heap, and a pop touches the head bucket only.
 
+The width chosen at migration time is not frozen: every
+:data:`RESIZE_CHECK_INTERVAL` pushes the queue compares its mean bucket
+occupancy against :data:`TARGET_OCCUPANCY` and rebuilds itself with a width
+recomputed by :func:`sized_width` when event-time density has drifted — the
+dynamic-sizing rule of Brown's original calendar queue.  A long-running
+simulation whose inter-event gaps shrink (rising load) or stretch (drain
+phase) therefore keeps O(1) pops instead of degenerating into one giant or
+thousands of single-entry buckets.  The same machinery drives the batched
+:class:`~repro.des.ring.CalendarRing`.
+
 **Pop order is bit-identical to the flat heap.**  Bucket indexes are
 monotone in time (``floor`` of a positive multiple), so the earliest bucket
 always holds the globally earliest entry, and within a bucket ``heapq``
@@ -35,7 +45,7 @@ from typing import Any, Iterable, List, Tuple
 
 from repro.des.exceptions import SimulationError
 
-__all__ = ["CalendarQueue"]
+__all__ = ["CalendarQueue", "sized_width", "spacing_width"]
 
 #: One scheduled event: the exact entry layout of the Environment heap.
 Entry = Tuple[float, int, int, Any]
@@ -47,6 +57,69 @@ TARGET_OCCUPANCY = 4
 
 #: Width floor: protects against degenerate spans (all entries at one time).
 MIN_WIDTH = 1e-12
+
+#: Pushes between occupancy checks.  Resizing is O(n); checking every push
+#: would make the constant factor visible, checking never is the old bug.
+RESIZE_CHECK_INTERVAL = 4096
+
+#: Occupancy (and width) band treated as "close enough": a resize only
+#: fires when the observed mean occupancy leaves
+#: ``[TARGET/HYSTERESIS, TARGET*HYSTERESIS]`` *and* the recomputed width
+#: differs from the current one by more than the same factor.
+RESIZE_HYSTERESIS = 4.0
+
+#: Queues smaller than this never resize — a handful of entries cannot
+#: estimate density, and small queues are fast under any width.
+RESIZE_MIN_ENTRIES = 64
+
+
+def sized_width(
+    min_time: float,
+    max_time: float,
+    count: int,
+    occupancy: int = TARGET_OCCUPANCY,
+) -> float:
+    """Bucket width putting ``occupancy`` entries per bucket on average.
+
+    The single sizing rule shared by heap migration
+    (:meth:`CalendarQueue.from_entries`), the occupancy-triggered resize of
+    both calendar structures, and :class:`~repro.des.ring.CalendarRing`.
+    """
+    span = max_time - min_time
+    return max(span * occupancy / count, MIN_WIDTH) if count else 1.0
+
+
+#: Entries sampled from the front of the queue when estimating the width
+#: from local event spacing (see :func:`spacing_width`).
+HEAD_SAMPLE = 256
+
+
+def spacing_width(
+    distinct_sorted_times: "List[float]",
+    occupancy: int = TARGET_OCCUPANCY,
+) -> "float | None":
+    """Bucket width from the mean spacing of the earliest *distinct* times.
+
+    :func:`sized_width` divides the global span by the global count, which
+    misjudges skewed schedules badly: a simulation keeps thousands of
+    far-future arrivals spread over many mean inter-arrival times *and* a
+    dense knot of in-flight events within one message latency of the clock.
+    Pops happen at the knot, so the width that matters is the local spacing
+    there — Brown's original calendar queue likewise sizes from the
+    separation of a sample of events at the head, not from the whole queue.
+
+    ``distinct_sorted_times`` is the deduplicated, ascending sample (equal
+    times share a bucket whatever the width, so duplicates carry no sizing
+    information).  Returns ``None`` when the sample has fewer than two
+    distinct times — no spacing to measure.
+    """
+    count = len(distinct_sorted_times)
+    if count < 2:
+        return None
+    gap = (distinct_sorted_times[-1] - distinct_sorted_times[0]) / (count - 1)
+    if gap <= 0:
+        return None
+    return max(gap * occupancy, MIN_WIDTH)
 
 
 class CalendarQueue:
@@ -60,9 +133,18 @@ class CalendarQueue:
         when migrating mid-run.
     """
 
-    __slots__ = ("width", "_inv_width", "_buckets", "_slots", "_count")
+    __slots__ = (
+        "width",
+        "_inv_width",
+        "_buckets",
+        "_slots",
+        "_count",
+        "_occupancy",
+        "_ops",
+        "_resizes",
+    )
 
-    def __init__(self, width: float = 1.0) -> None:
+    def __init__(self, width: float = 1.0, occupancy: int = TARGET_OCCUPANCY) -> None:
         if not width > 0:
             raise SimulationError(f"bucket width must be > 0, got {width!r}")
         self.width = float(width)
@@ -72,6 +154,9 @@ class CalendarQueue:
         #: heap of occupied bucket indexes
         self._slots: List[int] = []
         self._count = 0
+        self._occupancy = occupancy
+        self._ops = 0
+        self._resizes = 0
 
     @classmethod
     def from_entries(
@@ -87,11 +172,10 @@ class CalendarQueue:
         entries = list(entries)
         if entries:
             times = [entry[0] for entry in entries]
-            span = max(times) - min(times)
-            width = max(span * occupancy / len(entries), MIN_WIDTH)
+            width = sized_width(min(times), max(times), len(entries), occupancy)
         else:
             width = 1.0
-        queue = cls(width=width)
+        queue = cls(width=width, occupancy=occupancy)
         buckets = queue._buckets
         inv_width = queue._inv_width
         for entry in entries:
@@ -119,6 +203,10 @@ class CalendarQueue:
         else:
             heappush(bucket, (time, priority, eid, event))
         self._count += 1
+        self._ops += 1
+        if self._ops >= RESIZE_CHECK_INTERVAL:
+            self._ops = 0
+            self._maybe_resize()
 
     def pop(self) -> Entry:
         """Remove and return the earliest entry.
@@ -147,11 +235,58 @@ class CalendarQueue:
     def __len__(self) -> int:
         return self._count
 
+    # ---------------------------------------------------------------- resize
+    def _maybe_resize(self) -> None:
+        """Rebuild with a recomputed width when occupancy has drifted.
+
+        Pop order is unaffected: entries are rebinned under a new width and
+        slot assignment stays monotone in time, so the earliest bucket still
+        holds the globally earliest entry.
+        """
+        count = self._count
+        if count < RESIZE_MIN_ENTRIES:
+            return
+        occupancy = count / len(self._buckets)
+        if (
+            self._occupancy / RESIZE_HYSTERESIS
+            <= occupancy
+            <= self._occupancy * RESIZE_HYSTERESIS
+        ):
+            return
+        entries = [entry for bucket in self._buckets.values() for entry in bucket]
+        times = [entry[0] for entry in entries]
+        width = sized_width(min(times), max(times), count, self._occupancy)
+        if self.width / RESIZE_HYSTERESIS <= width <= self.width * RESIZE_HYSTERESIS:
+            # Occupancy skew without a width change is clustering (e.g. a
+            # degenerate span), not stale sizing; rebuilding would thrash.
+            return
+        self.width = width
+        inv_width = self._inv_width = 1.0 / width
+        buckets: dict = {}
+        for entry in entries:
+            slot = floor(entry[0] * inv_width)
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = [entry]
+            else:
+                bucket.append(entry)
+        for bucket in buckets.values():
+            heapify(bucket)
+        self._buckets = buckets
+        # A sorted list satisfies the heap invariant.
+        self._slots = sorted(buckets)
+        self._resizes += 1
+
     # ------------------------------------------------------------ diagnostics
     @property
     def occupied_buckets(self) -> int:
         """Number of non-empty buckets (diagnostic aid)."""
         return len(self._buckets)
+
+    @property
+    def resizes(self) -> int:
+        """How many occupancy-triggered rebuilds have happened (diagnostic)."""
+        return self._resizes
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

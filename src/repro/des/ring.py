@@ -1,0 +1,488 @@
+"""A calendar ring that pops whole same-timestamp cohorts at once.
+
+:class:`~repro.des.calendar.CalendarQueue` buckets time but still hands
+events back one at a time, so a vectorized simulation kernel that wants to
+process the *event frontier* — every event sharing the earliest timestamp —
+with array operations would pay a Python-level pop per element anyway.
+:class:`CalendarRing` is the batch-oriented sibling:
+
+* future buckets are plain unsorted lists (a push is one ``list.append``
+  instead of a ``heappush``);
+* the earliest bucket is *promoted* to a sorted head lazily, exactly once,
+  when the clock reaches it (NumPy ``lexsort`` over parallel
+  ``(time, priority, eid)`` arrays for dense buckets, timsort for small
+  ones);
+* :meth:`pop_cohort` slices the leading equal-time run off the head in one
+  step, and :meth:`push_batch` bins whole arrays of future events with one
+  vectorized ``floor`` — the two batch entry points the vectorized kernel
+  lives on;
+* bucket width is *dynamic*: every :data:`RESIZE_CHECK_INTERVAL` pushes the
+  ring compares its mean bucket occupancy against
+  :data:`~repro.des.calendar.TARGET_OCCUPANCY` and rebuilds itself with a
+  recomputed width when event-time density has drifted (R. Brown,
+  CACM 1988).  The new width comes from
+  :func:`~repro.des.calendar.spacing_width` over a sample of the earliest
+  entries — the local spacing at the pop frontier, which for a simulation's
+  skewed schedule (a dense in-flight knot at the clock, sparse far-future
+  arrivals) differs from the global mean by orders of magnitude.
+
+**Pop order is bit-identical to a flat heap** over the same
+``(time, priority, eid)`` keys: slot assignment is monotone in time, the
+head bucket is fully sorted before anything is taken from it, and an
+equal-time run can never span buckets (equal times share a ``floor``).
+Entries pushed *behind* the promoted head (time at or before the head
+bucket's range) are insorted into the unconsumed tail of the head, so even
+adversarial schedules — pushed while a cohort is being drained — pop in
+heap order.  ``tests/des/test_ring.py`` drives the ring and a flat heap
+through random interleaved schedules and compares element for element.
+"""
+
+from __future__ import annotations
+
+from bisect import insort, insort_right
+from heapq import heappop, heappush
+from math import floor, inf
+from operator import itemgetter
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.des.calendar import (
+    HEAD_SAMPLE,
+    MIN_WIDTH,
+    RESIZE_CHECK_INTERVAL,
+    RESIZE_HYSTERESIS,
+    RESIZE_MIN_ENTRIES,
+    TARGET_OCCUPANCY,
+    spacing_width,
+)
+from repro.des.exceptions import SimulationError
+
+__all__ = ["CalendarRing", "FifoRing"]
+
+#: One scheduled event — heap-compatible key prefix, arbitrary payload.
+Entry = Tuple[float, int, int, Any]
+
+#: A :class:`FifoRing` entry — bare ``(time, payload)``; order within an
+#: equal-time run is the push order, carried by position instead of an eid.
+FifoEntry = Tuple[float, Any]
+
+#: Key for the stability-preserving sorts/insorts of :class:`FifoRing` —
+#: comparing whole 2-tuples would tie-break on the payload.
+_TIME_KEY = itemgetter(0)
+
+#: Bucket size above which promotion sorts via ``np.lexsort`` on parallel
+#: key arrays instead of timsort on tuples.  Below this, building the
+#: arrays costs more than the sort saves.
+LEXSORT_MIN = 1024
+
+
+def _lexsorted(bucket: List[Entry]) -> List[Entry]:
+    """Sort a dense bucket by ``(time, priority, eid)`` via NumPy lexsort."""
+    times = np.fromiter((entry[0] for entry in bucket), dtype=np.float64, count=len(bucket))
+    priorities = np.fromiter((entry[1] for entry in bucket), dtype=np.int64, count=len(bucket))
+    eids = np.fromiter((entry[2] for entry in bucket), dtype=np.int64, count=len(bucket))
+    # Least-significant key first; eids are unique so the order is total.
+    order = np.lexsort((eids, priorities, times))
+    return [bucket[index] for index in order]
+
+
+class CalendarRing:
+    """Bucketed event queue with cohort pops and dynamic bucket width.
+
+    Parameters
+    ----------
+    width:
+        Initial bucket width in simulation-time units.  The ring resizes
+        itself as densities drift, so this only needs to be in the right
+        galaxy; pass an estimate of ``mean event spacing * occupancy`` when
+        known.
+    occupancy:
+        Mean entries per bucket the dynamic resize steers towards.
+    """
+
+    __slots__ = (
+        "width",
+        "_inv_width",
+        "_buckets",
+        "_slots",
+        "_count",
+        "_head",
+        "_head_pos",
+        "_head_slot",
+        "_occupancy",
+        "_ops",
+        "_resizes",
+    )
+
+    def __init__(self, width: float = 1.0, occupancy: int = TARGET_OCCUPANCY) -> None:
+        if not width > 0:
+            raise SimulationError(f"bucket width must be > 0, got {width!r}")
+        self.width = float(width)
+        self._inv_width = 1.0 / self.width
+        #: bucket index -> unsorted entry list (present only while non-empty)
+        self._buckets: dict = {}
+        #: heap of occupied bucket indexes (never contains the head slot)
+        self._slots: List[int] = []
+        self._count = 0
+        #: promoted (sorted) earliest bucket and the consume cursor into it
+        self._head: Optional[List[Entry]] = None
+        self._head_pos = 0
+        self._head_slot: Optional[int] = None
+        self._occupancy = occupancy
+        self._ops = 0
+        self._resizes = 0
+
+    # ------------------------------------------------------------------ push
+    def push(self, time: float, priority: int, eid: int, payload: Any) -> None:
+        """Insert one entry (same key layout as the Environment heap)."""
+        entry = (time, priority, eid, payload)
+        head_slot = self._head_slot
+        slot = floor(time * self._inv_width)
+        if head_slot is not None and slot <= head_slot:
+            # Lands in (or before) the bucket currently being drained:
+            # insort into its unconsumed tail so pop order stays heap order.
+            insort(self._head, entry, self._head_pos)
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [entry]
+                heappush(self._slots, slot)
+            else:
+                bucket.append(entry)
+        self._count += 1
+        self._ops += 1
+        if self._ops >= RESIZE_CHECK_INTERVAL:
+            self._ops = 0
+            self._maybe_resize()
+
+    def push_batch(
+        self,
+        times: Sequence[float],
+        priority: int,
+        first_eid: int,
+        payloads: Sequence[Any],
+    ) -> None:
+        """Insert many entries with consecutive eids in one vectorized pass.
+
+        ``times`` may be any array-like; slot indexes are computed with one
+        vectorized ``floor`` instead of one Python ``floor`` per entry.
+        Entries are appended in sequence order, so ``first_eid + i`` keeps
+        the usual FIFO tie-break for equal ``(time, priority)`` keys.
+        """
+        times_arr = np.asarray(times, dtype=np.float64)
+        if times_arr.ndim != 1:
+            raise SimulationError("push_batch expects a 1-d array of times")
+        slots = np.floor(times_arr * self._inv_width).astype(np.int64)
+        buckets = self._buckets
+        slot_heap = self._slots
+        head_slot = self._head_slot
+        time_list = times_arr.tolist()
+        slot_list = slots.tolist()
+        for index, slot in enumerate(slot_list):
+            entry = (time_list[index], priority, first_eid + index, payloads[index])
+            if head_slot is not None and slot <= head_slot:
+                insort(self._head, entry, self._head_pos)
+                continue
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = [entry]
+                heappush(slot_heap, slot)
+            else:
+                bucket.append(entry)
+        self._count += len(slot_list)
+        self._ops += len(slot_list)
+        if self._ops >= RESIZE_CHECK_INTERVAL:
+            self._ops = 0
+            self._maybe_resize()
+
+    # ------------------------------------------------------------------- pop
+    def _promote(self) -> bool:
+        """Sort the earliest future bucket into the head.  False if empty."""
+        slots = self._slots
+        if not slots:
+            return False
+        slot = heappop(slots)
+        bucket = self._buckets.pop(slot)
+        if len(bucket) >= LEXSORT_MIN:
+            bucket = _lexsorted(bucket)
+        else:
+            bucket.sort()
+        self._head = bucket
+        self._head_pos = 0
+        self._head_slot = slot
+        return True
+
+    def _retire_head(self) -> None:
+        self._head = None
+        self._head_pos = 0
+        self._head_slot = None
+
+    def pop(self) -> Entry:
+        """Remove and return the earliest entry (heap-identical order).
+
+        Raises
+        ------
+        IndexError
+            If the ring is empty (mirrors ``heapq.heappop``).
+        """
+        head = self._head
+        if head is None:
+            if not self._promote():
+                raise IndexError("pop from an empty CalendarRing")
+            head = self._head
+        pos = self._head_pos
+        entry = head[pos]
+        pos += 1
+        if pos >= len(head):
+            self._retire_head()
+        else:
+            self._head_pos = pos
+        self._count -= 1
+        return entry
+
+    def pop_cohort(self) -> Optional[List[Entry]]:
+        """Remove and return every entry sharing the earliest timestamp.
+
+        Returns the leading equal-time run as a list already ordered by
+        ``(priority, eid)``, or ``None`` when the ring is empty.  Equal
+        times always share a bucket, so the cohort never spans one.
+        """
+        head = self._head
+        if head is None:
+            if not self._promote():
+                return None
+            head = self._head
+        pos = self._head_pos
+        time = head[pos][0]
+        end = pos + 1
+        size = len(head)
+        while end < size and head[end][0] == time:
+            end += 1
+        cohort = head[pos:end]
+        if end >= size:
+            self._retire_head()
+        else:
+            self._head_pos = end
+        self._count -= len(cohort)
+        return cohort
+
+    def peek_time(self) -> float:
+        """Time of the earliest entry, or ``inf`` when empty."""
+        if self._head is not None:
+            return self._head[self._head_pos][0]
+        if not self._slots:
+            return inf
+        # Future buckets are unsorted; scan the earliest one.
+        return min(entry[0] for entry in self._buckets[self._slots[0]])
+
+    def __len__(self) -> int:
+        return self._count
+
+    # ---------------------------------------------------------------- resize
+    def _maybe_resize(self) -> None:
+        """Rebuild with a recomputed width when head-spacing has drifted.
+
+        Unlike ``CalendarQueue``, the ring does not pre-filter on mean
+        occupancy: for the skewed schedules it serves, the global mean sits
+        comfortably on target while the head bucket holds an order of
+        magnitude more than :data:`TARGET_OCCUPANCY` (dense in-flight knot,
+        sparse far-future arrivals).  The spacing estimate itself is the
+        trigger; the width hysteresis band keeps it from thrashing.
+        """
+        count = self._count
+        if count < RESIZE_MIN_ENTRIES:
+            return
+        entries: List[Entry] = []
+        if self._head is not None:
+            entries.extend(self._head[self._head_pos :])
+        for bucket in self._buckets.values():
+            entries.extend(bucket)
+        # Size from the spacing of the earliest entries — pops happen there,
+        # and the global span is dominated by far-future arrivals whose
+        # density says nothing about the head (see spacing_width).
+        times = np.fromiter(
+            (entry[0] for entry in entries), dtype=np.float64, count=len(entries)
+        )
+        sample = len(entries)
+        if sample > HEAD_SAMPLE:
+            times = np.partition(times, HEAD_SAMPLE - 1)[:HEAD_SAMPLE]
+        width = spacing_width(np.unique(times).tolist(), self._occupancy)
+        if width is None:
+            return
+        if self.width / RESIZE_HYSTERESIS <= width <= self.width * RESIZE_HYSTERESIS:
+            # The recomputed width lands near the current one: the skew is
+            # bucket clustering, not stale width.  Rebuilding would thrash.
+            return
+        self.width = width
+        inv_width = self._inv_width = 1.0 / width
+        buckets_by_slot: dict = {}
+        for entry in entries:
+            slot = floor(entry[0] * inv_width)
+            bucket = buckets_by_slot.get(slot)
+            if bucket is None:
+                buckets_by_slot[slot] = [entry]
+            else:
+                bucket.append(entry)
+        self._buckets = buckets_by_slot
+        # A sorted list satisfies the heap invariant.
+        self._slots = sorted(buckets_by_slot)
+        self._retire_head()
+        self._resizes += 1
+
+    # ------------------------------------------------------------ diagnostics
+    @property
+    def occupied_buckets(self) -> int:
+        """Number of non-empty buckets, counting a live head (diagnostic)."""
+        return len(self._buckets) + (1 if self._head is not None else 0)
+
+    @property
+    def resizes(self) -> int:
+        """How many occupancy-triggered rebuilds have happened (diagnostic)."""
+        return self._resizes
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CalendarRing(width={self.width:g}, entries={self._count}, "
+            f"buckets={self.occupied_buckets}, resizes={self._resizes})"
+        )
+
+
+class FifoRing(CalendarRing):
+    """A calendar ring whose tie-break *is* the push order.
+
+    :class:`CalendarRing` carries an explicit ``(priority, eid)`` key pair
+    so arbitrary heap schedules can be replayed exactly.  A kernel that
+    only ever pushes one priority and allocates eids in push order is
+    paying for that generality on every event: a 4-tuple build, an eid
+    counter increment, and wider comparisons.  ``FifoRing`` stores bare
+    ``(time, payload)`` pairs and recovers the identical order from
+    *stability*: bucket appends happen in push order, promotion sorts with
+    a stable time-only key, and pushes behind the promoted head
+    ``insort_right`` — after any equal-time entries already there, exactly
+    where a larger eid would land.  Equal times share a ``floor`` so a run
+    never spans buckets, and the resize rebuild copies entries in
+    head-then-bucket order, preserving intra-time order.  Pop order is
+    therefore bit-identical to a flat heap over ``(time, seq)`` keys
+    (``tests/des/test_ring.py`` pins this against random interleavings).
+
+    :meth:`pop_run` replaces ``pop_cohort``: it returns the head list with
+    the run's index range instead of slicing, and guarantees entries the
+    caller pushes *while iterating the run* land at indices at or past the
+    run's end — the consume cursor is advanced before returning — so the
+    range stays valid without a defensive copy.
+    """
+
+    __slots__ = ()
+
+    # ------------------------------------------------------------------ push
+    def push(self, time: float, payload: Any) -> None:  # type: ignore[override]
+        """Insert one entry; equal times pop in push order."""
+        entry = (time, payload)
+        head_slot = self._head_slot
+        slot = floor(time * self._inv_width)
+        if head_slot is not None and slot <= head_slot:
+            # After any equal-time entries in the unconsumed tail: the
+            # right bisection is what keeps FIFO across the head boundary.
+            insort_right(self._head, entry, self._head_pos, key=_TIME_KEY)
+        else:
+            bucket = self._buckets.get(slot)
+            if bucket is None:
+                self._buckets[slot] = [entry]
+                heappush(self._slots, slot)
+            else:
+                bucket.append(entry)
+        self._count += 1
+        self._ops += 1
+        if self._ops >= RESIZE_CHECK_INTERVAL:
+            self._ops = 0
+            self._maybe_resize()
+
+    def push_batch(  # type: ignore[override]
+        self, times: Sequence[float], payloads: Sequence[Any]
+    ) -> None:
+        """Insert many entries in sequence order with one vectorized binning."""
+        times_arr = np.asarray(times, dtype=np.float64)
+        if times_arr.ndim != 1:
+            raise SimulationError("push_batch expects a 1-d array of times")
+        slots = np.floor(times_arr * self._inv_width).astype(np.int64)
+        buckets = self._buckets
+        slot_heap = self._slots
+        head_slot = self._head_slot
+        time_list = times_arr.tolist()
+        slot_list = slots.tolist()
+        for index, slot in enumerate(slot_list):
+            entry = (time_list[index], payloads[index])
+            if head_slot is not None and slot <= head_slot:
+                insort_right(self._head, entry, self._head_pos, key=_TIME_KEY)
+                continue
+            bucket = buckets.get(slot)
+            if bucket is None:
+                buckets[slot] = [entry]
+                heappush(slot_heap, slot)
+            else:
+                bucket.append(entry)
+        self._count += len(slot_list)
+        self._ops += len(slot_list)
+        if self._ops >= RESIZE_CHECK_INTERVAL:
+            self._ops = 0
+            self._maybe_resize()
+
+    # ------------------------------------------------------------------- pop
+    def _promote(self) -> bool:
+        """Stable-sort the earliest future bucket into the head."""
+        slots = self._slots
+        if not slots:
+            return False
+        slot = heappop(slots)
+        bucket = self._buckets.pop(slot)
+        if len(bucket) >= LEXSORT_MIN:
+            times = np.fromiter(
+                (entry[0] for entry in bucket), dtype=np.float64, count=len(bucket)
+            )
+            order = np.argsort(times, kind="stable")
+            bucket = [bucket[index] for index in order]
+        else:
+            # list.sort is stable, so equal times keep append (push) order.
+            bucket.sort(key=_TIME_KEY)
+        self._head = bucket
+        self._head_pos = 0
+        self._head_slot = slot
+        return True
+
+    def pop(self) -> FifoEntry:  # type: ignore[override]
+        """Remove and return the earliest entry (FIFO within equal times)."""
+        return super().pop()  # promotion/insort already enforce the order
+
+    def pop_run(self) -> Optional[Tuple[float, List[FifoEntry], int, int]]:
+        """Remove the earliest equal-time run; return it as an index range.
+
+        Returns ``(time, head, start, end)`` where ``head[start:end]`` is
+        the run in push order, or ``None`` when the ring is empty.  The
+        consume cursor moves past ``end`` *before* returning, so entries
+        pushed while the caller iterates the run insort at indices at or
+        past ``end`` (or land in future buckets) and never shift the run.
+        """
+        head = self._head
+        if head is None:
+            if not self._promote():
+                return None
+            head = self._head
+        start = self._head_pos
+        time = head[start][0]
+        end = start + 1
+        size = len(head)
+        while end < size and head[end][0] == time:
+            end += 1
+        if end >= size:
+            self._retire_head()
+        else:
+            self._head_pos = end
+        self._count -= end - start
+        return time, head, start, end
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"FifoRing(width={self.width:g}, entries={self._count}, "
+            f"buckets={self.occupied_buckets}, resizes={self._resizes})"
+        )

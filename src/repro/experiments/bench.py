@@ -20,8 +20,20 @@ machine-readable across PRs::
       "schema": 1,
       "budget": "quick", "points": 3, "seed": 0,
       "scenarios": {"fig3": {"wall_clock_seconds": ..,
-                             "messages_per_second": .., ...}, ...},
-      "scaling": [{"workers": 1, "mode": "cold", "elapsed_seconds": ..,
+                             "messages_per_second": ..,
+                             "events_per_second": ..,
+                             "kernel": "vectorized",
+                             "setup_seconds": ..,     # compile + streams
+                             "run_seconds": ..,       # event-loop execute
+                             "collect_seconds": ..,   # state + statistics
+                             ...}, ...},
+      "kernels": [{"scenario": "fig3", "kernel": "dispatch",
+                   "wall_clock_seconds": .., "messages_per_second": ..,
+                   "events_per_second": .., "speedup": 1.0},
+                  {"scenario": "fig3", "kernel": "vectorized",
+                   "speedup": 2.3, ...}, ...],
+      "scaling": [{"workers": 1, "mode": "cold", "kernel": "vectorized",
+                   "elapsed_seconds": ..,
                    "messages_per_second": .., "speedup": 1.0,
                    "retries": 0},
                   ...,
@@ -32,6 +44,12 @@ machine-readable across PRs::
       "baseline": {"label": .., "scenarios": {...}},   # when compared
       "speedup": {"fig3": 2.2, ...}                    # when compared
     }
+
+The ``kernels`` rungs are the matched-budget comparison between the FSM
+dispatch kernel (the executable specification) and the vectorized core:
+same scenario, same :class:`~repro.sim.config.SimulationConfig`, same seed,
+interleaved repetitions with the minimum wall clock reported per kernel —
+the measurement ``benchmarks/diff_bench.py`` gates on.
 
 The per-scenario entries are always measured sequentially (one engine, one
 process), so the ``messages_per_second`` trajectory stays comparable across
@@ -62,6 +80,7 @@ from repro.utils.validation import ValidationError
 
 __all__ = [
     "BENCH_SCENARIOS",
+    "BENCH_KERNELS",
     "bench_campaign",
     "run_bench",
     "attach_baseline",
@@ -73,6 +92,21 @@ BENCH_SCENARIOS = ("fig3", "fig4", "heterogeneous")
 
 #: Default operating-point count per scenario.
 BENCH_POINTS = 3
+
+#: The kernel-comparison rung pair: the FSM dispatch kernel (executable
+#: specification) first — it is the rung the speedups are relative to.
+BENCH_KERNELS = ("dispatch", "vectorized")
+
+#: Interleaved repetitions per kernel rung; the minimum wall clock is
+#: reported, which drops scheduler/thermal noise without inventing speed.
+KERNEL_BENCH_REPS = 5
+
+
+def _resolved_kernel() -> str:
+    """The kernel the engine-backed measurements actually run."""
+    from repro.sim.simulator import DEFAULT_KERNEL
+
+    return os.environ.get("REPRO_SIM_KERNEL", DEFAULT_KERNEL)
 
 
 def bench_campaign(
@@ -181,6 +215,7 @@ def _measure_scaling(
         return {
             "workers": int(workers),
             "mode": mode,
+            "kernel": _resolved_kernel(),
             "elapsed_seconds": round(elapsed, 4),
             "measured_messages": int(measured),
             "messages_per_second": round(measured / elapsed, 1),
@@ -225,6 +260,73 @@ def _measure_scaling(
     entry["warmup_seconds"] = round(warmup_seconds, 4)
     curve.append(entry)
     return curve
+
+
+def _measure_kernels(
+    scenarios: Iterable[str],
+    *,
+    points: int,
+    sim,
+    reps: int = KERNEL_BENCH_REPS,
+) -> List[Dict[str, Any]]:
+    """Matched-budget kernel rungs: FSM dispatch vs the vectorized core.
+
+    Each scenario is run at its lowest grid operating point (the unsaturated
+    regime, where the event loop — not the guard timeout — is what is being
+    timed) under both kernels, with the *same* budget, seed and offered
+    traffic.  Repetitions interleave the kernels so both see the same
+    machine conditions, and each rung reports its minimum wall clock: on a
+    noisy box the minimum is the least-contended observation of the same
+    deterministic computation.  The first warm run per kernel (compile
+    caches, stream-pool snapshots, allocator) is untimed.
+
+    Results are bit-identical between the rung pair by the golden-seed
+    gate, so the ratio isolates kernel mechanics.
+    """
+    from repro.sim.simulator import MultiClusterSimulator
+
+    rungs: List[Dict[str, Any]] = []
+    for name in scenarios:
+        scenario = api.scenario(name, points=points, sim=sim)
+        lambda_g = float(scenario.offered_traffic[0])
+        simulators = {}
+        for kernel in BENCH_KERNELS:
+            simulator = MultiClusterSimulator(
+                scenario.system,
+                scenario.message,
+                scenario.timing,
+                config=scenario.sim,
+                pattern=scenario.pattern.build(),
+                kernel=kernel,
+            )
+            simulator.run(lambda_g)  # warm-up, untimed
+            simulators[kernel] = simulator
+        walls: Dict[str, List[float]] = {kernel: [] for kernel in BENCH_KERNELS}
+        results: Dict[str, Any] = {}
+        for _ in range(max(1, reps)):
+            for kernel, simulator in simulators.items():
+                result = simulator.run(lambda_g)
+                walls[kernel].append(result.wall_clock_seconds)
+                results[kernel] = result
+        reference = min(walls[BENCH_KERNELS[0]])
+        for kernel in BENCH_KERNELS:
+            wall = min(walls[kernel])
+            result = results[kernel]
+            rungs.append(
+                {
+                    "scenario": name,
+                    "kernel": kernel,
+                    "lambda_g": lambda_g,
+                    "reps": int(max(1, reps)),
+                    "measured_messages": int(result.measured_messages),
+                    "events_processed": int(result.events_processed),
+                    "wall_clock_seconds": round(wall, 4),
+                    "messages_per_second": round(result.measured_messages / wall, 1),
+                    "events_per_second": round(result.events_processed / wall, 1),
+                    "speedup": round(reference / wall, 2),
+                }
+            )
+    return rungs
 
 
 def run_bench(
@@ -281,6 +383,7 @@ def run_bench(
         engine = api.SimulationEngine()
         engine.prepare(scenario)  # compile + warm streams outside the timed region
         setup_seconds = time.perf_counter() - setup_started
+        kernel = engine.simulator_for(scenario).kernel
         sweep_started = time.perf_counter()
         records = tuple(
             engine.evaluate(scenario, lambda_g) for lambda_g in scenario.offered_traffic
@@ -288,23 +391,40 @@ def run_bench(
         elapsed = time.perf_counter() - sweep_started
         wall = 0.0
         measured = 0
+        events = 0
         for record in records:
             result = record.simulation
             wall += result.wall_clock_seconds
             measured += result.measured_messages
+            events += result.events_processed
         if wall <= 0:
             raise ValidationError(
                 f"benchmark scenario {name!r} reported no wall-clock time"
             )  # pragma: no cover - perf_counter is monotonic
         payload["scenarios"][name] = {
             "points": int(points),
+            "kernel": kernel,
             "measured_messages": measured,
+            "events_processed": events,
             "wall_clock_seconds": round(wall, 4),
             "messages_per_second": round(measured / wall, 1),
+            "events_per_second": round(events / wall, 1),
+            # The per-layer timing split: setup (compile + stream snapshots,
+            # before any run), run (the event loop itself — the sum of the
+            # per-point wall clocks, which time `execute()` only), collect
+            # (everything else inside the sweep: per-run state construction,
+            # RNG restores, pre-draws, statistics assembly).
             "setup_seconds": round(setup_seconds, 4),
+            "run_seconds": round(wall, 4),
+            "collect_seconds": round(max(elapsed - wall, 0.0), 4),
             "elapsed_seconds": round(elapsed, 4),
             "workers": 1,
         }
+    # Smoke still measures the rung pair (the CI perf gate reads it), just
+    # with fewer repetitions; ratios survive tiny budgets, absolutes don't.
+    payload["kernels"] = _measure_kernels(
+        scenarios, points=points, sim=sim, reps=3 if smoke else KERNEL_BENCH_REPS
+    )
     if payload["parallel"]:
         campaign = bench_campaign(scenarios, points=points, sim=sim)
         payload["fan_out"] = "scenario"
@@ -369,6 +489,19 @@ def bench_to_text(payload: Dict[str, Any]) -> str:
         if name in speedup:
             line += f"  ({speedup[name]:.2f}x vs {payload['baseline']['label']})"
         lines.append(line)
+    kernels = payload.get("kernels")
+    if kernels:
+        lines.append("  kernel rungs (matched budget, min of interleaved reps):")
+        for rung in kernels:
+            line = (
+                f"    {rung['scenario']:<14} {rung['kernel']:<11} "
+                f"{rung['wall_clock_seconds']:>8.3f} s  "
+                f"{rung['messages_per_second']:>9.1f} msg/s  "
+                f"{rung['events_per_second']:>11.1f} ev/s"
+            )
+            if rung["kernel"] != BENCH_KERNELS[0]:
+                line += f"  ({rung['speedup']:.2f}x vs {BENCH_KERNELS[0]})"
+            lines.append(line)
     scaling = payload.get("scaling")
     if scaling:
         lines.append("  shared-pool scenario fan-out (all scenarios, one pool):")

@@ -17,15 +17,17 @@ hot path: the constructor pulls the (module-cached) compiled channel-id
 space of the organisation (:func:`repro.topology.compile.compile_system`)
 and its precompiled route tables
 (:func:`repro.routing.compile.compile_system_routes`), and every message
-moves over dense integer channel ids against
-:class:`~repro.sim.network.FlatChannels` state.  The message life cycle
-itself runs on the direct-dispatch FSM of
-:class:`~repro.sim.kernel.TransferKernel` by default (``kernel="dispatch"``),
-with :func:`~repro.sim.wormhole.compiled_transfer` retained as the
-generator-coroutine specification (``kernel="generator"`` or
-``REPRO_SIM_KERNEL=generator``), and per-run random streams restored from
-the pooled PCG64 snapshots of :mod:`repro.utils.rng`.  The event sequence
-is identical across kernels and identical to the object-path realisation
+moves over dense integer channel ids.  The message life cycle itself runs
+on the batched vectorized core of :mod:`repro.sim.vector` by default
+(``kernel="vectorized"``): a calendar-ring scheduler popping equal-time
+event cohorts, per-source pre-drawn workload chunks and flat NumPy channel
+state.  The direct-dispatch FSM of :class:`~repro.sim.kernel.TransferKernel`
+(``kernel="dispatch"``) and the generator-coroutine specification
+(``kernel="generator"``) remain as the executable specification paths,
+selectable per constructor or via ``REPRO_SIM_KERNEL``; per-run random
+streams are restored from the pooled PCG64 snapshots of
+:mod:`repro.utils.rng` in every kernel.  The event sequence is identical
+across kernels and identical to the object-path realisation
 (``ChannelPool`` + ``wormhole_transfer``), which remains in
 :mod:`repro.sim.wormhole` as the readable specification; a golden-seed
 regression test pins the statistics of all representations to each other.
@@ -46,6 +48,7 @@ from repro.sim.kernel import TransferKernel
 from repro.sim.message import Message
 from repro.sim.network import FlatChannels
 from repro.sim.statistics import SimulationResult, StatisticsCollector
+from repro.sim.vector import VectorizedRunState
 from repro.sim.wormhole import compiled_transfer, draw_peer
 from repro.topology.compile import compile_system
 from repro.topology.multicluster import MultiClusterSpec
@@ -55,13 +58,16 @@ from repro.workloads.base import TrafficPattern
 from repro.workloads.poisson import PoissonArrivals
 from repro.workloads.uniform import UniformTraffic
 
-#: Recognised message-kernel realisations (see :mod:`repro.sim.kernel`).
-KERNEL_MODES = ("dispatch", "generator")
+#: Recognised message-kernel realisations: the direct-dispatch FSM
+#: (:mod:`repro.sim.kernel`), the generator-coroutine specification
+#: (:mod:`repro.sim.wormhole`) and the batched flat-state core
+#: (:mod:`repro.sim.vector`).
+KERNEL_MODES = ("dispatch", "generator", "vectorized")
 
 #: Kernel used when neither the constructor nor ``REPRO_SIM_KERNEL`` selects
 #: one.  The result store's task keys hash this default, so it must live
 #: here — next to the code it selects — not as a copied literal.
-DEFAULT_KERNEL = "dispatch"
+DEFAULT_KERNEL = "vectorized"
 
 #: Per-node stream kinds a run draws from (arrival gaps, destinations,
 #: distributed-concentrator peers).
@@ -90,13 +96,16 @@ class MultiClusterSimulator:
         :class:`~repro.workloads.DeterministicArrivals` turns the generator
         into the variance ablation discussed in DESIGN.md.
     kernel:
-        Message-lifecycle realisation: ``"dispatch"`` (default) drives the
-        direct-dispatch FSM of :class:`~repro.sim.kernel.TransferKernel`;
-        ``"generator"`` keeps the coroutine specification path
-        (:func:`~repro.sim.wormhole.compiled_transfer`).  Both replay the
-        identical event sequence — the choice affects wall-clock only.
+        Message-lifecycle realisation: ``"vectorized"`` (default) runs the
+        batched flat-state core of
+        :class:`~repro.sim.vector.VectorizedRunState` on a calendar ring;
+        ``"dispatch"`` drives the direct-dispatch FSM of
+        :class:`~repro.sim.kernel.TransferKernel` on the generic event
+        loop; ``"generator"`` keeps the coroutine specification path
+        (:func:`~repro.sim.wormhole.compiled_transfer`).  All three replay
+        the identical event sequence — the choice affects wall-clock only.
         Defaults to the ``REPRO_SIM_KERNEL`` environment variable when
-        unset, so a debugging session can force the readable path without
+        unset, so a debugging session can force a readable path without
         touching code.
     """
 
@@ -152,7 +161,10 @@ class MultiClusterSimulator:
         run_config = config if config is not None else self.config
         if seed is not None:
             run_config = run_config.with_seed(seed)
-        state = _RunState(self, lambda_g, run_config)
+        if self.kernel == "vectorized":
+            state = VectorizedRunState(self, lambda_g, run_config)
+        else:
+            state = _RunState(self, lambda_g, run_config)
         started = _time.perf_counter()
         state.execute()
         elapsed = _time.perf_counter() - started
@@ -162,6 +174,7 @@ class MultiClusterSimulator:
             wall_clock_seconds=elapsed,
             channel_utilisation=state.channel_utilisation(),
             seed=run_config.seed,
+            events_processed=state.events_processed,
         )
 
     def latency_curve(
@@ -241,6 +254,7 @@ class _RunState:
         self.delivered_measured = 0
         self.done = self.env.event()
         self.timed_out = False
+        self.events_processed = 0
 
     # ------------------------------------------------------------- execution
     def execute(self) -> None:
@@ -264,6 +278,7 @@ class _RunState:
                 gc.enable()
         if not self.done.triggered:
             self.timed_out = True
+        self.events_processed = self.env.events_processed
 
     # ----------------------------------------------------------- utilisation
     def channel_utilisation(self) -> Dict[str, tuple]:

@@ -57,6 +57,9 @@ class SimulationResult:
     #: entropy); together with the configuration it makes the run reproducible
     #: from its serialised form
     seed: Optional[int] = None
+    #: discrete events the run's kernel processed (0 when the kernel predates
+    #: event accounting); feeds the benchmark's events-per-second figure
+    events_processed: int = 0
 
     def bottleneck(self) -> Optional[str]:
         """Name of the network with the busiest single channel (None if unknown)."""
@@ -112,6 +115,37 @@ class StatisticsCollector:
             self.first_measured_at = message.delivered_at
         self.last_measured_at = message.delivered_at
 
+    def record_delivery(
+        self,
+        source_cluster: int,
+        is_external: bool,
+        created_at: float,
+        injected_at: float,
+        delivered_at: float,
+    ) -> None:
+        """Record one delivery from flat timing fields (no Message object).
+
+        The vectorized kernel keeps message timing in parallel arrays and
+        never builds :class:`~repro.sim.message.Message` instances.  This
+        performs the *identical* float arithmetic in the identical order as
+        :meth:`record` reading the message properties — tallies accumulate
+        running sums, so even a reordering of two subtractions would break
+        golden-seed bit-identity.
+        """
+        latency = delivered_at - created_at
+        self.latency.record(latency)
+        self.queueing.record(injected_at - created_at)
+        self.network.record(delivered_at - injected_at)
+        if is_external:
+            self.external_count += 1
+        cluster_tally = self._per_cluster.setdefault(
+            source_cluster, Tally(f"cluster{source_cluster}", keep_samples=False)
+        )
+        cluster_tally.record(latency)
+        if self.first_measured_at is None:
+            self.first_measured_at = delivered_at
+        self.last_measured_at = delivered_at
+
     @property
     def recorded(self) -> int:
         return self.latency.count
@@ -124,6 +158,7 @@ class StatisticsCollector:
         wall_clock_seconds: float = 0.0,
         channel_utilisation: Optional[Dict[str, Tuple[float, float]]] = None,
         seed: Optional[int] = None,
+        events_processed: int = 0,
     ) -> SimulationResult:
         """Finalise the statistics into a :class:`SimulationResult`."""
         utilisation = channel_utilisation or {}
@@ -144,6 +179,7 @@ class StatisticsCollector:
                 wall_clock_seconds=wall_clock_seconds,
                 channel_utilisation=utilisation,
                 seed=seed,
+                events_processed=events_processed,
             )
         clusters = tuple(
             ClusterStatistics(
@@ -174,4 +210,5 @@ class StatisticsCollector:
             wall_clock_seconds=wall_clock_seconds,
             channel_utilisation=utilisation,
             seed=seed,
+            events_processed=events_processed,
         )

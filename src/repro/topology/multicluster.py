@@ -26,6 +26,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterator, List, Sequence, Tuple
 
+import numpy as np
+
 from repro.topology.fat_tree import FatTreeNode, MPortNTree
 from repro.utils.validation import (
     ValidationError,
@@ -233,6 +235,7 @@ class MultiClusterSystem:
             self._offsets.append(offset)
             offset += cluster.num_nodes
         self._total_nodes = offset
+        self._node_offsets: np.ndarray | None = None
 
     # ------------------------------------------------------------------ sizes
     @property
@@ -287,6 +290,22 @@ class MultiClusterSystem:
     def cluster_of(self, global_index: int) -> int:
         """Cluster index of a dense system-wide node index."""
         return self.locate(global_index)[0]
+
+    @property
+    def node_offsets(self) -> np.ndarray:
+        """Per-cluster starting global node index as a read-only int64 array.
+
+        The vectorized counterpart of :meth:`locate`:
+        ``searchsorted(node_offsets, g, side="right") - 1`` maps a batch of
+        global indexes to their clusters in one call, with results identical
+        to the scalar scan (both pick the last offset at or below ``g``).
+        """
+        offsets = self._node_offsets
+        if offsets is None:
+            offsets = np.asarray(self._offsets, dtype=np.int64)
+            offsets.setflags(write=False)
+            self._node_offsets = offsets
+        return offsets
 
     def nodes(self) -> Iterator[Tuple[int, FatTreeNode]]:
         """All nodes as ``(cluster_index, node)`` pairs, cluster by cluster."""

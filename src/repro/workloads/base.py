@@ -37,6 +37,31 @@ class TrafficPattern(abc.ABC):
     ) -> DestinationSample:
         """Draw the destination of one message."""
 
+    def sample_destination_batch(
+        self,
+        rng: np.random.Generator,
+        system: MultiClusterSystem,
+        source_cluster: int,
+        source_node: int,
+        count: int,
+    ) -> "tuple[list[int], list[int]]":
+        """Draw ``count`` destinations as ``(clusters, nodes)`` lists.
+
+        The batched entry point of the vectorized kernel.  This default
+        simply resumes :meth:`sample_destination` ``count`` times, so *any*
+        pattern is batchable with bit-identical draws; subclasses whose
+        distribution vectorizes (uniform) override it with array code.  The
+        contract is absolute: element ``i`` must equal the ``i``-th scalar
+        sample from the same generator state.
+        """
+        clusters = [0] * count
+        nodes = [0] * count
+        for index in range(count):
+            sample = self.sample_destination(rng, system, source_cluster, source_node)
+            clusters[index] = sample.cluster
+            nodes[index] = sample.node
+        return clusters, nodes
+
     def describe(self) -> str:
         """Human-readable name used in experiment reports."""
         return type(self).__name__
@@ -65,6 +90,18 @@ class ArrivalProcess(abc.ABC):
     @abc.abstractmethod
     def next_interarrival(self, rng: np.random.Generator) -> float:
         """Time until the node generates its next message."""
+
+    def next_interarrivals(self, rng: np.random.Generator, count: int) -> np.ndarray:
+        """Draw ``count`` inter-arrival gaps as a float64 array.
+
+        Batched twin of :meth:`next_interarrival` with the same bit-identity
+        contract as :meth:`TrafficPattern.sample_destination_batch`: element
+        ``i`` must equal the ``i``-th sequential scalar draw.  The default
+        loops; distributions whose sampler vectorizes override it.
+        """
+        return np.array(
+            [self.next_interarrival(rng) for _ in range(count)], dtype=np.float64
+        )
 
     @property
     @abc.abstractmethod

@@ -26,5 +26,23 @@ class UniformTraffic(TrafficPattern):
         dest_cluster, dest_node = system.locate(draw)
         return DestinationSample(dest_cluster, dest_node)
 
+    def sample_destination_batch(
+        self,
+        rng: np.random.Generator,
+        system: MultiClusterSystem,
+        source_cluster: int,
+        source_node: int,
+        count: int,
+    ) -> "tuple[list[int], list[int]]":
+        source_global = system.global_index(source_cluster, source_node)
+        # One sized draw consumes the stream exactly like `count` scalar
+        # draws, so each element matches the sequential path bit for bit.
+        draws = rng.integers(0, system.total_nodes - 1, size=count)
+        draws += draws >= source_global
+        offsets = system.node_offsets
+        clusters = np.searchsorted(offsets, draws, side="right") - 1
+        nodes = draws - offsets[clusters]
+        return clusters.tolist(), nodes.tolist()
+
     def describe(self) -> str:
         return "uniform"

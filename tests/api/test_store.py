@@ -15,6 +15,7 @@ import pytest
 from repro import api
 from repro.model.parameters import MessageSpec
 from repro.sim.config import SimulationConfig
+from repro.sim.simulator import DEFAULT_KERNEL
 from repro.store import (
     DEFAULT_STORE_DIR,
     DirectoryBackend,
@@ -110,7 +111,7 @@ class TestTaskKey:
         ):
             monkeypatch.delenv(variable, raising=False)
         base = task_key(scenario, "sim", 4e-4)
-        monkeypatch.setenv("REPRO_SIM_KERNEL", "dispatch")
+        monkeypatch.setenv("REPRO_SIM_KERNEL", DEFAULT_KERNEL)
         monkeypatch.setenv("REPRO_DES_SCHEDULER", "auto")
         monkeypatch.setenv("REPRO_DES_CALENDAR_THRESHOLD", "4096")
         assert task_key(scenario, "sim", 4e-4) == base
@@ -126,7 +127,7 @@ class TestTaskKey:
     def test_switches_snapshot_shape(self, monkeypatch):
         monkeypatch.delenv("REPRO_SIM_KERNEL", raising=False)
         switches = kernel_switches()
-        assert switches["sim_kernel"] == "dispatch"
+        assert switches["sim_kernel"] == DEFAULT_KERNEL
         assert set(switches) == {"sim_kernel", "des_scheduler", "des_calendar_threshold"}
 
 

@@ -1,0 +1,264 @@
+"""Tests of the batch-oriented calendar ring (:mod:`repro.des.ring`).
+
+Same absolute contract as the calendar queue: pop order is bit-identical to
+a flat heap over ``(time, priority, eid)`` keys, whatever interleaving of
+pushes, single pops and cohort pops drives it — including pushes landing
+inside the bucket currently being drained, and occupancy-triggered resizes
+firing mid-schedule.  The vectorized simulation kernel stands on exactly
+this guarantee.
+"""
+
+import heapq
+from math import inf
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.des import CalendarRing, FifoRing, SimulationError
+from repro.des.calendar import RESIZE_CHECK_INTERVAL, RESIZE_MIN_ENTRIES
+
+
+class TestCalendarRingUnit:
+    def test_rejects_non_positive_width(self):
+        with pytest.raises(SimulationError):
+            CalendarRing(width=0.0)
+        with pytest.raises(SimulationError):
+            CalendarRing(width=-2.0)
+
+    def test_pop_on_empty_raises_index_error_like_heappop(self):
+        with pytest.raises(IndexError):
+            CalendarRing().pop()
+
+    def test_pop_cohort_on_empty_returns_none(self):
+        assert CalendarRing().pop_cohort() is None
+
+    def test_peek_time_empty_is_infinite(self):
+        assert CalendarRing().peek_time() == inf
+
+    def test_cohort_is_the_full_equal_time_run_in_priority_eid_order(self):
+        ring = CalendarRing(width=10.0)
+        ring.push(5.0, 1, 0, "n0")
+        ring.push(5.0, 0, 1, "u1")
+        ring.push(5.0, 1, 2, "n2")
+        ring.push(6.0, 1, 3, "later")
+        cohort = ring.pop_cohort()
+        assert [entry[3] for entry in cohort] == ["u1", "n0", "n2"]
+        assert [entry[0] for entry in cohort] == [5.0, 5.0, 5.0]
+        assert len(ring) == 1
+        assert [entry[3] for entry in ring.pop_cohort()] == ["later"]
+        assert ring.pop_cohort() is None
+
+    def test_push_behind_the_drained_head_still_pops_in_order(self):
+        ring = CalendarRing(width=100.0)
+        for eid, time in enumerate((1.0, 4.0, 9.0)):
+            ring.push(time, 1, eid, time)
+        assert ring.pop()[0] == 1.0
+        # The head bucket is live; these land in its unconsumed tail.
+        ring.push(2.0, 1, 3, 2.0)
+        ring.push(4.0, 1, 4, "tie-later-eid")
+        assert [ring.pop()[0] for _ in range(4)] == [2.0, 4.0, 4.0, 9.0]
+
+    def test_push_batch_matches_scalar_pushes(self):
+        times = [3.0, 1.5, 3.0, 0.25, 99.0]
+        scalar = CalendarRing(width=0.5)
+        batched = CalendarRing(width=0.5)
+        for eid, time in enumerate(times):
+            scalar.push(time, 1, eid, eid)
+        batched.push_batch(times, 1, 0, list(range(len(times))))
+        assert [batched.pop() for _ in range(len(times))] == [
+            scalar.pop() for _ in range(len(times))
+        ]
+
+    def test_push_batch_rejects_matrix_input(self):
+        with pytest.raises(SimulationError):
+            CalendarRing().push_batch([[1.0, 2.0]], 1, 0, [None])
+
+    def test_occupancy_drift_triggers_resize(self):
+        # Seed a width wildly too large for the actual density, then push
+        # enough entries to cross a check interval: everything lands in one
+        # bucket, occupancy explodes, the ring rebuilds itself narrower.
+        ring = CalendarRing(width=1e9)
+        total = RESIZE_CHECK_INTERVAL + RESIZE_MIN_ENTRIES
+        for eid in range(total):
+            ring.push(float(eid), 1, eid, None)
+        assert ring.resizes >= 1
+        assert ring.width < 1e9
+        assert ring.occupied_buckets > 1
+        assert [ring.pop()[0] for _ in range(total)] == [float(i) for i in range(total)]
+
+
+@st.composite
+def _ring_schedule(draw):
+    """Interleaved push / pop / pop-cohort operations."""
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.floats(min_value=0.0, max_value=100.0, allow_nan=False),
+                    st.integers(min_value=0, max_value=1),
+                ),
+                st.just(("pop",)),
+                st.just(("cohort",)),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+
+
+class TestPopOrderMatchesHeap:
+    @given(_ring_schedule(), st.floats(min_value=1e-6, max_value=50.0))
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_schedule_pops_identically(self, ops, width):
+        """The tentpole property: ring pop order == heap pop order."""
+        heap = []
+        ring = CalendarRing(width=width)
+        eid = 0
+        heap_popped, ring_popped = [], []
+        for op in ops:
+            if op[0] == "push":
+                _, time, priority = op
+                heapq.heappush(heap, (time, priority, eid, None))
+                ring.push(time, priority, eid, None)
+                eid += 1
+            elif op[0] == "pop":
+                if heap:
+                    heap_popped.append(heapq.heappop(heap))
+                    ring_popped.append(ring.pop())
+            else:
+                cohort = ring.pop_cohort()
+                if cohort is None:
+                    assert not heap
+                    continue
+                ring_popped.extend(cohort)
+                for _ in cohort:
+                    heap_popped.append(heapq.heappop(heap))
+        while heap:
+            heap_popped.append(heapq.heappop(heap))
+            ring_popped.append(ring.pop())
+        assert ring_popped == heap_popped
+        assert len(ring) == 0
+
+    @given(_ring_schedule())
+    @settings(max_examples=50, deadline=None)
+    def test_cohorts_are_maximal_equal_time_runs(self, ops):
+        ring = CalendarRing(width=0.75)
+        eid = 0
+        for op in ops:
+            if op[0] == "push":
+                ring.push(op[1], op[2], eid, None)
+                eid += 1
+        previous_time = -inf
+        while True:
+            cohort = ring.pop_cohort()
+            if cohort is None:
+                break
+            times = {entry[0] for entry in cohort}
+            assert len(times) == 1
+            time = times.pop()
+            # Maximality: strictly increasing cohort times.
+            assert time > previous_time
+            previous_time = time
+        assert len(ring) == 0
+
+
+@st.composite
+def _fifo_schedule(draw):
+    """Interleaved pushes and run pops, with same-time pushes made likely.
+
+    Times are drawn from a small grid so equal-time runs — the whole point
+    of the FIFO tie-break — occur constantly, and pushes landing in the
+    bucket currently being drained (behind the promoted head) are common.
+    """
+    return draw(
+        st.lists(
+            st.one_of(
+                st.tuples(
+                    st.just("push"),
+                    st.integers(min_value=0, max_value=40).map(lambda k: k * 2.5),
+                ),
+                st.just(("run",)),
+                st.just(("pop",)),
+            ),
+            min_size=1,
+            max_size=200,
+        )
+    )
+
+
+class TestFifoRingMatchesSequencedHeap:
+    """:class:`FifoRing` pops bit-identically to a heap over ``(time, seq)``.
+
+    The vectorized kernel dropped its event-id counter on the strength of
+    this property: the ring's positional FIFO (stable bucket sorts plus
+    right-bisected insorts behind the head) reproduces exactly the order an
+    explicit push-sequence tie-break would impose.
+    """
+
+    @given(_fifo_schedule(), st.floats(min_value=1e-3, max_value=50.0))
+    @settings(max_examples=200, deadline=None)
+    def test_interleaved_schedule_pops_identically(self, ops, width):
+        heap = []
+        ring = FifoRing(width=width)
+        seq = 0
+        heap_popped, ring_popped = [], []
+        for op in ops:
+            if op[0] == "push":
+                heapq.heappush(heap, (op[1], seq))
+                ring.push(op[1], seq)
+                seq += 1
+            elif op[0] == "pop":
+                if heap:
+                    heap_popped.append(heapq.heappop(heap))
+                    ring_popped.append(ring.pop())
+            else:
+                run = ring.pop_run()
+                if run is None:
+                    assert not heap
+                    continue
+                time, head, start, end = run
+                for index in range(start, end):
+                    assert head[index][0] == time
+                    ring_popped.append(head[index])
+                    heap_popped.append(heapq.heappop(heap))
+        while heap:
+            heap_popped.append(heapq.heappop(heap))
+            ring_popped.append(ring.pop())
+        assert ring_popped == heap_popped
+        assert len(ring) == 0
+
+    def test_pushes_during_run_iteration_do_not_shift_the_run(self):
+        """The index range a run hands out survives same-bucket insorts."""
+        ring = FifoRing(width=10.0)
+        for payload in range(4):
+            ring.push(1.0, payload)
+        ring.push(2.0, 99)
+        time, head, start, end = ring.pop_run()
+        assert time == 1.0 and end - start == 4
+        seen = []
+        for index in range(start, end):
+            seen.append(head[index][1])
+            # Push into the drained bucket mid-iteration, at the run's own
+            # time and later: both must land at or past `end`.
+            ring.push(1.0, 100 + index)
+            ring.push(1.5, 200 + index)
+        assert seen == [0, 1, 2, 3]
+        # Same-time stragglers pop next, in push order, before later times.
+        time, head, start, end = ring.pop_run()
+        assert time == 1.0
+        assert [head[i][1] for i in range(start, end)] == [100, 101, 102, 103]
+        time, head, start, end = ring.pop_run()
+        assert time == 1.5
+        assert [head[i][1] for i in range(start, end)] == [200, 201, 202, 203]
+        assert ring.pop() == (2.0, 99)
+        assert len(ring) == 0
+
+    def test_push_batch_preserves_sequence_order(self):
+        ring = FifoRing(width=0.5)
+        times = [3.0, 1.0, 3.0, 1.0, 2.0]
+        ring.push_batch(times, list(range(5)))
+        assert ring.pop_run()[1][0:2] == [(1.0, 1), (1.0, 3)]
+        assert ring.pop() == (2.0, 4)
+        assert ring.pop_run()[1][0:2] == [(3.0, 0), (3.0, 2)]
+        assert ring.pop_run() is None

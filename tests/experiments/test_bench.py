@@ -36,6 +36,41 @@ class TestRunBench:
             entry["measured_messages"] / entry["wall_clock_seconds"], rel=0.05
         )
 
+    def test_scenario_entries_report_events_and_timing_split(self, smoke_payload):
+        from repro.sim.simulator import DEFAULT_KERNEL
+
+        entry = smoke_payload["scenarios"]["heterogeneous"]
+        assert entry["kernel"] == DEFAULT_KERNEL
+        assert entry["events_processed"] > entry["measured_messages"]
+        assert entry["events_per_second"] > 0
+        # The split: run (event loop) + collect (state construction and
+        # statistics) make up the sweep's elapsed time; setup is separate.
+        assert entry["run_seconds"] == entry["wall_clock_seconds"]
+        assert entry["collect_seconds"] >= 0
+        assert entry["run_seconds"] + entry["collect_seconds"] == pytest.approx(
+            entry["elapsed_seconds"], abs=0.01
+        )
+        assert entry["setup_seconds"] >= 0
+
+    def test_kernel_rungs_compare_dispatch_and_vectorized(self, smoke_payload):
+        from repro.experiments.bench import BENCH_KERNELS
+
+        rungs = smoke_payload["kernels"]
+        assert [rung["kernel"] for rung in rungs] == list(BENCH_KERNELS)
+        dispatch, vectorized = rungs
+        assert dispatch["scenario"] == vectorized["scenario"] == "heterogeneous"
+        # Matched budget: same operating point, same measured messages.
+        assert dispatch["lambda_g"] == vectorized["lambda_g"]
+        assert dispatch["measured_messages"] == vectorized["measured_messages"]
+        assert dispatch["speedup"] == pytest.approx(1.0)
+        assert vectorized["speedup"] == pytest.approx(
+            dispatch["wall_clock_seconds"] / vectorized["wall_clock_seconds"],
+            rel=0.05,
+        )
+        for rung in rungs:
+            assert rung["events_per_second"] > 0
+            assert rung["wall_clock_seconds"] > 0
+
     def test_default_scenario_set_is_the_fixed_one(self):
         assert BENCH_SCENARIOS == ("fig3", "fig4", "heterogeneous")
 
@@ -217,17 +252,60 @@ class TestDiffBenchScript:
         regressions = diff_bench.diff_payloads({"scenarios": {}}, committed, 0.30)
         assert regressions == ["fig4: missing from the fresh payload"]
 
+    def test_kernel_gate_passes_at_speedup(self):
+        diff_bench = self._diff()
+        fresh = {
+            "scenarios": {"fig3": {}},
+            "kernels": [
+                {"scenario": "fig3", "kernel": "dispatch", "speedup": 1.0},
+                {"scenario": "fig3", "kernel": "vectorized", "speedup": 2.1},
+            ],
+        }
+        assert diff_bench.check_kernel_gate(fresh) == []
+
+    def test_kernel_gate_fails_below_minimum(self):
+        diff_bench = self._diff()
+        fresh = {
+            "scenarios": {"fig3": {}},
+            "kernels": [
+                {"scenario": "fig3", "kernel": "dispatch", "speedup": 1.0},
+                {"scenario": "fig3", "kernel": "vectorized", "speedup": 1.2},
+            ],
+        }
+        failures = diff_bench.check_kernel_gate(fresh)
+        assert len(failures) == 1 and "1.20x" in failures[0]
+
+    def test_kernel_gate_fails_when_rung_is_missing(self):
+        diff_bench = self._diff()
+        fresh = {"scenarios": {"fig3": {}}, "kernels": []}
+        assert diff_bench.check_kernel_gate(fresh) == [
+            "fig3: fresh payload has no vectorized kernel rung"
+        ]
+
+    def test_kernel_gate_skips_payloads_not_covering_the_scenario(self):
+        diff_bench = self._diff()
+        assert diff_bench.check_kernel_gate({"scenarios": {"fig4": {}}}) == []
+
     def test_cli_entry_point_round_trips(self, tmp_path):
         diff_bench = self._diff()
         import json
 
         committed = tmp_path / "committed.json"
         fresh = tmp_path / "fresh.json"
+        kernels = [
+            {"scenario": "fig3", "kernel": "dispatch", "speedup": 1.0},
+            {"scenario": "fig3", "kernel": "vectorized", "speedup": 2.0},
+        ]
         committed.write_text(
             json.dumps({"scenarios": {"fig3": {"messages_per_second": 100.0}}})
         )
         fresh.write_text(
-            json.dumps({"scenarios": {"fig3": {"messages_per_second": 95.0}}})
+            json.dumps(
+                {
+                    "scenarios": {"fig3": {"messages_per_second": 95.0}},
+                    "kernels": kernels,
+                }
+            )
         )
         assert (
             diff_bench.main(

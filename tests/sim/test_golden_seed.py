@@ -23,6 +23,7 @@ import pytest
 
 from repro import api
 from repro.sim.config import SimulationConfig
+from repro.sim.simulator import KERNEL_MODES
 
 GOLDEN_PATH = Path(__file__).with_name("golden_seed.json")
 GOLDEN = json.loads(GOLDEN_PATH.read_text())
@@ -44,11 +45,16 @@ def _result_for(name: str, entry_index: int):
     return lambda_g, record.simulation
 
 
+@pytest.mark.parametrize("kernel", KERNEL_MODES)
 @pytest.mark.parametrize(
     "name,entry_index",
     [(name, index) for name in sorted(GOLDEN) for index in range(len(GOLDEN[name]))],
 )
-def test_simulation_statistics_are_bit_identical(name, entry_index):
+def test_simulation_statistics_are_bit_identical(name, entry_index, kernel, monkeypatch):
+    # Every kernel is pinned to the same fixture: the FSM paths as the
+    # executable specification, the vectorized core as the default that
+    # must replay it bit for bit.
+    monkeypatch.setenv("REPRO_SIM_KERNEL", kernel)
     expected = GOLDEN[name][entry_index]
     lambda_g, result = _result_for(name, entry_index)
 

@@ -65,10 +65,10 @@ class TestKernelEquivalence:
 
 
 class TestKernelSelection:
-    def test_default_kernel_is_dispatch(self):
+    def test_default_kernel_is_vectorized(self):
         simulator = MultiClusterSimulator(SPEC, config=CONFIG)
-        assert simulator.kernel == "dispatch"
-        assert KERNEL_MODES == ("dispatch", "generator")
+        assert simulator.kernel == "vectorized"
+        assert KERNEL_MODES == ("dispatch", "generator", "vectorized")
 
     def test_env_var_selects_kernel(self, monkeypatch):
         monkeypatch.setenv("REPRO_SIM_KERNEL", "generator")
@@ -90,7 +90,10 @@ class TestKernelDiagnostics:
         from repro.sim.simulator import _RunState
 
         simulator = MultiClusterSimulator(
-            SPEC, MessageSpec(length_flits=16, flit_bytes=128), config=CONFIG
+            SPEC,
+            MessageSpec(length_flits=16, flit_bytes=128),
+            config=CONFIG,
+            kernel="dispatch",
         )
         state = _RunState(simulator, LAMBDA, CONFIG)
         state.execute()
@@ -126,7 +129,7 @@ class TestKernelDiagnostics:
 
 
 class TestEngineUsesKernel:
-    def test_api_simulation_engine_runs_on_dispatch_kernel(self):
+    def test_api_simulation_engine_runs_on_vectorized_kernel(self):
         scenario = api.scenario(
             "heterogeneous",
             points=2,
@@ -135,6 +138,6 @@ class TestEngineUsesKernel:
             ),
         )
         engine = api.SimulationEngine()
-        assert engine.simulator_for(scenario).kernel == "dispatch"
+        assert engine.simulator_for(scenario).kernel == "vectorized"
         record = engine.evaluate(scenario, scenario.offered_traffic[0])
         assert record.simulation.measured_messages == 200

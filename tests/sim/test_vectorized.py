@@ -1,0 +1,126 @@
+"""Tests of the vectorized event core (:mod:`repro.sim.vector`).
+
+The vectorized kernel executes on flat state — a :class:`FifoRing`
+scheduler, pre-drawn workload batches, array-resolved channel grants — but
+must replay the FSM specification event for event.  The golden-seed
+regression pins it to the historical fixture; these tests pin it against
+the dispatch kernel directly, on the paths the fixture does not reach:
+lockstep deterministic arrivals (the vectorized header-cohort fast path),
+the guard-timeout stop, and the explicit-grant fallback that runs when
+delay-0 grant elision cannot be proven safe.
+"""
+
+import pytest
+
+from repro import api
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.sim.simulator import MultiClusterSimulator
+from repro.sim.vector import VectorizedRunState
+from repro.topology.multicluster import MultiClusterSpec
+from repro.workloads.poisson import DeterministicArrivals
+
+SPEC = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="vector-test")
+MESSAGE = MessageSpec(length_flits=16, flit_bytes=128)
+CONFIG = SimulationConfig(
+    measured_messages=400, warmup_messages=40, drain_messages=40, seed=31
+)
+LAMBDA = 6e-4
+
+
+def _run(kernel, seed=31, config=CONFIG, arrivals_factory=None, lambda_g=LAMBDA):
+    simulator = MultiClusterSimulator(
+        SPEC,
+        MESSAGE,
+        config=config,
+        kernel=kernel,
+        arrivals_factory=arrivals_factory,
+    )
+    return simulator.run(lambda_g, seed=seed)
+
+
+def _statistics_tuple(result):
+    return (
+        result.mean_latency,
+        result.std_latency,
+        result.mean_queueing_delay,
+        result.mean_network_latency,
+        result.external_fraction,
+        result.measurement_time,
+        result.throughput,
+        result.saturated,
+        tuple(
+            (c.cluster, c.count, c.mean_latency, c.std_latency)
+            for c in result.clusters
+        ),
+        tuple(sorted(result.channel_utilisation.items())),
+    )
+
+
+class TestVectorizedMatchesDispatch:
+    @pytest.mark.parametrize("seed", [0, 7, 31])
+    def test_poisson_run_is_bit_identical(self, seed):
+        dispatch = _run("dispatch", seed=seed)
+        vectorized = _run("vectorized", seed=seed)
+        assert _statistics_tuple(dispatch) == _statistics_tuple(vectorized)
+
+    def test_deterministic_lockstep_exercises_the_batch_path(self, monkeypatch):
+        """All sources fire simultaneously: maximal equal-time cohorts.
+
+        Lowering ``VECTOR_BATCH_MIN`` forces even this small system through
+        the vectorized header-cohort resolution (gathered hold state,
+        stable-sorted first-acquirer wins) instead of the scalar loop.
+        """
+        monkeypatch.setattr("repro.sim.vector.VECTOR_BATCH_MIN", 2)
+        dispatch = _run(
+            "dispatch", arrivals_factory=DeterministicArrivals, lambda_g=2e-3
+        )
+        vectorized = _run(
+            "vectorized", arrivals_factory=DeterministicArrivals, lambda_g=2e-3
+        )
+        assert _statistics_tuple(dispatch) == _statistics_tuple(vectorized)
+
+    def test_guard_timeout_stop_is_bit_identical(self):
+        """A run the guard cuts off: saturated flag and partial statistics."""
+        config = SimulationConfig(
+            measured_messages=4000,
+            warmup_messages=40,
+            drain_messages=40,
+            seed=31,
+            max_time=400.0,
+        )
+        dispatch = _run("dispatch", config=config, lambda_g=2e-3)
+        vectorized = _run("vectorized", config=config, lambda_g=2e-3)
+        assert dispatch.saturated and vectorized.saturated
+        assert _statistics_tuple(dispatch) == _statistics_tuple(vectorized)
+
+    def test_elision_fallback_matches_elided_run(self, monkeypatch):
+        """The explicit-grant path and the elided path agree bit for bit.
+
+        Grant elision is an optimisation gated on a provable order-safety
+        condition; schedules that fail the proof run the explicit path, so
+        the two must be interchangeable wherever both are legal.
+        """
+        elided = _run("vectorized")
+        assert VectorizedRunState(
+            MultiClusterSimulator(SPEC, MESSAGE, config=CONFIG, kernel="vectorized"),
+            LAMBDA,
+            CONFIG,
+        )._elide_grants, "fixture schedule should qualify for elision"
+        monkeypatch.setattr(
+            VectorizedRunState, "_grant_elision_safe", lambda self: False
+        )
+        explicit = _run("vectorized")
+        assert _statistics_tuple(elided) == _statistics_tuple(explicit)
+
+    def test_unknown_arrival_process_disables_elision(self):
+        class Erlang2(DeterministicArrivals):
+            def next_interarrival(self, rng):
+                return float(rng.exponential(0.5) + rng.exponential(0.5))
+
+        simulator = MultiClusterSimulator(
+            SPEC, MESSAGE, config=CONFIG, kernel="vectorized",
+            arrivals_factory=Erlang2,
+        )
+        state = VectorizedRunState(simulator, LAMBDA, CONFIG)
+        assert not state._elide_grants

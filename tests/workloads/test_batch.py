@@ -1,0 +1,192 @@
+"""Batched pre-drawing is bit-identical to sequential generator resumes.
+
+:class:`~repro.workloads.batch.SourceBatcher` feeds the vectorized kernel
+from the same pooled PCG64 snapshots the sequential simulator uses.  The
+property pinned here is the whole foundation of that kernel's golden-seed
+bit-identity: for any seed, rate, chunk size and pattern, the batcher's
+arrival times, destinations and concentrator peer draws equal — bit for
+bit — what the scalar draw sequence of ``_source_process`` /
+``_build_journey`` produces from the same stream snapshots.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.wormhole import draw_peer
+from repro.topology.multicluster import MultiClusterSpec, MultiClusterSystem
+from repro.utils.rng import RandomStreams, clear_stream_pool
+from repro.utils.validation import ValidationError
+from repro.workloads.base import ArrivalProcess, TrafficPattern, DestinationSample
+from repro.workloads.batch import SourceBatcher, initial_chunk
+from repro.workloads.hotspot import HotspotTraffic
+from repro.workloads.poisson import DeterministicArrivals, PoissonArrivals
+from repro.workloads.uniform import UniformTraffic
+
+#: Heterogeneous shape: cluster sizes differ, so entry-peer draw bounds vary.
+SPEC = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="batch-test")
+SYSTEM = MultiClusterSystem(SPEC)
+CLUSTER_NODES = np.asarray([cluster.num_nodes for cluster in SYSTEM.clusters])
+
+
+def _scalar_reference(pattern, arrivals, streams, cluster, node, count):
+    """The exact draw sequence of the sequential simulator, per source."""
+    arrival_rng = streams.get("arrivals", cluster, node)
+    dest_rng = streams.get("destinations", cluster, node)
+    peer_rng = streams.get("peers", cluster, node)
+    now = 0.0
+    records = []
+    for _ in range(count):
+        now = now + arrivals.next_interarrival(arrival_rng)
+        sample = pattern.sample_destination(dest_rng, SYSTEM, cluster, node)
+        if sample.cluster != cluster:
+            exit_peer = draw_peer(peer_rng, int(CLUSTER_NODES[cluster]), node)
+            entry_peer = draw_peer(
+                peer_rng, int(CLUSTER_NODES[sample.cluster]), sample.node
+            )
+        else:
+            exit_peer = entry_peer = -1
+        records.append((now, sample.cluster, sample.node, exit_peer, entry_peer))
+    return records
+
+
+def _batched(pattern, arrivals, streams, cluster, node, count, chunk):
+    batcher = SourceBatcher(
+        SYSTEM,
+        pattern,
+        arrivals,
+        streams.get("arrivals", cluster, node),
+        streams.get("destinations", cluster, node),
+        streams.get("peers", cluster, node),
+        cluster,
+        node,
+        CLUSTER_NODES,
+        chunk,
+    )
+    records = []
+    for _ in range(count):
+        cursor = batcher.cursor
+        if batcher.dest_clusters is None:
+            batcher.materialize()
+        records.append(
+            (
+                batcher.times[cursor],
+                batcher.dest_clusters[cursor],
+                batcher.dest_nodes[cursor],
+                batcher.exit_peers[cursor],
+                batcher.entry_peers[cursor],
+            )
+        )
+        cursor += 1
+        if cursor >= batcher.limit:
+            batcher.refill()
+        batcher.cursor = cursor
+    return records
+
+
+def _patterns():
+    return st.sampled_from(
+        [UniformTraffic(), HotspotTraffic(hot_cluster=2, fraction=0.4)]
+    )
+
+
+class TestBatchedDrawsMatchSequentialResumes:
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        rate=st.floats(min_value=1e-5, max_value=10.0),
+        chunk=st.integers(min_value=1, max_value=23),
+        count=st.integers(min_value=1, max_value=60),
+        cluster=st.integers(min_value=0, max_value=3),
+        pattern=_patterns(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_poisson_batches_are_bit_identical(
+        self, seed, rate, chunk, count, cluster, pattern
+    ):
+        clear_stream_pool()
+        node = seed % int(CLUSTER_NODES[cluster])
+        arrivals = PoissonArrivals(rate)
+        batched = _batched(
+            pattern, arrivals, RandomStreams(seed, pooled=True), cluster, node, count, chunk
+        )
+        # A fresh pooled family restores every stream to its snapshot, so the
+        # scalar reference replays the identical bit stream.
+        reference = _scalar_reference(
+            pattern, arrivals, RandomStreams(seed, pooled=True), cluster, node, count
+        )
+        assert batched == reference
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31),
+        chunk=st.integers(min_value=1, max_value=9),
+        count=st.integers(min_value=1, max_value=40),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_deterministic_arrivals_chain_identically(self, seed, chunk, count):
+        clear_stream_pool()
+        arrivals = DeterministicArrivals(3.7e-4)
+        batched = _batched(
+            UniformTraffic(), arrivals, RandomStreams(seed, pooled=True), 1, 2, count, chunk
+        )
+        reference = _scalar_reference(
+            UniformTraffic(), arrivals, RandomStreams(seed, pooled=True), 1, 2, count
+        )
+        assert batched == reference
+
+    def test_default_batch_hooks_cover_custom_subclasses(self):
+        """Patterns/processes without array overrides batch via the scalar loop."""
+
+        class EveryOtherNode(TrafficPattern):
+            def sample_destination(self, rng, system, source_cluster, source_node):
+                draw = int(rng.integers(0, system.total_nodes - 1))
+                if draw >= system.global_index(source_cluster, source_node):
+                    draw += 1
+                return DestinationSample(*system.locate(draw))
+
+        class Erlang2(ArrivalProcess):
+            def next_interarrival(self, rng):
+                return float(rng.exponential(0.5) + rng.exponential(0.5))
+
+            @property
+            def rate(self):
+                return 1.0
+
+        clear_stream_pool()
+        batched = _batched(
+            EveryOtherNode(), Erlang2(), RandomStreams(7, pooled=True), 0, 1, 25, 4
+        )
+        reference = _scalar_reference(
+            EveryOtherNode(), Erlang2(), RandomStreams(7, pooled=True), 0, 1, 25
+        )
+        assert batched == reference
+
+
+class TestBatcherUnit:
+    def test_initial_chunk_scales_with_share(self):
+        assert initial_chunk(100, 1000) == 1
+        assert initial_chunk(100_000, 100) == 1000
+        assert initial_chunk(10**9, 1) == 4096
+
+    def test_single_node_peer_cluster_is_rejected(self):
+        spec = MultiClusterSpec(m=2, cluster_heights=(1, 1), name="tiny")
+        system = MultiClusterSystem(spec)
+        sizes = np.asarray([cluster.num_nodes for cluster in system.clusters])
+        clear_stream_pool()
+        streams = RandomStreams(3, pooled=True)
+        if int(sizes.min()) >= 2:
+            pytest.skip("spec cannot express a single-node cluster")
+        batcher = SourceBatcher(
+            system,
+            UniformTraffic(),
+            PoissonArrivals(1.0),
+            streams.get("arrivals", 0, 0),
+            streams.get("destinations", 0, 0),
+            streams.get("peers", 0, 0),
+            0,
+            0,
+            sizes,
+            8,
+        )
+        with pytest.raises(ValidationError):
+            batcher.materialize()
+            batcher.refill()
