@@ -586,6 +586,43 @@ def _pool_evaluate(
     return _evaluate_point(engine, scenario, lambda_g)
 
 
+#: One per-task outcome inside a chunk: ``("ok", record)`` or
+#: ``("error", "<repr>")``.
+ChunkOutcome = Tuple[str, Any]
+
+
+def _pool_evaluate_chunk(
+    engine: Engine,
+    scenario: Scenario,
+    items: Sequence[Tuple[float, str]],
+    registry_dir: Optional[str] = None,
+) -> List[ChunkOutcome]:
+    """Process-pool worker: evaluate a chunk of tasks for one (engine, scenario).
+
+    ``items`` is a sequence of ``(lambda_g, task_id)`` pairs.  Chunking
+    amortises the per-submission IPC and engine/scenario pickling over many
+    operating points — one pickled engine per chunk instead of per task —
+    which is what keeps the cold 2-worker fan-out above 1x.
+
+    An ordinary evaluation error is contained to its task: the chunk keeps
+    going and reports per-task outcomes, so one bad operating point never
+    costs its chunk-mates an attempt.  (A *crash* still kills the whole
+    worker and with it the chunk — the executor's crash attribution charges
+    the tagged culprit and re-queues the rest uncharged.)
+    """
+    outcomes: List[ChunkOutcome] = []
+    for lambda_g, task_id in items:
+        _note_worker_task(registry_dir, task_id)
+        _maybe_inject_fault(task_id)
+        try:
+            record = _evaluate_point(engine, scenario, lambda_g)
+        except Exception as error:  # noqa: BLE001 - contained per-task failure
+            outcomes.append(("error", repr(error)))
+        else:
+            outcomes.append(("ok", record))
+    return outcomes
+
+
 class _HarnessFailure(RuntimeError):
     """An inline kill-harness failure carrying a pre-formatted reason string."""
 
@@ -658,6 +695,26 @@ class WorkerBackend:
         persistent backend may cache worker-side by (name, scenario)."""
         raise NotImplementedError
 
+    def submit_chunk(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        items: Sequence[Tuple[float, str]],
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        """Submit a chunk of tasks sharing one (engine, scenario).
+
+        ``items`` holds ``(lambda_g, task_id)`` pairs.  The future resolves
+        to a list of :data:`ChunkOutcome` aligned with ``items`` — per-task
+        ``("ok", record)`` / ``("error", repr)`` — so an evaluation error in
+        one task never fails the whole chunk.  A chunk-level exception from
+        the future means infrastructure died (broken pool, lost runner),
+        not that a task mis-evaluated.
+        """
+        raise NotImplementedError
+
     def note_workers(self) -> None:
         """Snapshot the pool's worker pids (after the round's submissions)."""
 
@@ -705,6 +762,19 @@ class EphemeralPoolBackend(WorkerBackend):
     ) -> Future:
         return self._pool.submit(
             _pool_evaluate, engine, scenario, lambda_g, task_id, registry_dir
+        )
+
+    def submit_chunk(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        items: Sequence[Tuple[float, str]],
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        return self._pool.submit(
+            _pool_evaluate_chunk, engine, scenario, tuple(items), registry_dir
         )
 
     def note_workers(self) -> None:
@@ -1037,21 +1107,41 @@ class CampaignExecutor:
             self.max_workers if self.max_workers is not None else (os.cpu_count() or 1)
         )
         workers = backend.begin_round(max(1, min(requested, len(pending))))
+        # Chunked submission amortises per-task IPC/pickling: ~4 chunks per
+        # worker keeps the pool load-balanced while an uneven task mix
+        # drains.  The per-task timeout clock is per *future*, so any
+        # timeout policy forces chunks of one — coarser chunks would let a
+        # hung point hide behind its chunk-mates' budget.
+        chunk_size = (
+            1
+            if policy.timeout_seconds is not None
+            else max(1, len(pending) // (workers * 4))
+        )
         broken = False
         try:
-            futures: Dict[Future, CampaignTask] = {}
+            futures: Dict[Future, Tuple[CampaignTask, ...]] = {}
+            # Group by (entry, engine) so every chunk shares one pickled
+            # engine + scenario, preserving submission order within a group.
+            groups: Dict[Tuple[int, int], List[CampaignTask]] = {}
             for task in pending:
-                entry = self.campaign.entries[task.entry_index]
-                futures[
-                    backend.submit(
-                        self._engines[task.entry_index][task.engine_index],
-                        entry.scenario,
-                        task.lambda_g,
-                        task.task_id,
-                        registry_dir,
-                        named_engine=isinstance(entry.engines[task.engine_index], str),
-                    )
-                ] = task
+                groups.setdefault(
+                    (task.entry_index, task.engine_index), []
+                ).append(task)
+            for (entry_index, engine_index), group in groups.items():
+                entry = self.campaign.entries[entry_index]
+                engine = self._engines[entry_index][engine_index]
+                named = isinstance(entry.engines[engine_index], str)
+                for start in range(0, len(group), chunk_size):
+                    chunk = tuple(group[start : start + chunk_size])
+                    futures[
+                        backend.submit_chunk(
+                            engine,
+                            entry.scenario,
+                            tuple((task.lambda_g, task.task_id) for task in chunk),
+                            registry_dir,
+                            named_engine=named,
+                        )
+                    ] = chunk
             backend.note_workers()
             outstanding: Set[Future] = set(futures)
             unresolved: Set[str] = {task.task_id for task in pending}
@@ -1074,67 +1164,101 @@ class CampaignExecutor:
                     outstanding, timeout=poll, return_when=FIRST_COMPLETED
                 )
                 for future in finished:
-                    task = futures[future]
+                    chunk = futures[future]
                     try:
-                        record = future.result()
+                        outcomes = future.result()
                     except (BrokenProcessPool, CancelledError):
                         broken = True
-                        if task in timed_out:
-                            attempts[task] += 1
-                            event = _failure_event(
-                                task,
-                                attempts[task],
-                                f"timed out after {policy.timeout_seconds:g} s "
-                                "(worker killed)",
-                            )
-                        elif killed_for_timeout:
-                            # Innocent casualty of our own timeout kill: the
-                            # culprit is known, so re-queue without charging
-                            # an attempt (and without noise in the stream).
-                            requeue.append(task)
-                            continue
-                        else:
-                            if crash_culprits is _UNDETERMINED:
-                                crash_culprits = self._crash_culprits(
-                                    registry_dir, unresolved
+                        for task in chunk:
+                            if task in timed_out:
+                                attempts[task] += 1
+                                event = _failure_event(
+                                    task,
+                                    attempts[task],
+                                    f"timed out after {policy.timeout_seconds:g} s "
+                                    "(worker killed)",
                                 )
-                            if (
-                                crash_culprits is not None
-                                and task.task_id not in crash_culprits
-                            ):
-                                # Collateral casualty of another task's
-                                # crash: the dead workers' pid tags name the
-                                # culprits, so re-queue without charging an
-                                # attempt.
+                            elif killed_for_timeout:
+                                # Innocent casualty of our own timeout kill:
+                                # the culprit is known, so re-queue without
+                                # charging an attempt (and without noise in
+                                # the stream).
                                 requeue.append(task)
                                 continue
-                            attempts[task] += 1
-                            event = _failure_event(
-                                task,
-                                attempts[task],
-                                "worker crashed (process pool broke before the "
-                                "task finished)",
-                            )
-                        yield event
-                        if isinstance(event, TaskRetried):
-                            requeue.append(task)
-                    except Exception as error:  # noqa: BLE001 - worker-side failure
-                        unresolved.discard(task.task_id)
-                        attempts[task] += 1
-                        event = _failure_event(task, attempts[task], repr(error))
-                        yield event
-                        if isinstance(event, TaskRetried):
-                            requeue.append(task)
+                            else:
+                                if crash_culprits is _UNDETERMINED:
+                                    crash_culprits = self._crash_culprits(
+                                        registry_dir, unresolved
+                                    )
+                                if (
+                                    crash_culprits is not None
+                                    and task.task_id not in crash_culprits
+                                ):
+                                    # Collateral casualty of another task's
+                                    # crash: the dead workers' pid tags name
+                                    # the culprits, so re-queue without
+                                    # charging an attempt.
+                                    requeue.append(task)
+                                    continue
+                                attempts[task] += 1
+                                event = _failure_event(
+                                    task,
+                                    attempts[task],
+                                    "worker crashed (process pool broke before "
+                                    "the task finished)",
+                                )
+                            yield event
+                            if isinstance(event, TaskRetried):
+                                requeue.append(task)
+                    except Exception as error:  # noqa: BLE001 - infrastructure failure
+                        # A chunk-level exception means the chunk's substrate
+                        # died (a lost runner, a failed submission) — per-task
+                        # evaluation errors come back as outcomes below.
+                        # Every task of the chunk is charged one attempt;
+                        # tasks our own timeout kill reclaimed keep the
+                        # timeout label, and its innocent casualties re-queue
+                        # uncharged exactly as on the broken-pool path.
+                        for task in chunk:
+                            unresolved.discard(task.task_id)
+                            if task in timed_out:
+                                attempts[task] += 1
+                                event = _failure_event(
+                                    task,
+                                    attempts[task],
+                                    f"timed out after {policy.timeout_seconds:g} s "
+                                    "(worker killed)",
+                                )
+                            elif killed_for_timeout:
+                                requeue.append(task)
+                                continue
+                            else:
+                                attempts[task] += 1
+                                event = _failure_event(
+                                    task, attempts[task], repr(error)
+                                )
+                            yield event
+                            if isinstance(event, TaskRetried):
+                                requeue.append(task)
                     else:
-                        unresolved.discard(task.task_id)
-                        yield TaskCompleted(
-                            task=task,
-                            record=self._persist(task, record),
-                            from_cache=False,
-                            done=current_done() + 1,
-                            total=total,
-                            elapsed_seconds=time.perf_counter() - started,
-                        )
+                        for task, (status, payload) in zip(chunk, outcomes):
+                            unresolved.discard(task.task_id)
+                            if status == "ok":
+                                yield TaskCompleted(
+                                    task=task,
+                                    record=self._persist(task, payload),
+                                    from_cache=False,
+                                    done=current_done() + 1,
+                                    total=total,
+                                    elapsed_seconds=time.perf_counter() - started,
+                                )
+                            else:
+                                attempts[task] += 1
+                                event = _failure_event(
+                                    task, attempts[task], str(payload)
+                                )
+                                yield event
+                                if isinstance(event, TaskRetried):
+                                    requeue.append(task)
                 if policy.timeout_seconds is not None and outstanding:
                     now = time.monotonic()
                     # The timeout clock starts when a worker picks the task
@@ -1157,7 +1281,10 @@ class CampaignExecutor:
                     ]
                     if expired and not killed_for_timeout:
                         for future in expired:
-                            timed_out.add(futures[future])
+                            # Chunks are size 1 whenever a timeout policy is
+                            # active, so an expired future names exactly one
+                            # hung task.
+                            timed_out.update(futures[future])
                         killed_for_timeout = True
                         broken = True
                         # A hung worker never returns; killing the pool's

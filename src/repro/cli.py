@@ -25,8 +25,16 @@ Sub-commands mirror the experiment harness:
   ``--retries``/``--task-timeout`` make unattended campaigns survive
   crashed or hung workers (``--allow-failures`` reports partial results
   instead of failing); ``campaign example`` writes a starter plan;
-  ``campaign store`` inspects / prunes / clears / ``--migrate``\\ s the
-  store between its directory and SQLite backends;
+  ``campaign store`` inspects (``--stats``) / prunes / clears /
+  ``--migrate``\\ s the store between its directory and SQLite backends and
+  merges stores from other machines (``--sync SRC`` copies, ``--merge SRC``
+  drains); ``campaign run --runners`` shards the plan's simulation tasks
+  over socket runners (``host:port`` list, or a count to auto-spawn
+  loopback runner subprocesses);
+* ``runner``     — one remote runner for distributed campaigns
+  (:mod:`repro.service.cluster`): serves campaign task chunks to a
+  coordinator over a length-prefixed JSON TCP protocol, evaluating inline
+  or on a warm local worker pool (``--workers``);
 * ``serve``      — the campaign service (:mod:`repro.service`): a persistent
   warm worker daemon behind a stdlib HTTP front-end that accepts campaign
   plans as JSON on ``POST /campaigns`` and streams progress back as
@@ -322,6 +330,15 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write every entry's run set plus execution stats to this JSON file",
     )
+    campaign_run.add_argument(
+        "--runners",
+        default=None,
+        metavar="SPEC",
+        help="distribute simulation tasks over socket runners: either "
+        "'host1:port1,host2:port2' naming running `repro runner` processes, "
+        "or a count N to auto-spawn N loopback runner subprocesses "
+        "(implies --parallel; results merge into the result store)",
+    )
 
     campaign_example = campaign_sub.add_parser(
         "example", help="write a starter two-scenario campaign plan"
@@ -373,6 +390,48 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="keep only the N most recently used records",
+    )
+    campaign_store.add_argument(
+        "--sync",
+        type=Path,
+        default=None,
+        metavar="SRC",
+        help="copy records from the store at SRC into this store "
+        "(content-addressed owner-wins merge: identical keys keep this "
+        "store's copy; SRC is left unchanged)",
+    )
+    campaign_store.add_argument(
+        "--merge",
+        type=Path,
+        default=None,
+        metavar="SRC",
+        help="like --sync, but drain merged records out of SRC so the union "
+        "ends up wholly in this store",
+    )
+    campaign_store.add_argument(
+        "--stats",
+        action="store_true",
+        help="print record count, size, backend and hit/miss/put counters",
+    )
+
+    runner_parser = subparsers.add_parser(
+        "runner",
+        help="serve campaign task chunks to a remote coordinator over TCP",
+    )
+    runner_parser.add_argument(
+        "--listen",
+        default="127.0.0.1:0",
+        metavar="HOST:PORT",
+        help="bind address (default 127.0.0.1:0; port 0 picks a free port, "
+        "announced as 'runner listening on HOST:PORT' on stdout)",
+    )
+    runner_parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        metavar="N",
+        help="evaluate chunks on a warm local worker pool of N processes "
+        "(default 0 = inline: the runner process itself is the one worker)",
     )
 
     serve_parser = subparsers.add_parser(
@@ -766,16 +825,40 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             timeout_seconds=args.task_timeout,
             backoff_seconds=args.backoff,
         )
+    backend = None
+    runner_addresses: Optional[List[str]] = None
+    if args.runners is not None:
+        from repro.service.cluster import (
+            ClusterBackend,
+            LocalRunnerFleet,
+            parse_runner_spec,
+        )
+
+        spec = parse_runner_spec(args.runners)
+        fleet = None
+        if isinstance(spec, int):
+            fleet = LocalRunnerFleet(spec)
+            runner_addresses = list(fleet.addresses)
+        else:
+            runner_addresses = list(spec)
+        backend = ClusterBackend(runner_addresses, fleet=fleet)
+        # Sharding only exists on the pooled path; --runners without
+        # --parallel would silently run everything inline on this machine.
+        args.parallel = True
     executor = CampaignExecutor(
         campaign,
         parallel=args.parallel,
         max_workers=args.workers,
         store=store,
         retry=retry,
+        backend=backend,
     )
     print(campaign.describe())
     if store is not None:
         print(f"result store: {store.root} [{store.backend.name}]")
+    if runner_addresses is not None:
+        origin = "auto-spawned" if args.runners.strip().isdigit() else "remote"
+        print(f"runners: {', '.join(runner_addresses)} ({origin})")
     print()
 
     bar = _ProgressBar(campaign) if args.progress == "bar" else None
@@ -814,8 +897,17 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
             bar.finish()
         print(f"error: {error}", file=sys.stderr)
         return 3
+    finally:
+        if backend is not None:
+            backend.close()
     if bar is not None:
         bar.finish()
+    if backend is not None and backend.dead_runners():
+        print(
+            f"lost runners (tasks re-queued to survivors): "
+            f"{', '.join(backend.dead_runners())}",
+            file=sys.stderr,
+        )
     if args.progress is not None:
         print()
     failed_labels = {failure.task.label for failure in result.failures}
@@ -867,6 +959,10 @@ def _cmd_campaign_run(args: argparse.Namespace) -> int:
                 "parallel": bool(args.parallel),
                 "store": str(store.root) if store is not None else None,
                 "store_backend": store.backend.name if store is not None else None,
+                "runners": runner_addresses,
+                "lost_runners": (
+                    list(backend.dead_runners()) if backend is not None else []
+                ),
                 "task_retries": result.task_retries,
                 "failures": [
                     {
@@ -910,15 +1006,28 @@ def _cmd_campaign_example(args: argparse.Namespace) -> int:
 
 
 def _cmd_campaign_store(args: argparse.Namespace) -> int:
-    from repro.store import migrate_store
+    import warnings
+
+    from repro.store import ResultStore, merge_stores, migrate_store
 
     store = _campaign_store(args)
+    if args.sync is not None and args.merge is not None:
+        raise ValidationError("--sync and --merge are mutually exclusive")
     if args.migrate is not None:
         moved = migrate_store(store, args.migrate)
         if moved:
             print(f"migrated {moved} records to the {args.migrate} backend")
         else:
             print(f"store already uses the {args.migrate} backend")
+    source_root = args.merge if args.merge is not None else args.sync
+    if source_root is not None:
+        source = ResultStore(source_root)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            report = merge_stores(store, source, move=args.merge is not None)
+        for warning in caught:
+            print(f"warning: {warning.message}", file=sys.stderr)
+        print(f"{report.describe()} from {source.root}")
     if args.clear:
         removed = store.clear()
         print(f"removed {removed} records")
@@ -927,7 +1036,19 @@ def _cmd_campaign_store(args: argparse.Namespace) -> int:
             raise ValidationError(f"--prune must be >= 0, got {args.prune}")
         removed = store.prune(args.prune)
         print(f"pruned {removed} records")
-    print(store.describe())
+    if args.stats:
+        print(store.describe_stats())
+    else:
+        print(store.describe())
+    return 0
+
+
+def _cmd_runner(args: argparse.Namespace) -> int:
+    from repro.service.cluster import run_runner
+
+    if args.workers < 0:
+        raise ValidationError(f"--workers must be >= 0, got {args.workers}")
+    run_runner(args.listen, workers=args.workers)
     return 0
 
 
@@ -977,6 +1098,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return _cmd_bench(args)
         if args.command == "campaign":
             return _cmd_campaign(args)
+        if args.command == "runner":
+            return _cmd_runner(args)
         if args.command == "serve":
             return _cmd_serve(args)
         parser.error(f"unknown command {args.command!r}")  # pragma: no cover

@@ -1,0 +1,60 @@
+"""Distributed campaigns: shard one plan across machines over plain sockets.
+
+The campaign stack runs one plan on one machine; this package is the first
+step to a fleet.  Three layers, one per module:
+
+* :mod:`repro.service.cluster.protocol` — the wire format: length-prefixed
+  JSON frames over plain TCP, with every task content (scenario JSON, engine
+  registry name, ``float.hex`` operating points, kernel switches) spelled
+  out explicitly so a runner evaluates *exactly* the task the coordinator's
+  content address names.
+* :mod:`repro.service.cluster.runner` — :class:`RunnerServer` (CLI:
+  ``repro runner --listen host:port``): one remote executor.  Each runner is
+  just today's evaluation machinery — the engine registry plus an optional
+  warm :class:`~repro.service.daemon.WorkerDaemon` pool — wrapped in the
+  socket protocol; ``--inline`` mode evaluates in the runner process itself,
+  so N auto-spawned inline runners *are* an N-process pool.
+* :mod:`repro.service.cluster.coordinator` — :class:`ClusterBackend`, the
+  :class:`~repro.campaign.WorkerBackend` adapter that shards a campaign's
+  flattened task queue over any number of runners, plus
+  :class:`LocalRunnerFleet`, which auto-spawns loopback runner subprocesses
+  for ``repro campaign run --runners N``.
+
+Results flow back as content-addressed store records (the coordinator's
+executor ``put``\\ s them under the same task keys a local run would use), so
+merging distributed results is trivial and warm re-runs dedupe through the
+store exactly as today.  A lost runner is treated like a broken worker pool:
+its in-flight tasks are charged one attempt and re-queued onto the surviving
+runners through the ordinary :class:`~repro.campaign.RetryPolicy`, streaming
+the same :class:`~repro.campaign.TaskRetried` / :class:`~repro.campaign.TaskFailed`
+events.
+"""
+
+from repro.service.cluster.coordinator import (
+    ClusterBackend,
+    LocalRunnerFleet,
+    RunnerClient,
+    RunnerLost,
+    parse_runner_spec,
+)
+from repro.service.cluster.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+from repro.service.cluster.runner import RunnerServer, run_runner
+
+__all__ = [
+    "ClusterBackend",
+    "LocalRunnerFleet",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RunnerClient",
+    "RunnerLost",
+    "RunnerServer",
+    "parse_runner_spec",
+    "recv_frame",
+    "run_runner",
+    "send_frame",
+]

@@ -1,0 +1,89 @@
+"""Wire protocol for distributed campaigns: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian unsigned length followed by that many
+bytes of UTF-8 JSON.  Requests and responses are plain dicts with an
+``"op"`` / ``"ok"`` discriminator — no pickle crosses the wire, so a
+runner never executes coordinator bytes and either side can be
+implemented by anything that speaks sockets and JSON.
+
+Bit-identity across the wire rests on two choices here:
+
+* Operating points travel as ``float.hex()`` strings (``lambda_hex``),
+  not decimal floats, so the runner reconstructs the exact double the
+  coordinator hashed into the task's content address.
+* The coordinator sends its :func:`repro.store.kernel_switches` with
+  every ``run`` request and the runner *rejects* mismatches instead of
+  silently evaluating under different kernel settings — a record
+  computed under the wrong switches would be filed under a content
+  address that lies about its provenance.
+
+Ops
+---
+``ping``      → ``{"ok": true, "protocol": N, "mode": ..., "switches": {...}}``
+``run``       → evaluate a chunk of tasks; per-task outcomes, never a
+                frame-level failure for an ordinary evaluation error.
+``shutdown``  → acknowledge, then stop serving (used by auto-spawned fleets).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import struct
+from typing import Any, Dict
+
+PROTOCOL_VERSION = 1
+
+# A frame carries at most a chunk of task descriptions or records —
+# megabytes at the extreme, never gigabytes.  The cap turns a corrupt or
+# hostile length prefix into a clean ProtocolError instead of an
+# attempted multi-GiB allocation.
+MAX_FRAME_BYTES = 64 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+
+class ProtocolError(RuntimeError):
+    """A malformed, oversized, or truncated frame."""
+
+
+def send_frame(sock: socket.socket, payload: Dict[str, Any]) -> None:
+    """Serialize ``payload`` and write one length-prefixed frame."""
+    body = json.dumps(payload, sort_keys=True).encode("utf-8")
+    if len(body) > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame of {len(body)} bytes exceeds cap {MAX_FRAME_BYTES}")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> bytes:
+    chunks = []
+    remaining = n
+    while remaining:
+        chunk = sock.recv(min(remaining, 1 << 20))
+        if not chunk:
+            raise ConnectionError(f"connection closed with {remaining} of {n} bytes unread")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Dict[str, Any]:
+    """Read one frame; raises ConnectionError on EOF, ProtocolError on junk."""
+    header = _recv_exact(sock, _LENGTH.size)
+    (length,) = _LENGTH.unpack(header)
+    if length > MAX_FRAME_BYTES:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME_BYTES}")
+    body = _recv_exact(sock, length)
+    try:
+        payload = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable frame: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError(f"frame payload must be an object, got {type(payload).__name__}")
+    return payload
+
+
+def request(sock: socket.socket, payload: Dict[str, Any]) -> Dict[str, Any]:
+    """One round-trip: send a request frame, read the response frame."""
+    send_frame(sock, payload)
+    return recv_frame(sock)

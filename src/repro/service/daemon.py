@@ -114,6 +114,45 @@ def _daemon_evaluate(
     return _evaluate_point(engine, scenario, lambda_g)
 
 
+def _daemon_evaluate_chunk(
+    batches: Optional[Sequence[Dict[str, Any]]],
+    engine: Engine,
+    scenario: Scenario,
+    items: Sequence[Tuple[float, str]],
+    registry_dir: Optional[str],
+    cache_key: Optional[Tuple[str, str]],
+) -> Any:
+    """Daemon worker entry for a chunk of tasks sharing one (engine, scenario).
+
+    The chunked counterpart of :func:`_daemon_evaluate`, with the outcome
+    contract of :func:`repro.campaign._pool_evaluate_chunk`: per-task
+    ``("ok", record)`` / ``("error", repr)`` tuples, so one task's
+    evaluation error never fails its chunk-mates, while pid tags are
+    refreshed per task for crash attribution.
+    """
+    if batches:
+        _attach_batches(batches)
+    if cache_key is not None:
+        cached = _WORKER_ENGINES.get(cache_key)
+        if cached is None:
+            if len(_WORKER_ENGINES) >= _WORKER_ENGINE_CACHE_LIMIT:
+                _WORKER_ENGINES.clear()
+            _WORKER_ENGINES[cache_key] = (engine, scenario)
+        else:
+            engine, scenario = cached
+    outcomes: List[Tuple[str, Any]] = []
+    for lambda_g, task_id in items:
+        _note_worker_task(registry_dir, task_id)
+        _maybe_inject_fault(task_id)
+        try:
+            record = _evaluate_point(engine, scenario, lambda_g)
+        except Exception as error:  # noqa: BLE001 - contained per-task failure
+            outcomes.append(("error", repr(error)))
+        else:
+            outcomes.append(("ok", record))
+    return outcomes
+
+
 def _scenario_shapes(scenario: Scenario) -> List[Tuple[int, int]]:
     """The tree shapes a scenario's system compiles (clusters plus ICN2)."""
     spec = scenario.system
@@ -278,6 +317,38 @@ class WorkerDaemon:
                 pool = self._ensure_pool()
             return pool.submit(_daemon_evaluate, *args)
 
+    def submit_chunk(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        items: Sequence[Tuple[float, str]],
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        """Hand a chunk of same-(engine, scenario) tasks to the pool.
+
+        Same broken-pool recovery as :meth:`submit`; the future resolves to
+        the per-task outcome list of :func:`_daemon_evaluate_chunk`.
+        """
+        with self._lock:
+            pool = self._ensure_pool()
+            batches = tuple(self._batches) if self.use_shared_memory else None
+            cache_key = (
+                (engine.name, json.dumps(scenario.to_dict(), sort_keys=True))
+                if named_engine
+                else None
+            )
+            self.tasks_dispatched += len(items)
+        args = (batches, engine, scenario, tuple(items), registry_dir, cache_key)
+        try:
+            return pool.submit(_daemon_evaluate_chunk, *args)
+        except (BrokenProcessPool, RuntimeError):
+            with self._lock:
+                self._retire_pool(pool)
+                pool = self._ensure_pool()
+            return pool.submit(_daemon_evaluate_chunk, *args)
+
     def _retire_pool(self, pool: ProcessPoolExecutor) -> None:
         """Drop ``pool`` if it is still current (idempotent across sharers)."""
         if self._pool is pool:
@@ -390,6 +461,23 @@ class PersistentPoolBackend(WorkerBackend):
             scenario,
             lambda_g,
             task_id,
+            registry_dir,
+            named_engine=named_engine,
+        )
+
+    def submit_chunk(
+        self,
+        engine: Engine,
+        scenario: Scenario,
+        items: Sequence[Tuple[float, str]],
+        registry_dir: Optional[str],
+        *,
+        named_engine: bool,
+    ) -> Future:
+        return self.daemon.submit_chunk(
+            engine,
+            scenario,
+            items,
             registry_dir,
             named_engine=named_engine,
         )

@@ -53,6 +53,8 @@ import sqlite3
 import tempfile
 import threading
 import time
+import warnings
+from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Optional, Protocol, Union, runtime_checkable
 
@@ -65,11 +67,13 @@ from repro.utils.validation import ValidationError
 __all__ = [
     "DEFAULT_STORE_DIR",
     "DirectoryBackend",
+    "MergeReport",
     "ResultStore",
     "SqliteBackend",
     "StoreBackend",
     "STORE_BACKENDS",
     "kernel_switches",
+    "merge_stores",
     "migrate_store",
     "task_key",
 ]
@@ -735,6 +739,12 @@ class ResultStore:
             root = os.environ.get("REPRO_STORE") or DEFAULT_STORE_DIR
         self.root = Path(root).expanduser()
         self.backend = _resolve_backend(self.root, backend)
+        #: process-local effectiveness counters (this instance's traffic, not
+        #: the store's history): ``hits``/``misses`` split every :meth:`get`,
+        #: ``puts`` counts records written through :meth:`put`.
+        self.hits = 0
+        self.misses = 0
+        self.puts = 0
 
     # ------------------------------------------------------------------ paths
     def path_for(self, key: str) -> Path:
@@ -755,6 +765,16 @@ class ResultStore:
         stale store degrades to re-simulation, never to a crash or a wrong
         record.
         """
+        record = self._get_validated(key)
+        if record is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return record
+
+    def _get_validated(self, key: str) -> Optional[RunRecord]:
+        """The validation path shared by :meth:`get` and :meth:`__contains__`
+        — factored out so membership checks don't skew the hit/miss split."""
         text = self.backend.read_text(key)
         if text is None:
             return None
@@ -772,13 +792,14 @@ class ResultStore:
     def put(self, key: str, record: RunRecord) -> Path:
         """Persist ``record`` under ``key`` (atomic write) and return the path."""
         payload = {"schema": STORE_SCHEMA, "key": key, "record": to_jsonable(record)}
+        self.puts += 1
         return self.backend.write_text(key, json.dumps(payload, sort_keys=True))
 
     def __contains__(self, key: str) -> bool:
         # Membership runs the exact validation path get() runs, so `key in
         # store` and `store.get(key)` can never disagree: a truncated or
         # schema-mismatched payload is absent under both.
-        return self.get(key) is not None
+        return self._get_validated(key) is not None
 
     def __len__(self) -> int:
         return self.backend.count()
@@ -808,6 +829,35 @@ class ResultStore:
         return (
             f"result store at {self.root} [{self.backend.name}]: "
             f"{count} records, {self.size_bytes()} bytes"
+        )
+
+    def stats(self) -> Dict[str, Any]:
+        """A JSON-able snapshot: on-disk state plus this instance's counters."""
+        reads = self.hits + self.misses
+        return {
+            "root": str(self.root),
+            "backend": self.backend.name,
+            "records": len(self),
+            "size_bytes": self.size_bytes(),
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "hit_rate": (self.hits / reads) if reads else None,
+        }
+
+    def describe_stats(self) -> str:
+        """The human-readable form of :meth:`stats` (``store --stats``)."""
+        stats = self.stats()
+        rate = stats["hit_rate"]
+        rate_text = f"{rate:.1%}" if rate is not None else "n/a"
+        return (
+            f"result store at {stats['root']} [{stats['backend']}]:\n"
+            f"  records:   {stats['records']}\n"
+            f"  size:      {stats['size_bytes']} bytes\n"
+            f"  hits:      {stats['hits']}\n"
+            f"  misses:    {stats['misses']}\n"
+            f"  puts:      {stats['puts']}\n"
+            f"  hit rate:  {rate_text} (this process)"
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -884,6 +934,108 @@ def migrate_store(store: ResultStore, to: str) -> int:
         source.delete_database()
     store.backend = target
     return moved
+
+
+@dataclass(frozen=True)
+class MergeReport:
+    """What one :func:`merge_stores` call did, for CLI reporting and tests."""
+
+    #: records copied into the destination (new keys)
+    copied: int
+    #: keys the destination already held — owner wins, source copy untouched
+    #: (or dropped, when moving)
+    existing: int
+    #: unreadable / schema-mismatched source records skipped with a warning
+    corrupt: int
+    #: whether source records were drained (``--merge``) or left (``--sync``)
+    moved: bool
+
+    def describe(self) -> str:
+        action = "moved" if self.moved else "copied"
+        return (
+            f"{action} {self.copied} records "
+            f"({self.existing} already present, {self.corrupt} corrupt skipped)"
+        )
+
+
+def merge_stores(
+    dest: ResultStore, source: ResultStore, *, move: bool = False
+) -> MergeReport:
+    """Merge ``source``'s records into ``dest``, owner-wins on identical keys.
+
+    This is how results come home from a fleet: a runner's (or any other
+    machine's) store is synced into the coordinator's.  Records are
+    content-addressed, so a key collision *is* an identity — both sides
+    computed the same task — and the destination's copy wins: its bytes are
+    left untouched and the source copy contributes nothing.  New keys are
+    copied as verbatim payload text (byte-identical records, same SHA-256
+    keys) with their ``last_used`` stamps carried over, exactly like
+    :func:`migrate_store`.
+
+    A corrupt source record — unreadable, truncated, schema-mismatched, or
+    filed under the wrong key — is **skipped with a warning** rather than
+    aborting the merge, and is never deleted from the source (whatever broke
+    it deserves a look, and a sync must not destroy the evidence).
+
+    With ``move=True`` (CLI ``--merge``) merged records are drained from the
+    source as they land — the two-store union ends up wholly in ``dest`` —
+    and a fully drained SQLite source drops its ``store.db``.  With the
+    default ``move=False`` (CLI ``--sync``) the source is read-only.
+    """
+    if (
+        dest.root.expanduser().resolve() == source.root.expanduser().resolve()
+        and dest.backend.name == source.backend.name
+    ):
+        raise ValidationError(
+            f"cannot merge a store into itself ({dest.root} [{dest.backend.name}])"
+        )
+    copied = existing = corrupt = 0
+    for key in list(source.backend.keys()):
+        text = source.backend.read_text(key)
+        if text is None:
+            continue  # lost a race with a concurrent eviction
+        if not _valid_payload(key, text):
+            corrupt += 1
+            warnings.warn(
+                f"skipping corrupt record {key} in {source.root}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            continue
+        if dest.backend.get_last_used(key) is not None:
+            existing += 1
+            if move:
+                source.backend.delete(key)
+            continue
+        stamp = source.backend.get_last_used(key)
+        dest.backend.write_text(key, text)
+        if stamp is not None:
+            dest.backend.set_last_used(key, stamp)
+        if move:
+            source.backend.delete(key)
+        copied += 1
+    if move:
+        source.backend.housekeep()
+        if isinstance(source.backend, SqliteBackend) and source.backend.count() == 0:
+            source.backend.delete_database()
+    return MergeReport(copied=copied, existing=existing, corrupt=corrupt, moved=move)
+
+
+def _valid_payload(key: str, text: str) -> bool:
+    """Is ``text`` a well-formed record payload filed under its own key?"""
+    try:
+        payload = json.loads(text)
+    except ValueError:
+        return False
+    if not isinstance(payload, dict) or payload.get("schema") != STORE_SCHEMA:
+        return False
+    if payload.get("key") != key:
+        return False
+    try:
+        from_jsonable(RunRecord, payload["record"])
+    except (TypeError, ValueError, KeyError):
+        return False
+    return True
 
 
 def jsonable_record(record: RunRecord) -> Dict[str, Any]:

@@ -449,3 +449,74 @@ class TestRunCompatibility:
         runset = result.runsets[0]
         assert np.array_equal(sweep.model_curve, runset.curve("model"))
         assert np.array_equal(sweep.simulation_curve, runset.curve("sim"))
+
+
+class TestChunkedSubmission:
+    """The chunked pool contract: per-task outcomes, per-task error containment.
+
+    Chunking exists to amortise per-submission IPC and engine pickling over
+    many operating points (the cold 2-worker fan-out regression); these tests
+    pin the worker-side contract the coordinator and the cluster runner both
+    rely on.
+    """
+
+    class _BrokenAt:
+        """A stub engine that fails on one operating point."""
+
+        name = "broken-at"
+        expensive = True
+
+        def __init__(self, bad):
+            self.bad = bad
+
+        def evaluate(self, scenario, lambda_g):
+            if lambda_g == self.bad:
+                raise RuntimeError("boom at the bad point")
+            from repro.api import resolve_engines
+
+            (model,) = resolve_engines(("model",))
+            return model.evaluate(scenario, lambda_g)
+
+    def test_chunk_outcomes_align_with_items(self):
+        from repro.campaign import _pool_evaluate_chunk
+
+        scenario = scenario_for(TINY, traffic=(4e-4, 8e-4))
+        outcomes = _pool_evaluate_chunk(
+            self._BrokenAt(None),
+            scenario,
+            [(4e-4, "t:broken-at:0"), (8e-4, "t:broken-at:1")],
+        )
+        assert [status for status, _ in outcomes] == ["ok", "ok"]
+        assert [record.lambda_g for _, record in outcomes] == [4e-4, 8e-4]
+
+    def test_one_bad_point_never_costs_its_chunk_mates(self):
+        from repro.campaign import _pool_evaluate_chunk
+
+        scenario = scenario_for(TINY, traffic=(4e-4, 8e-4))
+        outcomes = _pool_evaluate_chunk(
+            self._BrokenAt(8e-4),
+            scenario,
+            [(4e-4, "t:broken-at:0"), (8e-4, "t:broken-at:1")],
+        )
+        (good_status, record), (bad_status, reason) = outcomes
+        assert good_status == "ok" and record.lambda_g == 4e-4
+        assert bad_status == "error" and "boom at the bad point" in reason
+
+    def test_campaign_contains_a_mid_chunk_failure(self):
+        """End to end: a failing operating point surfaces as that task's
+        failure while its chunk-mates complete normally."""
+        campaign = Campaign(
+            entries=(
+                CampaignEntry(
+                    scenario=scenario_for(TINY, traffic=(4e-4, 8e-4)),
+                    engines=(self._BrokenAt(8e-4),),
+                ),
+            ),
+            name="contained",
+        )
+        result = run_campaign(campaign, parallel=True, max_workers=1, store=None, strict=False)
+        assert len(result.failures) == 1
+        assert result.failures[0].task.lambda_g == 8e-4
+        assert "boom at the bad point" in result.failures[0].error
+        completed = [r for runset in result.runsets for r in runset.records]
+        assert [r.lambda_g for r in completed] == [4e-4]

@@ -1,0 +1,172 @@
+"""Tests of store merge/sync semantics and the hit/miss instrumentation.
+
+Merging is how fleet results come home: records are content-addressed, so
+a key collision *is* an identity and the destination's bytes win.  The
+assertions here are deliberately byte-level — ``read_text`` before and
+after — because "owner wins" and "byte-identical copy" are claims about
+bytes, not about records comparing equal after a round trip.
+"""
+
+import json
+
+import pytest
+
+from repro import api
+from repro.model.parameters import MessageSpec
+from repro.sim.config import SimulationConfig
+from repro.store import (
+    MergeReport,
+    ResultStore,
+    merge_stores,
+    task_key,
+)
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+FAST = SimulationConfig(measured_messages=300, warmup_messages=30, drain_messages=30, seed=5)
+
+BACKENDS = ("directory", "sqlite")
+
+
+@pytest.fixture(params=BACKENDS)
+def store_backend(request):
+    return request.param
+
+
+def tiny_scenario(traffic) -> api.Scenario:
+    return api.Scenario(
+        system=TINY,
+        message=MessageSpec(32, 256),
+        offered_traffic=traffic,
+        sim=FAST,
+        name="tiny",
+    )
+
+
+def populate(store: ResultStore, *lambdas: float) -> list:
+    """Compute model records for ``lambdas`` and file them under their keys."""
+    keys = []
+    for lambda_g in lambdas:
+        scenario = tiny_scenario((lambda_g,))
+        record = api.run(scenario, engines=("model",)).series("model")[0]
+        key = task_key(scenario, "model", lambda_g)
+        store.put(key, record)
+        keys.append(key)
+    return keys
+
+
+class TestMergeStores:
+    def test_disjoint_union_copies_byte_identical(self, tmp_path, store_backend):
+        dest = ResultStore(tmp_path / "dest", backend=store_backend)
+        source = ResultStore(tmp_path / "source", backend=store_backend)
+        (kept,) = populate(dest, 4e-4)
+        (incoming,) = populate(source, 8e-4)
+
+        report = merge_stores(dest, source)
+
+        assert report == MergeReport(copied=1, existing=0, corrupt=0, moved=False)
+        assert len(dest) == 2
+        # Verbatim text copy: same bytes, so same content address semantics.
+        assert dest.backend.read_text(incoming) == source.backend.read_text(incoming)
+        assert dest.get(kept) is not None and dest.get(incoming) is not None
+        # --sync leaves the source untouched.
+        assert len(source) == 1
+
+    def test_identical_key_is_a_no_op_and_owner_wins(self, tmp_path, store_backend):
+        """Both sides computed the same task: the key collides, and the
+        destination's bytes must survive untouched (wall clock makes the two
+        payloads differ, which is exactly what makes this assertable)."""
+        dest = ResultStore(tmp_path / "dest", backend=store_backend)
+        source = ResultStore(tmp_path / "source", backend=store_backend)
+        (key,) = populate(dest, 4e-4)
+        (source_key,) = populate(source, 4e-4)
+        assert source_key == key  # same task, same content address
+        owner_text = dest.backend.read_text(key)
+
+        report = merge_stores(dest, source)
+
+        assert report == MergeReport(copied=0, existing=1, corrupt=0, moved=False)
+        assert dest.backend.read_text(key) == owner_text
+        assert len(dest) == 1
+
+    def test_corrupt_source_record_skipped_with_warning(self, tmp_path, store_backend):
+        dest = ResultStore(tmp_path / "dest", backend=store_backend)
+        source = ResultStore(tmp_path / "source", backend=store_backend)
+        (good,) = populate(source, 4e-4)
+        junk_key = "ab" + "0" * 62
+        source.backend.write_text(junk_key, "{not json")
+        mislabeled = "cd" + "0" * 62
+        source.backend.write_text(mislabeled, source.backend.read_text(good))
+
+        with pytest.warns(RuntimeWarning, match="corrupt record"):
+            report = merge_stores(dest, source, move=True)
+
+        assert report.copied == 1 and report.corrupt == 2
+        assert dest.get(good) is not None
+        assert junk_key not in dest and mislabeled not in dest
+        # Corrupt records are evidence: never deleted, even when moving.
+        assert source.backend.read_text(junk_key) == "{not json"
+        assert source.backend.read_text(mislabeled) is not None
+
+    def test_move_drains_the_source(self, tmp_path, store_backend):
+        dest = ResultStore(tmp_path / "dest", backend=store_backend)
+        source = ResultStore(tmp_path / "source", backend=store_backend)
+        populate(dest, 4e-4)
+        populate(source, 4e-4, 8e-4)  # one colliding, one new
+
+        report = merge_stores(dest, source, move=True)
+
+        assert report == MergeReport(copied=1, existing=1, corrupt=0, moved=True)
+        assert len(dest) == 2
+        assert len(source) == 0
+        if store_backend == "sqlite":
+            assert not (source.root / "store.db").exists()  # fully drained
+
+    def test_last_used_stamp_carried(self, tmp_path, store_backend):
+        dest = ResultStore(tmp_path / "dest", backend=store_backend)
+        source = ResultStore(tmp_path / "source", backend=store_backend)
+        (key,) = populate(source, 4e-4)
+        stamp = source.backend.get_last_used(key)
+        merge_stores(dest, source)
+        assert dest.backend.get_last_used(key) == pytest.approx(stamp, abs=1.0)
+
+    def test_merging_a_store_into_itself_rejected(self, tmp_path, store_backend):
+        store = ResultStore(tmp_path, backend=store_backend)
+        alias = ResultStore(tmp_path, backend=store_backend)
+        with pytest.raises(ValidationError):
+            merge_stores(store, alias)
+
+    def test_describe_wording(self):
+        sync = MergeReport(copied=3, existing=1, corrupt=0, moved=False)
+        move = MergeReport(copied=3, existing=1, corrupt=2, moved=True)
+        assert sync.describe() == "copied 3 records (1 already present, 0 corrupt skipped)"
+        assert move.describe() == "moved 3 records (1 already present, 2 corrupt skipped)"
+
+
+class TestStoreStats:
+    def test_hit_miss_put_counters(self, tmp_path, store_backend):
+        store = ResultStore(tmp_path, backend=store_backend)
+        assert (store.hits, store.misses, store.puts) == (0, 0, 0)
+        assert store.get("0" * 64) is None
+        assert store.misses == 1
+        (key,) = populate(store, 4e-4)
+        assert store.puts == 1
+        assert store.get(key) is not None
+        assert store.hits == 1
+        # Membership probes are not cache traffic: contains must not count.
+        assert key in store
+        assert (store.hits, store.misses) == (1, 1)
+
+    def test_stats_payload(self, tmp_path, store_backend):
+        store = ResultStore(tmp_path, backend=store_backend)
+        (key,) = populate(store, 4e-4)
+        store.get(key)
+        stats = store.stats()
+        assert stats["records"] == 1
+        assert stats["backend"] == store_backend
+        assert stats["size_bytes"] > 0
+        assert stats["hits"] == 1 and stats["puts"] == 1
+        assert stats["hit_rate"] == 1.0
+        text = store.describe_stats()
+        assert "hit rate" in text and store_backend in text

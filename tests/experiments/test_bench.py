@@ -156,10 +156,14 @@ class TestParallelBench:
         curve = payload["scaling"]
         cold = [rung for rung in curve if rung["mode"] == "cold"]
         daemon = [rung for rung in curve if rung["mode"] == "daemon"]
+        distributed = [rung for rung in curve if rung["mode"] == "distributed"]
         assert [rung["workers"] for rung in cold] == [1, 2]
-        # One warm-daemon rung at the top worker count closes the curve.
+        # One warm-daemon rung at the top worker count, then one distributed
+        # rung over >= 2 loopback runners, close the curve.
         assert [rung["workers"] for rung in daemon] == [2]
         assert daemon[0]["warmup_seconds"] > 0
+        assert [rung["runners"] for rung in distributed] == [2]
+        assert distributed[0]["warmup_seconds"] > 0
         total = payload["scenarios"]["heterogeneous"]["measured_messages"]
         for rung in curve:
             # Bit-identical executions at every rung: same messages measured.
@@ -193,6 +197,7 @@ class TestParallelBench:
             (1, "cold"),
             (2, "cold"),
             (2, "daemon"),
+            (2, "distributed"),
         ]
         total = sum(
             entry["measured_messages"] for entry in payload["scenarios"].values()

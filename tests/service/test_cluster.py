@@ -1,0 +1,375 @@
+"""Tests of distributed campaigns: protocol, runners, coordinator, fleets.
+
+The in-process :class:`RunnerServer` tests exercise the full socket path
+(real TCP over loopback, real frames) without subprocess spawn cost; one
+fleet test spawns a genuine ``python -m repro runner`` subprocess to prove
+the CLI announce/shutdown round trip.  Bit-identity against a sequential
+run is the acceptance criterion: sharding a plan over machines must change
+wall clock and nothing else.
+"""
+
+import json
+import socket
+import threading
+
+import pytest
+
+from repro import api
+from repro.campaign import (
+    Campaign,
+    CampaignEntry,
+    RetryPolicy,
+    run_campaign,
+)
+from repro.model.parameters import MessageSpec
+from repro.service.cluster import (
+    PROTOCOL_VERSION,
+    ClusterBackend,
+    LocalRunnerFleet,
+    ProtocolError,
+    RunnerClient,
+    RunnerLost,
+    RunnerServer,
+    parse_runner_spec,
+    recv_frame,
+    send_frame,
+)
+from repro.service.cluster.coordinator import RunnerError
+from repro.service.cluster.runner import parse_listen_spec
+from repro.sim.config import SimulationConfig
+from repro.store import jsonable_record, kernel_switches
+from repro.topology.multicluster import MultiClusterSpec
+from repro.utils.validation import ValidationError
+
+TINY = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+WIDE = MultiClusterSpec(m=4, cluster_heights=(1, 1, 1, 1), name="wide")
+FAST = SimulationConfig(measured_messages=300, warmup_messages=30, drain_messages=30, seed=3)
+
+
+def scenario_for(system, *, traffic=(4e-4, 8e-4)) -> api.Scenario:
+    return api.Scenario(
+        system=system,
+        message=MessageSpec(32, 256),
+        offered_traffic=traffic,
+        sim=FAST,
+        name=system.name,
+    )
+
+
+def sim_campaign(*, traffic=(4e-4, 8e-4)) -> Campaign:
+    return Campaign(
+        entries=(
+            CampaignEntry(scenario=scenario_for(TINY, traffic=traffic), engines=("sim",)),
+            CampaignEntry(scenario=scenario_for(WIDE, traffic=traffic), engines=("sim",)),
+        ),
+        name="two",
+    )
+
+
+def strip_wall_clock(obj):
+    if isinstance(obj, dict):
+        return {k: strip_wall_clock(v) for k, v in obj.items() if k != "wall_clock_seconds"}
+    if isinstance(obj, list):
+        return [strip_wall_clock(v) for v in obj]
+    return obj
+
+
+def canonical(result) -> str:
+    return json.dumps(
+        [
+            [strip_wall_clock(jsonable_record(record)) for record in runset.records]
+            for runset in result.runsets
+        ],
+        sort_keys=True,
+    )
+
+
+# --------------------------------------------------------------------- framing
+class TestProtocolFraming:
+    def test_round_trip(self):
+        a, b = socket.socketpair()
+        with a, b:
+            send_frame(a, {"op": "ping", "n": 3})
+            assert recv_frame(b) == {"n": 3, "op": "ping"}
+
+    def test_eof_is_connection_error(self):
+        a, b = socket.socketpair()
+        with b:
+            a.close()
+            with pytest.raises(ConnectionError):
+                recv_frame(b)
+
+    def test_oversized_length_prefix_rejected_without_allocation(self):
+        a, b = socket.socketpair()
+        with a, b:
+            a.sendall((1 << 31).to_bytes(4, "big"))
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+
+    def test_undecodable_body_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            body = b"{not json"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+
+    def test_non_object_payload_rejected(self):
+        a, b = socket.socketpair()
+        with a, b:
+            body = b"[1, 2, 3]"
+            a.sendall(len(body).to_bytes(4, "big") + body)
+            with pytest.raises(ProtocolError):
+                recv_frame(b)
+
+
+# ----------------------------------------------------------------- spec parsing
+class TestSpecParsing:
+    def test_count_spec(self):
+        assert parse_runner_spec("3") == 3
+
+    def test_address_spec(self):
+        assert parse_runner_spec("a:1, b:2") == ["a:1", "b:2"]
+
+    @pytest.mark.parametrize("bad", ["", "0", "host", "host:", ":99", "h:notaport", "h:70000"])
+    def test_bad_runner_specs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_runner_spec(bad)
+
+    def test_listen_specs(self):
+        assert parse_listen_spec("0") == ("127.0.0.1", 0)
+        assert parse_listen_spec(":8080") == ("127.0.0.1", 8080)
+        assert parse_listen_spec("0.0.0.0:9") == ("0.0.0.0", 9)
+
+    @pytest.mark.parametrize("bad", ["host:nope", ":-1", "h:99999", "x"])
+    def test_bad_listen_specs_rejected(self, bad):
+        with pytest.raises(ValidationError):
+            parse_listen_spec(bad)
+
+
+# --------------------------------------------------------------------- runners
+@pytest.fixture(scope="module")
+def runner_pair():
+    """Two warm in-process runners shared by the healthy-path tests."""
+    with RunnerServer() as first, RunnerServer() as second:
+        yield first, second
+
+
+class TestRunnerServer:
+    def test_ping_reports_protocol_mode_and_switches(self, runner_pair):
+        server, _ = runner_pair
+        client = RunnerClient(server.address)
+        try:
+            info = client.ping(timeout=5.0)
+        finally:
+            client.close()
+        assert info["protocol"] == PROTOCOL_VERSION
+        assert info["mode"] == "inline"
+        assert info["workers"] == 1
+        assert info["switches"] == kernel_switches()
+
+    def test_kernel_switch_mismatch_refused(self, runner_pair):
+        """The bit-identity guard: a runner must never evaluate under
+        switches other than the ones the coordinator hashed into its keys."""
+        server, _ = runner_pair
+        scenario = scenario_for(TINY)
+        client = RunnerClient(server.address)
+        try:
+            with pytest.raises(RunnerError, match="switches mismatch"):
+                client.run_chunk(
+                    {
+                        "op": "run",
+                        "protocol": PROTOCOL_VERSION,
+                        "engine": "model",
+                        "scenario": scenario.to_dict(),
+                        "tasks": [{"lambda_hex": (4e-4).hex(), "task_id": "t:model:0"}],
+                        "switches": {**kernel_switches(), "REPRO_KERNEL": "bogus"},
+                    }
+                )
+        finally:
+            client.close()
+
+    def test_protocol_version_mismatch_refused(self, runner_pair):
+        server, _ = runner_pair
+        client = RunnerClient(server.address)
+        try:
+            with pytest.raises(RunnerError, match="protocol mismatch"):
+                client.run_chunk({"op": "run", "protocol": 999, "tasks": []})
+        finally:
+            client.close()
+
+    def test_unknown_engine_is_a_refusal_not_a_crash(self, runner_pair):
+        server, _ = runner_pair
+        client = RunnerClient(server.address)
+        try:
+            with pytest.raises(RunnerError, match="malformed run request"):
+                client.run_chunk(
+                    {
+                        "op": "run",
+                        "protocol": PROTOCOL_VERSION,
+                        "engine": "warp-drive",
+                        "scenario": scenario_for(TINY).to_dict(),
+                        "tasks": [{"lambda_hex": (4e-4).hex(), "task_id": "t"}],
+                        "switches": kernel_switches(),
+                    }
+                )
+        finally:
+            client.close()
+
+    def test_run_chunk_round_trips_exact_doubles(self, runner_pair):
+        """lambda travels as float.hex(): the runner evaluates the exact
+        double the coordinator hashed, and the record comes back rebuilt."""
+        server, _ = runner_pair
+        scenario = scenario_for(TINY, traffic=(4e-4,))
+        client = RunnerClient(server.address)
+        try:
+            outcomes = client.run_chunk(
+                {
+                    "op": "run",
+                    "protocol": PROTOCOL_VERSION,
+                    "engine": "model",
+                    "scenario": scenario.to_dict(),
+                    "tasks": [{"lambda_hex": (4e-4).hex(), "task_id": "tiny:model:0"}],
+                    "switches": kernel_switches(),
+                }
+            )
+        finally:
+            client.close()
+        (status, record) = outcomes[0]
+        assert status == "ok"
+        reference = api.run(scenario, engines=("model",)).series("model")[0]
+        assert strip_wall_clock(jsonable_record(record)) == strip_wall_clock(
+            jsonable_record(reference)
+        )
+
+
+# ----------------------------------------------------------------- coordinator
+class TestClusterCampaigns:
+    def test_records_bit_identical_to_sequential(self, runner_pair):
+        """The acceptance criterion: sharding over two socket runners changes
+        wall clock and nothing else."""
+        campaign = sim_campaign()
+        reference = run_campaign(campaign, store=None)
+        backend = ClusterBackend([server.address for server in runner_pair])
+        sharded = run_campaign(
+            campaign, parallel=True, max_workers=2, backend=backend, store=None
+        )
+        assert not sharded.failures
+        assert canonical(sharded) == canonical(reference)
+
+    def test_work_is_sharded_across_the_fleet(self, runner_pair):
+        first, second = runner_pair
+        before = first.tasks_evaluated + second.tasks_evaluated
+        backend = ClusterBackend([first.address, second.address])
+        result = run_campaign(
+            sim_campaign(), parallel=True, max_workers=2, backend=backend, store=None
+        )
+        assert not result.failures
+        evaluated = first.tasks_evaluated + second.tasks_evaluated - before
+        assert evaluated == 4  # every pooled task ran on some runner, once
+
+    def test_no_live_runners_raises_runner_lost(self):
+        # Bind-then-close yields a port with nothing listening on it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        backend = ClusterBackend([f"127.0.0.1:{port}"], connect_timeout=2.0)
+        with pytest.raises(RunnerLost):
+            run_campaign(
+                sim_campaign(), parallel=True, max_workers=2, backend=backend, store=None
+            )
+
+    def test_lost_runner_mid_campaign_converges_on_survivors(self, runner_pair):
+        """A runner that dies with chunks in flight costs one charged attempt
+        per in-flight task; the re-queued tasks land on the survivors and the
+        campaign converges to the sequential result."""
+        healthy, _ = runner_pair
+        flaky = _FlakyRunner()  # answers ping, drops the socket on "run"
+        with flaky:
+            backend = ClusterBackend([flaky.address, healthy.address])
+            campaign = sim_campaign()
+            result = run_campaign(
+                campaign,
+                parallel=True,
+                max_workers=2,
+                backend=backend,
+                store=None,
+                retry=RetryPolicy(max_attempts=3),
+            )
+        assert not result.failures
+        assert result.task_retries >= 1
+        assert backend.dead_runners() == (flaky.address,)
+        assert canonical(result) == canonical(run_campaign(campaign, store=None))
+
+    def test_cluster_requires_at_least_one_address(self):
+        with pytest.raises(ValidationError):
+            ClusterBackend([])
+
+
+class _FlakyRunner:
+    """A runner that speaks ping, then hangs up on every ``run`` request —
+    the socket signature of a machine dying mid-chunk."""
+
+    def __init__(self) -> None:
+        self._server = socket.socket()
+        self._server.bind(("127.0.0.1", 0))
+        self._server.listen()
+        self.address = "127.0.0.1:%d" % self._server.getsockname()[1]
+        self._thread = threading.Thread(target=self._serve, daemon=True)
+
+    def _serve(self) -> None:
+        while True:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return
+            with conn:
+                try:
+                    while True:
+                        request = recv_frame(conn)
+                        if request.get("op") == "ping":
+                            send_frame(
+                                conn,
+                                {
+                                    "ok": True,
+                                    "protocol": PROTOCOL_VERSION,
+                                    "mode": "inline",
+                                    "workers": 1,
+                                    "switches": kernel_switches(),
+                                },
+                            )
+                        else:
+                            return  # drop mid-request: RunnerLost on the peer
+                except (ConnectionError, ProtocolError, OSError):
+                    continue
+
+    def __enter__(self) -> "_FlakyRunner":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._server.close()
+        self._thread.join(timeout=5.0)
+
+
+# ---------------------------------------------------------------------- fleets
+class TestLocalRunnerFleet:
+    def test_subprocess_round_trip(self):
+        """Spawn one genuine ``python -m repro runner`` subprocess, parse its
+        announce line, ping it, and shut it down cleanly."""
+        with LocalRunnerFleet(1) as fleet:
+            assert len(fleet.addresses) == 1
+            client = RunnerClient(fleet.addresses[0], connect_timeout=10.0)
+            try:
+                info = client.ping(timeout=10.0)
+            finally:
+                client.close()
+            assert info["ok"] is True
+            assert info["mode"] == "inline"
+            process = fleet.processes[0]
+        assert process.poll() is not None  # close() took the runner down
+
+    def test_fleet_count_validated(self):
+        with pytest.raises(ValidationError):
+            LocalRunnerFleet(0)
