@@ -66,7 +66,7 @@ from repro.sim.simulator import MultiClusterSimulator
 from repro.store import ResultStore
 from repro.topology.multicluster import ClusterSpec, MultiClusterSpec, MultiClusterSystem
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "__version__",

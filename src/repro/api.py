@@ -69,6 +69,7 @@ from repro.sim.config import SimulationConfig
 from repro.sim.simulator import MultiClusterSimulator
 from repro.sim.statistics import SimulationResult
 from repro.topology.multicluster import MultiClusterSpec
+from repro.topology.zoo.spec import TopologySpec
 from repro.utils.serialization import dump_json, from_jsonable, load_json, to_jsonable
 from repro.utils.validation import ValidationError
 from repro.workloads import (
@@ -146,10 +147,21 @@ class PatternSpec:
 class Scenario:
     """Everything one experiment needs, as one declarative value.
 
+    Exactly one of ``system`` / ``topology`` must be set.  ``system`` is the
+    paper's multi-cluster organisation and works with every engine;
+    ``topology`` selects a :mod:`repro.topology.zoo` member (k-ary fat
+    trees, fanout trees, tori …), which the simulation engines run through
+    the same compiled stack while the analytical model — derived for the
+    multi-cluster fat-tree family only — reports itself inapplicable
+    (see :func:`repro.experiments.compare.model_applicability`).
+
     Attributes
     ----------
     system:
-        The multi-cluster organisation under study.
+        The multi-cluster organisation under study (``None`` for zoo
+        scenarios).
+    topology:
+        A zoo topology spec (``None`` for multi-cluster scenarios).
     message:
         Message geometry (``M`` flits of ``L_m`` bytes).
     timing:
@@ -167,7 +179,7 @@ class Scenario:
         Optional label (registry scenarios carry their registered name).
     """
 
-    system: MultiClusterSpec
+    system: Optional[MultiClusterSpec] = None
     message: MessageSpec = MessageSpec()
     timing: TimingParameters = PAPER_TIMING
     offered_traffic: Tuple[float, ...] = ()
@@ -175,8 +187,14 @@ class Scenario:
     sim: SimulationConfig = SimulationConfig()
     variance_approximation: str = "draper-ghosh"
     name: str = ""
+    topology: Optional[TopologySpec] = None
 
     def __post_init__(self) -> None:
+        if (self.system is None) == (self.topology is None):
+            raise ValidationError(
+                "exactly one of system / topology must be set, got "
+                f"system={self.system!r}, topology={self.topology!r}"
+            )
         object.__setattr__(
             self, "offered_traffic", tuple(float(value) for value in self.offered_traffic)
         )
@@ -215,21 +233,42 @@ class Scenario:
         return replace(self, sim=self.sim.with_seed(seed))
 
     @property
+    def network(self) -> Union[MultiClusterSpec, TopologySpec]:
+        """Whichever organisation spec is set (system or zoo topology)."""
+        if self.system is not None:
+            return self.system
+        assert self.topology is not None  # __post_init__ invariant
+        return self.topology
+
+    @property
     def spec_label(self) -> str:
-        return self.system.name or f"N={self.system.total_nodes}"
+        network = self.network
+        return network.name or f"N={network.total_nodes}"
 
     def describe(self) -> str:
         label = self.name or self.spec_label
         return (
-            f"{label}: {self.system.describe()}; {self.message.describe()}; "
+            f"{label}: {self.network.describe()}; {self.message.describe()}; "
             f"pattern={self.pattern.describe()}; "
             f"{len(self.offered_traffic)} operating points"
         )
 
     # ------------------------------------------------------------ serialisation
     def to_dict(self) -> Dict[str, Any]:
-        """Plain-JSON representation (the inverse of :meth:`from_dict`)."""
-        return to_jsonable(self)
+        """Plain-JSON representation (the inverse of :meth:`from_dict`).
+
+        An unset ``system``/``topology`` is omitted rather than emitted as
+        ``null`` — :meth:`from_dict` treats a missing field as its default,
+        and multi-cluster scenario dicts (and therefore every store task
+        key derived from them) stay byte-identical to releases that predate
+        the ``topology`` field.
+        """
+        data = to_jsonable(self)
+        if self.topology is None:
+            data.pop("topology", None)
+        if self.system is None:
+            data.pop("system", None)
+        return data
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
@@ -332,6 +371,22 @@ class Engine(Protocol):
         ...
 
 
+def _require_system(scenario: Scenario) -> MultiClusterSpec:
+    """The scenario's multi-cluster system, or a clear error for zoo scenarios.
+
+    The analytical model of the paper is derived for the multi-cluster
+    fat-tree family only; :func:`repro.experiments.compare.model_applicability`
+    reports this per scenario instead of tripping this error.
+    """
+    if scenario.system is None:
+        raise ValidationError(
+            f"the analytical model does not apply to zoo topology "
+            f"{scenario.network.name!r}; it is derived for multi-cluster "
+            "fat-tree systems only (use a simulation engine instead)"
+        )
+    return scenario.system
+
+
 class AnalyticalEngine:
     """The paper's analytical latency model (Eq. 35-36) as an engine.
 
@@ -368,7 +423,7 @@ class AnalyticalEngine:
         if self.model_factory is not None:
             return self.model_factory(scenario)
         return MultiClusterLatencyModel(
-            scenario.system,
+            _require_system(scenario),
             scenario.message,
             scenario.timing,
             variance_approximation=(
@@ -452,7 +507,7 @@ class SimulationEngine:
         """The (memoised) simulator instance used for ``scenario``."""
         if self._cached_for is not scenario:
             self._simulator = MultiClusterSimulator(
-                scenario.system,
+                scenario.network,
                 scenario.message,
                 scenario.timing,
                 config=scenario.sim,
@@ -726,6 +781,25 @@ def _register_builtin_scenarios() -> None:
 
     register_scenario("heterogeneous", _heterogeneous)
 
+    # One registry scenario per topology-zoo family.  Only the simulation
+    # engines apply (the analytical model is fat-tree-specific); the loads
+    # stay modest so each family is laptop-quick at the default budget.
+    def _zoo(name: str, spec: TopologySpec, max_traffic: float) -> None:
+        def factory(points: int, sim: SimulationConfig, spec=spec, name=name) -> Scenario:
+            return Scenario(
+                topology=spec,
+                message=MessageSpec(length_flits=32, flit_bytes=256),
+                offered_traffic=Scenario.load_grid(max_traffic, points),
+                sim=sim,
+                name=name,
+            )
+
+        register_scenario(name, factory)
+
+    _zoo("zoo/fattree4", TopologySpec("fattree", {"k": 4}), 1.0e-3)
+    _zoo("zoo/tree", TopologySpec("tree", {"depth": 2, "fanout": 4}), 1.0e-3)
+    _zoo("zoo/torus", TopologySpec("torus", {"rows": 4, "cols": 4}), 1.0e-3)
+
 
 _register_builtin_scenarios()
 
@@ -736,7 +810,7 @@ def equal_size_engine(name: str = "model/equal-size") -> AnalyticalEngine:
     """An :class:`AnalyticalEngine` running the equal-size approximation."""
     return AnalyticalEngine(
         model_factory=lambda scenario: EqualSizeApproximationModel(
-            scenario.system, scenario.message, scenario.timing
+            _require_system(scenario), scenario.message, scenario.timing
         ),
         name=name,
     )

@@ -57,7 +57,11 @@ import numpy as np
 
 from repro import api
 from repro.experiments.ablation import heterogeneity_ablation, variance_ablation
-from repro.experiments.compare import compare_model_and_simulation, compare_runset
+from repro.experiments.compare import (
+    compare_model_and_simulation,
+    compare_runset,
+    model_applicability,
+)
 from repro.experiments.configs import FIGURE_SPECS, table1_specs, table1_system
 from repro.experiments.figures import run_figure
 from repro.experiments.report import (
@@ -564,6 +568,19 @@ def _cmd_run(args: argparse.Namespace) -> int:
         raise ValidationError("a scenario name or .json file is required (or --list)")
     scenario = _resolve_run_scenario(args)
     engines = tuple(name.strip() for name in args.engines.split(",") if name.strip())
+    applicability = model_applicability(scenario)
+    if not applicability.applicable:
+        analytical = {"model", "analysis"}
+        dropped = tuple(name for name in engines if name in analytical)
+        if dropped:
+            engines = tuple(name for name in engines if name not in analytical)
+            print(f"analytical model not applicable: {applicability.reason}")
+            print(f"skipping engine(s): {', '.join(dropped)}")
+            if not engines:
+                raise ValidationError(
+                    "no engines left to run; zoo topologies need a "
+                    "simulation engine (e.g. --engines sim)"
+                )
     if args.save_scenario is not None:
         path = scenario.to_json(args.save_scenario)
         print(f"wrote scenario: {path}")

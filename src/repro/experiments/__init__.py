@@ -42,9 +42,11 @@ from repro.experiments.figures import (
 from repro.experiments.table1 import table1_campaign, table1_rows
 from repro.experiments.compare import (
     AgreementReport,
+    ApplicabilityReport,
     compare_campaign,
     compare_model_and_simulation,
     compare_runset,
+    model_applicability,
 )
 from repro.experiments.ablation import (
     heterogeneity_ablation,
@@ -74,9 +76,11 @@ __all__ = [
     "table1_campaign",
     "table1_rows",
     "AgreementReport",
+    "ApplicabilityReport",
     "compare_campaign",
     "compare_model_and_simulation",
     "compare_runset",
+    "model_applicability",
     "heterogeneity_ablation",
     "traffic_pattern_ablation",
     "variance_ablation",

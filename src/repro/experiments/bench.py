@@ -330,7 +330,7 @@ def _measure_kernels(
         simulators = {}
         for kernel in BENCH_KERNELS:
             simulator = MultiClusterSimulator(
-                scenario.system,
+                scenario.network,
                 scenario.message,
                 scenario.timing,
                 config=scenario.sim,
@@ -353,6 +353,7 @@ def _measure_kernels(
             rungs.append(
                 {
                     "scenario": name,
+                    "topology": scenario.spec_label,
                     "kernel": kernel,
                     "lambda_g": lambda_g,
                     "reps": int(max(1, reps)),
@@ -441,6 +442,7 @@ def run_bench(
             )  # pragma: no cover - perf_counter is monotonic
         payload["scenarios"][name] = {
             "points": int(points),
+            "topology": scenario.spec_label,
             "kernel": kernel,
             "measured_messages": measured,
             "events_processed": events,

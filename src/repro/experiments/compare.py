@@ -21,6 +21,59 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 
 @dataclass(frozen=True)
+class ApplicabilityReport:
+    """Whether the paper's analytical model applies to one scenario.
+
+    The model (Eq. 35-36) is derived for the multi-cluster fat-tree family;
+    topology-zoo scenarios run through the simulator only.  This report is
+    how front-ends (the CLI ``run`` command, campaign summaries) state that
+    per scenario instead of crashing inside the model.
+    """
+
+    scenario_name: str
+    #: the organisation's display name (system or zoo topology)
+    topology: str
+    applicable: bool
+    reason: str
+
+    def summary(self) -> dict:
+        return {
+            "scenario": self.scenario_name,
+            "topology": self.topology,
+            "applicable": self.applicable,
+            "reason": self.reason,
+        }
+
+
+def model_applicability(scenario: api.Scenario) -> ApplicabilityReport:
+    """Report whether the analytical model applies to ``scenario``.
+
+    Multi-cluster scenarios (``scenario.system`` set) are the family the
+    paper's queueing model was derived for; zoo scenarios
+    (``scenario.topology`` set) are simulation-only.
+    """
+    name = scenario.name or scenario.spec_label
+    if scenario.system is not None:
+        return ApplicabilityReport(
+            scenario_name=name,
+            topology=scenario.system.name or scenario.spec_label,
+            applicable=True,
+            reason="multi-cluster fat-tree system: the paper's Eq. 35-36 "
+            "derivation applies",
+        )
+    return ApplicabilityReport(
+        scenario_name=name,
+        topology=scenario.network.name,
+        applicable=False,
+        reason=(
+            f"zoo topology {scenario.network.name!r} is outside the "
+            "multi-cluster fat-tree family the analytical model is derived "
+            "for; simulation engines only"
+        ),
+    )
+
+
+@dataclass(frozen=True)
 class AgreementReport:
     """How well the analytical model tracks the simulation over one sweep."""
 

@@ -36,11 +36,14 @@ from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "CompiledGraphRoutes",
     "CompiledTreeRoutes",
     "CompiledSystemRoutes",
+    "CompiledZooRoutes",
     "LAZY_NODE_THRESHOLD",
     "LazyFlagTable",
     "LazyRebasedTable",
+    "compile_graph_routes",
     "compile_tree_routes",
     "compile_system_routes",
     "decompile",
@@ -185,6 +188,112 @@ def compile_tree_routes(m: int, n: int) -> CompiledTreeRoutes:
     if routes is None:
         routes = _TREE_ROUTES[key] = CompiledTreeRoutes(m, n)
     return routes
+
+
+class CompiledGraphRoutes:
+    """All deterministic up*/down* routes of one zoo topology as id tuples.
+
+    The zoo counterpart of :class:`CompiledTreeRoutes`, holding only the
+    tables a one-cluster system needs: ``full[s * N + d]`` (dense channel
+    ids of the shortest legal route) and ``full_has_switch[...]`` (True
+    when the route crosses a switch-switch channel).  Same lazy
+    per-source-row discipline, driven by the memoised per-source BFS of
+    :class:`~repro.routing.updown.GraphUpDownRouter` — filling a row costs
+    one breadth-first search plus one walk per destination.
+    """
+
+    __slots__ = (
+        "token",
+        "num_nodes",
+        "full",
+        "full_has_switch",
+        "lazy",
+        "compiled_rows",
+        "_router",
+        "_ids",
+    )
+
+    def __init__(self, spec, lazy: bool | None = None) -> None:
+        # Imported lazily: the zoo package is optional on the import path of
+        # fat-tree-only consumers.
+        from repro.routing.updown import GraphUpDownRouter
+        from repro.topology.zoo.compile import compile_graph
+        from repro.topology.zoo.spec import build_topology
+
+        topology = build_topology(spec)
+        compiled = compile_graph(spec)
+        self.token = spec.token
+        num_nodes = topology.num_nodes
+        self.num_nodes = num_nodes
+        self.lazy = num_nodes >= LAZY_NODE_THRESHOLD if lazy is None else bool(lazy)
+        self._router = GraphUpDownRouter(topology)
+        self._ids = compiled.channel_ids
+        self.compiled_rows: set = set()
+
+        pairs = num_nodes * num_nodes
+        self.full: List[IdTuple | None] = [None] * pairs
+        self.full_has_switch: List[bool] = [False] * pairs
+        if not self.lazy:
+            for source in range(num_nodes):
+                self._fill_row(source)
+            self._router = None
+            self._ids = None
+
+    def _fill_row(self, source: int) -> None:
+        """Compile the full/has-switch tables for one source row."""
+        router = self._router
+        ids = self._ids
+        num_nodes = self.num_nodes
+        full = self.full
+        has_switch = self.full_has_switch
+        base = source * num_nodes
+        for other in range(num_nodes):
+            if other == source:
+                continue
+            route = router.route(source, other)
+            full[base + other] = tuple(ids[channel] for channel in route)
+            has_switch[base + other] = any(
+                not channel.kind.is_node_channel for channel in route
+            )
+        self.compiled_rows.add(source)
+
+    def ensure_pair(self, source: int, other: int) -> None:
+        """Make sure the row covering ``(source, other)`` is compiled."""
+        if source not in self.compiled_rows:
+            self._fill_row(source)
+
+    def ensure_complete(self) -> None:
+        """Compile every remaining row (setup-time warm-up hook)."""
+        for source in range(self.num_nodes):
+            if source not in self.compiled_rows:
+                self._fill_row(source)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        mode = "lazy" if self.lazy else "eager"
+        return (
+            f"CompiledGraphRoutes({self.token}, nodes={self.num_nodes}, "
+            f"{mode}, rows={len(self.compiled_rows)})"
+        )
+
+
+_GRAPH_ROUTES: Dict[Tuple, CompiledGraphRoutes] = {}
+
+
+def compile_graph_routes(spec) -> CompiledGraphRoutes:
+    """The (cached) route tables of zoo topology ``spec``, keyed by identity."""
+    key = spec.identity
+    routes = _GRAPH_ROUTES.get(key)
+    if routes is None:
+        routes = _GRAPH_ROUTES[key] = CompiledGraphRoutes(spec)
+    return routes
+
+
+def install_graph_routes(spec, routes: CompiledGraphRoutes) -> CompiledGraphRoutes:
+    """Adopt externally built (e.g. shm-attached) graph route tables.
+
+    ``setdefault`` semantics, mirroring the compiled-graph install hook.
+    """
+    return _GRAPH_ROUTES.setdefault(spec.identity, routes)
 
 
 def _rebase(table: List[IdTuple | None], offset: int) -> List[IdTuple | None]:
@@ -333,7 +442,53 @@ class CompiledSystemRoutes:
         return f"CompiledSystemRoutes({self.core!r})"
 
 
+class CompiledZooRoutes:
+    """Zoo route tables presented through the system-routes surface.
+
+    A zoo topology compiles as a single degenerate cluster, so only the
+    intra tables carry routes; the external machinery (ascend/descend
+    legs, ICN2 crossing, relay slots) is empty and — with every message
+    intra-cluster by construction — never indexed by any kernel.
+    """
+
+    __slots__ = (
+        "core",
+        "intra",
+        "intra_has_switch",
+        "ascend",
+        "descend",
+        "icn2",
+        "concentrator",
+        "dispatcher",
+    )
+
+    def __init__(self, core) -> None:
+        self.core = core
+        shape = compile_graph_routes(core.spec)
+        if shape.lazy:
+            self.intra = [LazyRebasedTable(shape, shape.full, 0)]
+            self.intra_has_switch = [LazyFlagTable(shape)]
+        else:
+            self.intra = [shape.full]
+            self.intra_has_switch = [shape.full_has_switch]
+        self.ascend = ((),)
+        self.descend = ((),)
+        self.icn2 = ()
+        self.concentrator = ()
+        self.dispatcher = ()
+
+    def warm(self) -> None:
+        """Fill the lazy route table completely (setup-time hook)."""
+        shape = compile_graph_routes(self.core.spec)
+        if shape.lazy:
+            shape.ensure_complete()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"CompiledZooRoutes({self.core!r})"
+
+
 _SYSTEM_ROUTES: Dict[MultiClusterSpec, CompiledSystemRoutes] = {}
+_ZOO_SYSTEM_ROUTES: Dict[Tuple, CompiledZooRoutes] = {}
 
 #: Rebased system tables are the largest compiled artifact (O(sum N_i^2)
 #: tuples per spec); bound the cache so sweeps over many organisations
@@ -341,13 +496,25 @@ _SYSTEM_ROUTES: Dict[MultiClusterSpec, CompiledSystemRoutes] = {}
 _SYSTEM_ROUTE_CACHE_LIMIT = 64
 
 
-def compile_system_routes(spec: MultiClusterSpec) -> CompiledSystemRoutes:
+def compile_system_routes(spec) -> "CompiledSystemRoutes | CompiledZooRoutes":
     """The (cached) global-id route tables of ``spec``.
 
     Cached per frozen spec alongside :func:`compile_system`, so repeated
     sweep points, engines and pool workers pay the compilation once per
-    process.
+    process.  ``spec`` may be a :class:`MultiClusterSpec` (the paper's
+    system) or a :class:`~repro.topology.zoo.spec.TopologySpec` (a zoo
+    member, cached by full topology identity).
     """
+    if not isinstance(spec, MultiClusterSpec):
+        key = spec.identity
+        zoo_routes = _ZOO_SYSTEM_ROUTES.get(key)
+        if zoo_routes is None:
+            if len(_ZOO_SYSTEM_ROUTES) >= _SYSTEM_ROUTE_CACHE_LIMIT:
+                _ZOO_SYSTEM_ROUTES.clear()
+            zoo_routes = _ZOO_SYSTEM_ROUTES[key] = CompiledZooRoutes(
+                compile_system(spec)
+            )
+        return zoo_routes
     routes = _SYSTEM_ROUTES.get(spec)
     if routes is None:
         if len(_SYSTEM_ROUTES) >= _SYSTEM_ROUTE_CACHE_LIMIT:
@@ -374,3 +541,5 @@ def clear_route_caches() -> None:
     """Drop all compiled route tables (test isolation hook)."""
     _TREE_ROUTES.clear()
     _SYSTEM_ROUTES.clear()
+    _GRAPH_ROUTES.clear()
+    _ZOO_SYSTEM_ROUTES.clear()

@@ -46,10 +46,14 @@ from repro.topology.shm import SharedArena
 from repro.utils.validation import ValidationError
 
 __all__ = [
+    "SharedGraphRoutes",
     "SharedRouteTable",
     "SharedTreeRoutes",
+    "attach_graph_route_tables",
     "attach_route_tables",
+    "export_graph_route_tables",
     "export_route_tables",
+    "install_graph_route_tables",
     "install_route_tables",
 ]
 
@@ -233,4 +237,135 @@ def install_route_tables(manifest: Dict[str, Any]) -> SharedArena:
     arena, shared = attach_route_tables(manifest)
     for routes in shared:
         _TREE_ROUTES.setdefault((routes.m, routes.n), routes)
+    return arena
+
+
+# --------------------------------------------------------------------------- #
+# Zoo route tables (repro.routing.compile.CompiledGraphRoutes) over the arena
+# --------------------------------------------------------------------------- #
+class SharedGraphRoutes:
+    """One zoo spec's complete route tables, mapped from a daemon's arena.
+
+    The zoo counterpart of :class:`SharedTreeRoutes`: the *lazy*
+    :class:`~repro.routing.compile.CompiledGraphRoutes` surface with every
+    row pre-compiled, so the zoo system-route compiler wraps it in its
+    ordinary rebasing views and the fill hooks are no-ops.  Zoo shapes only
+    carry the ``full`` / ``full_has_switch`` pair — a one-cluster system
+    never reads ascend/descend legs.
+    """
+
+    __slots__ = (
+        "token",
+        "num_nodes",
+        "lazy",
+        "full",
+        "full_has_switch",
+        "compiled_rows",
+        "_arena",
+    )
+
+    def __init__(self, meta: Dict[str, Any], arena: SharedArena) -> None:
+        self.token = str(meta["token"])
+        self.num_nodes = int(meta["num_nodes"])
+        self.lazy = True
+        prefix = f"routes-{self.token}"
+        self.full = SharedRouteTable(
+            arena.array(f"{prefix}/full-values"), arena.array(f"{prefix}/full-offsets")
+        )
+        self.full_has_switch = _SharedFlagTable(arena.array(f"{prefix}/has-switch"))
+        self.compiled_rows = set(range(self.num_nodes))
+        self._arena = arena
+
+    def _fill_row(self, source: int) -> None:
+        pass
+
+    def ensure_pair(self, source: int, other: int) -> None:
+        pass
+
+    def ensure_complete(self) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedGraphRoutes({self.token!r}, nodes={self.num_nodes}, "
+            f"segment={self._arena.name!r})"
+        )
+
+
+def export_graph_route_tables(
+    specs: Iterable[Any],
+) -> Tuple[SharedArena, Dict[str, Any]]:
+    """Compile every zoo spec's routes completely and pack them into an arena.
+
+    Mirrors :func:`export_route_tables`; entries are keyed by the spec's
+    ``token`` and the manifest carries ``kind``/``params`` so the attaching
+    process rebuilds the identity cache key.
+    """
+    from repro.routing.compile import (
+        _GRAPH_ROUTES,
+        CompiledGraphRoutes,
+        compile_graph_routes,
+    )
+
+    arrays: Dict[str, np.ndarray] = {}
+    tables: List[Dict[str, Any]] = []
+    seen: set = set()
+    for spec in specs:
+        if spec.identity in seen:
+            continue
+        seen.add(spec.identity)
+        shape = compile_graph_routes(spec)
+        if not isinstance(shape, CompiledGraphRoutes):  # pragma: no cover - guard
+            raise ValidationError(
+                f"cannot re-export zoo routes {spec.token!r}: the cache "
+                "already holds a shared view, and only an owning process may "
+                "export"
+            )
+        shape.ensure_complete()
+        prefix = f"routes-{spec.token}"
+        values, offsets = _pack_csr(shape.full)
+        arrays[f"{prefix}/full-values"] = values
+        arrays[f"{prefix}/full-offsets"] = offsets
+        arrays[f"{prefix}/has-switch"] = np.fromiter(
+            (bool(flag) for flag in shape.full_has_switch),
+            dtype=np.uint8,
+            count=len(shape.full_has_switch),
+        )
+        tables.append(
+            {
+                "token": spec.token,
+                "kind": spec.kind,
+                "params": dict(spec.params),
+                "num_nodes": shape.num_nodes,
+            }
+        )
+    arena = SharedArena.create(arrays)
+    manifest = dict(arena.manifest())
+    manifest["graph_routes"] = tables
+    return arena, manifest
+
+
+def attach_graph_route_tables(
+    manifest: Dict[str, Any],
+) -> Tuple[SharedArena, Tuple[SharedGraphRoutes, ...]]:
+    """Map an :func:`export_graph_route_tables` manifest into shared views."""
+    arena = SharedArena.attach(manifest)
+    return arena, tuple(
+        SharedGraphRoutes(meta, arena) for meta in manifest["graph_routes"]
+    )
+
+
+def install_graph_route_tables(manifest: Dict[str, Any]) -> SharedArena:
+    """Attach and publish shared zoo tables through the graph-route cache.
+
+    Specs this process already compiled win (``setdefault`` semantics via
+    :func:`repro.routing.compile.install_graph_routes`).  Returns the arena,
+    which the caller must keep referenced while the views are in use.
+    """
+    from repro.routing.compile import install_graph_routes
+    from repro.topology.zoo.spec import TopologySpec
+
+    arena, shared = attach_graph_route_tables(manifest)
+    for meta, routes in zip(manifest["graph_routes"], shared):
+        install_graph_routes(TopologySpec(meta["kind"], dict(meta["params"])), routes)
     return arena

@@ -1,4 +1,10 @@
-"""The deterministic Up*/Down* router for m-port n-trees.
+"""The deterministic Up*/Down* routers.
+
+:class:`UpDownRouter` is the paper's closed-form router for m-port n-trees
+(NCA arithmetic on digit addresses); :class:`GraphUpDownRouter` generalizes
+up*/down* to *any* graph carrying a spanning-tree orientation — the
+topology-zoo members of :mod:`repro.topology.zoo` — via a per-source
+breadth-first search over (switch, phase) states.
 
 Every route is an explicit sequence of directed :class:`Channel` objects, so
 that the analytical model (which only needs link counts and stage kinds) and
@@ -17,8 +23,9 @@ half-journeys that inter-cluster messages make in the ECN1 networks:
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.routing.nca import ascent_digits
 from repro.topology.fat_tree import (
@@ -206,3 +213,130 @@ class UpDownRouter:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"UpDownRouter({self.tree!r})"
+
+
+#: BFS state of :class:`GraphUpDownRouter`: (switch id, phase), with phase 0
+#: while the walk is still ascending and 1 once it has turned down.
+_State = Tuple[int, int]
+
+
+class GraphUpDownRouter:
+    """Deterministic up*/down* routing over an oriented switch graph.
+
+    Works on any :class:`~repro.topology.zoo.graphs.ZooTopology`: the
+    topology's orientation (``oriented_links``) splits every link into an
+    UP and a DOWN channel, and a legal route takes zero or more UP channels
+    followed by zero or more DOWN channels — the classical deadlock-free
+    up*/down* discipline.
+
+    The router finds, per (source switch, destination switch) pair, the
+    *shortest* legal switch path, deterministically: one breadth-first
+    search per source switch over ``(switch, phase)`` states, expanding UP
+    successors before DOWN successors and neighbours in ascending id
+    order, with the first state reaching a switch recorded as that
+    switch's arrival.  The search tree is memoised per source switch, so
+    compiling a full source row costs one BFS (O(channels)), not one per
+    destination.
+    """
+
+    def __init__(self, topology) -> None:
+        self.topology = topology
+        num_switches = topology.num_switches
+        up_adj: List[List[int]] = [[] for _ in range(num_switches)]
+        down_adj: List[List[int]] = [[] for _ in range(num_switches)]
+        for child, parent in topology.oriented_links():
+            up_adj[child].append(parent)
+            down_adj[parent].append(child)
+        self._up_adj = [sorted(adjacent) for adjacent in up_adj]
+        self._down_adj = [sorted(adjacent) for adjacent in down_adj]
+        self._trees: Dict[int, Tuple[Dict, Dict]] = {}
+
+    # ------------------------------------------------------------ search tree
+    def _search_tree(self, start: int) -> Tuple[Dict, Dict]:
+        """The memoised BFS tree rooted at switch ``start``.
+
+        Returns ``(parent, arrival)``: ``parent[state]`` is the
+        ``(previous state, channel kind)`` edge that first enqueued
+        ``state`` (``None`` at the root), ``arrival[switch]`` the first
+        state that reached ``switch``.  FIFO order plus the fixed
+        expansion order make both deterministic and distance-minimal.
+        """
+        memo = self._trees.get(start)
+        if memo is not None:
+            return memo
+        up_adj = self._up_adj
+        down_adj = self._down_adj
+        root: _State = (start, 0)
+        parent: Dict[_State, Optional[Tuple[_State, ChannelKind]]] = {root: None}
+        arrival: Dict[int, _State] = {start: root}
+        queue = deque((root,))
+        while queue:
+            state = queue.popleft()
+            switch, phase = state
+            if phase == 0:
+                for upper in up_adj[switch]:
+                    successor: _State = (upper, 0)
+                    if successor not in parent:
+                        parent[successor] = (state, ChannelKind.UP)
+                        arrival.setdefault(upper, successor)
+                        queue.append(successor)
+            for lower in down_adj[switch]:
+                successor = (lower, 1)
+                if successor not in parent:
+                    parent[successor] = (state, ChannelKind.DOWN)
+                    arrival.setdefault(lower, successor)
+                    queue.append(successor)
+        memo = self._trees[start] = (parent, arrival)
+        return memo
+
+    # -------------------------------------------------------------- full route
+    def route(self, source: int, dest: int) -> Route:
+        """The shortest legal up*/down* route between two distinct hosts."""
+        topology = self.topology
+        source_index = self._as_host(source)
+        dest_index = self._as_host(dest)
+        if source_index == dest_index:
+            raise ValidationError("source and destination must differ")
+        # Imported lazily to keep the fat-tree-only import graph unchanged.
+        from repro.topology.zoo.graphs import GraphSwitch, Host
+
+        source_switch = topology.host_switch(source_index)
+        dest_switch = topology.host_switch(dest_index)
+        channels: List[Channel] = [
+            Channel(Host(source_index), GraphSwitch(source_switch), ChannelKind.INJECTION)
+        ]
+        if source_switch != dest_switch:
+            parent, arrival = self._search_tree(source_switch)
+            state = arrival.get(dest_switch)
+            if state is None:
+                raise ValidationError(
+                    f"no up*/down* route from switch {source_switch} to "
+                    f"switch {dest_switch} on {topology.name}"
+                )  # pragma: no cover - orientation invariant guarantees a route
+            hops: List[Channel] = []
+            while True:
+                edge = parent[state]
+                if edge is None:
+                    break
+                previous, kind = edge
+                hops.append(
+                    Channel(GraphSwitch(previous[0]), GraphSwitch(state[0]), kind)
+                )
+                state = previous
+            channels.extend(reversed(hops))
+        channels.append(
+            Channel(GraphSwitch(dest_switch), Host(dest_index), ChannelKind.EJECTION)
+        )
+        return Route(topology.name, tuple(channels))
+
+    # ------------------------------------------------------------------ helper
+    def _as_host(self, host) -> int:
+        index = getattr(host, "index", host)
+        if not 0 <= index < self.topology.num_nodes:
+            raise ValidationError(
+                f"host index {index} out of range [0, {self.topology.num_nodes})"
+            )
+        return int(index)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"GraphUpDownRouter({self.topology!r})"

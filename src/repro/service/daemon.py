@@ -45,8 +45,19 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.api import Engine, Scenario, _evaluate_point
 from repro.campaign import WorkerBackend, _maybe_inject_fault, _note_worker_task
-from repro.routing.shm import export_route_tables, install_route_tables
-from repro.topology.shm import SharedArena, export_trees, install_trees
+from repro.routing.shm import (
+    export_graph_route_tables,
+    export_route_tables,
+    install_graph_route_tables,
+    install_route_tables,
+)
+from repro.topology.shm import (
+    SharedArena,
+    export_graphs,
+    export_trees,
+    install_graphs,
+    install_trees,
+)
 from repro.utils.validation import ValidationError
 
 __all__ = ["PersistentPoolBackend", "WorkerDaemon"]
@@ -78,6 +89,10 @@ def _attach_batches(batches: Sequence[Dict[str, Any]]) -> None:
             arenas.append(install_trees(batch["trees"]))
         if batch.get("routes") is not None:
             arenas.append(install_route_tables(batch["routes"]))
+        if batch.get("graphs") is not None:
+            arenas.append(install_graphs(batch["graphs"]))
+        if batch.get("graph_routes") is not None:
+            arenas.append(install_graph_route_tables(batch["graph_routes"]))
         _ATTACHED[token] = tuple(arenas)
 
 
@@ -154,8 +169,14 @@ def _daemon_evaluate_chunk(
 
 
 def _scenario_shapes(scenario: Scenario) -> List[Tuple[int, int]]:
-    """The tree shapes a scenario's system compiles (clusters plus ICN2)."""
+    """The tree shapes a multi-cluster scenario compiles (clusters plus ICN2).
+
+    Only meaningful when ``scenario.system`` is set; zoo scenarios export
+    whole compiled graphs instead (see :meth:`WorkerDaemon.prepare`).
+    """
     spec = scenario.system
+    if spec is None:
+        return []
     heights = (*spec.cluster_heights, spec.icn2_height)
     return list(dict.fromkeys((spec.m, height) for height in heights))
 
@@ -190,7 +211,9 @@ class WorkerDaemon:
         self._pool_generation = 0
         self._arenas: List[SharedArena] = []
         self._batches: List[Dict[str, Any]] = []
-        self._exported: Set[Tuple[int, int]] = set()
+        #: export keys already packed: (m, height) tree shapes and
+        #: ("zoo", identity) zoo specs
+        self._exported: Set[Any] = set()
         self._closed = False
         #: tasks handed to workers (never incremented for store hits, which
         #: the executor serves before any submission — the "warm requests
@@ -261,24 +284,43 @@ class WorkerDaemon:
         if not self.use_shared_memory or not getattr(engine, "expensive", True):
             return
         with self._lock:
-            shapes = [
-                shape
-                for shape in _scenario_shapes(scenario)
-                if shape not in self._exported
-            ]
-            if not shapes:
-                return
-            tree_arena, tree_manifest = export_trees(shapes)
-            route_arena, route_manifest = export_route_tables(shapes)
-            self._arenas.extend((tree_arena, route_arena))
-            self._batches.append(
-                {
-                    "token": f"{id(self)}-{len(self._batches)}",
-                    "trees": tree_manifest,
-                    "routes": route_manifest,
-                }
-            )
-            self._exported.update(shapes)
+            if scenario.system is not None:
+                shapes = [
+                    shape
+                    for shape in _scenario_shapes(scenario)
+                    if shape not in self._exported
+                ]
+                if not shapes:
+                    return
+                tree_arena, tree_manifest = export_trees(shapes)
+                route_arena, route_manifest = export_route_tables(shapes)
+                self._arenas.extend((tree_arena, route_arena))
+                self._batches.append(
+                    {
+                        "token": f"{id(self)}-{len(self._batches)}",
+                        "trees": tree_manifest,
+                        "routes": route_manifest,
+                    }
+                )
+                self._exported.update(shapes)
+            else:
+                # Zoo scenario: export the whole compiled graph and its
+                # complete route table, keyed by the spec's full identity.
+                spec = scenario.topology
+                key = ("zoo", spec.identity)
+                if key in self._exported:
+                    return
+                graph_arena, graph_manifest = export_graphs((spec,))
+                route_arena, route_manifest = export_graph_route_tables((spec,))
+                self._arenas.extend((graph_arena, route_arena))
+                self._batches.append(
+                    {
+                        "token": f"{id(self)}-{len(self._batches)}",
+                        "graphs": graph_manifest,
+                        "graph_routes": route_manifest,
+                    }
+                )
+                self._exported.add(key)
 
     # ------------------------------------------------------------- execution
     def submit(

@@ -51,7 +51,6 @@ from repro.sim.statistics import SimulationResult, StatisticsCollector
 from repro.sim.vector import VectorizedRunState
 from repro.sim.wormhole import compiled_transfer, draw_peer
 from repro.topology.compile import compile_system
-from repro.topology.multicluster import MultiClusterSpec
 from repro.utils.rng import RandomStreams
 from repro.utils.validation import ValidationError, check_positive
 from repro.workloads.base import TrafficPattern
@@ -80,7 +79,10 @@ class MultiClusterSimulator:
     Parameters
     ----------
     spec:
-        The system organisation (e.g. a Table 1 row).
+        The system organisation: a
+        :class:`~repro.topology.multicluster.MultiClusterSpec` (e.g. a
+        Table 1 row) or a zoo
+        :class:`~repro.topology.zoo.spec.TopologySpec`.
     message:
         Message geometry (``M`` flits of ``L_m`` bytes).
     timing:
@@ -111,7 +113,7 @@ class MultiClusterSimulator:
 
     def __init__(
         self,
-        spec: MultiClusterSpec,
+        spec,
         message: MessageSpec = MessageSpec(),
         timing: TimingParameters = PAPER_TIMING,
         config: SimulationConfig = SimulationConfig(),
@@ -214,9 +216,11 @@ class MultiClusterSimulator:
         self.routes.warm()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        arity = getattr(self.spec, "m", None)
+        detail = f"m={arity}, " if arity is not None else f"{self.spec.name}, "
         return (
             f"MultiClusterSimulator(N={self.spec.total_nodes}, C={self.spec.num_clusters}, "
-            f"m={self.spec.m}, {self.message.describe()}, {self.pattern.describe()})"
+            f"{detail}{self.message.describe()}, {self.pattern.describe()})"
         )
 
 
@@ -295,8 +299,9 @@ class _RunState:
         core = self.simulator.core
         busy = self.channels.busy_time
         num_clusters = core.spec.num_clusters
+        labels = core.utilisation_labels
         report: Dict[str, tuple] = {}
-        for label, start in (("ICN1", 0), ("ECN1", num_clusters)):
+        for label, start in ((labels[0], 0), (labels[1], num_clusters)):
             values = []
             for pool in range(start, start + num_clusters):
                 order = self._pool_touch_order[pool]
@@ -312,7 +317,7 @@ class _RunState:
         icn2_order = self._pool_touch_order[2 * num_clusters]
         if icn2_order:
             fractions = [min(busy[slot] / elapsed, 1.0) for slot in icn2_order]
-            report["ICN2"] = (sum(fractions) / len(fractions), max(fractions))
+            report[labels[2]] = (sum(fractions) / len(fractions), max(fractions))
         grants = self.channels.total_grants
         relay_fractions = [
             min(busy[slot] / elapsed, 1.0)
@@ -323,7 +328,7 @@ class _RunState:
             if grants[slot]
         ]
         if relay_fractions:
-            report["concentrators"] = (
+            report[labels[3]] = (
                 sum(relay_fractions) / len(relay_fractions),
                 max(relay_fractions),
             )

@@ -718,8 +718,9 @@ class VectorizedRunState:
         core = self.simulator.core
         busy = self._busy_time
         num_clusters = core.spec.num_clusters
+        labels = core.utilisation_labels
         report: Dict[str, tuple] = {}
-        for label, start in (("ICN1", 0), ("ECN1", num_clusters)):
+        for label, start in ((labels[0], 0), (labels[1], num_clusters)):
             values = []
             for pool in range(start, start + num_clusters):
                 order = self._pool_touch_order[pool]
@@ -735,7 +736,7 @@ class VectorizedRunState:
         icn2_order = self._pool_touch_order[2 * num_clusters]
         if icn2_order:
             fractions = [min(busy[slot] / elapsed, 1.0) for slot in icn2_order]
-            report["ICN2"] = (
+            report[labels[2]] = (
                 float(sum(fractions) / len(fractions)),
                 float(max(fractions)),
             )
@@ -749,7 +750,7 @@ class VectorizedRunState:
             if grants[slot]
         ]
         if relay_fractions:
-            report["concentrators"] = (
+            report[labels[3]] = (
                 float(sum(relay_fractions) / len(relay_fractions)),
                 float(max(relay_fractions)),
             )

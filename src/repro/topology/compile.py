@@ -221,6 +221,11 @@ class CompiledSystem:
     the relay pseudo-pool (reported separately, via per-slot grant counts).
     """
 
+    #: report keys the kernels use for channel-utilisation aggregation, in
+    #: pool-layout order (per-cluster pools, ICN2 pool, relay slots); the
+    #: zoo facade overrides them with its own labels.
+    utilisation_labels = ("ICN1", "ECN1", "ICN2", "concentrators")
+
     __slots__ = (
         "spec",
         "system",
@@ -332,13 +337,22 @@ _COMPILED_SYSTEMS: Dict[MultiClusterSpec, CompiledSystem] = {}
 _COMPILED_SYSTEM_CACHE_LIMIT = 64
 
 
-def compile_system(spec: MultiClusterSpec) -> CompiledSystem:
+def compile_system(spec) -> CompiledSystem:
     """The (cached) compiled channel-id space of ``spec``.
 
     The cache is keyed by the frozen spec itself, so every sweep point, every
     engine and — because the cache is module level — every process-pool
-    worker reuses one compilation per organisation.
+    worker reuses one compilation per organisation.  ``spec`` may be a
+    :class:`MultiClusterSpec` or a zoo
+    :class:`~repro.topology.zoo.spec.TopologySpec`; zoo members compile to
+    the same surface (a single degenerate cluster) through their own
+    identity-keyed cache.
     """
+    if not isinstance(spec, MultiClusterSpec):
+        # Imported lazily: the zoo package builds on this module.
+        from repro.topology.zoo.compile import compile_zoo_system
+
+        return compile_zoo_system(spec)
     compiled = _COMPILED_SYSTEMS.get(spec)
     if compiled is None:
         if len(_COMPILED_SYSTEMS) >= _COMPILED_SYSTEM_CACHE_LIMIT:
@@ -348,6 +362,9 @@ def compile_system(spec: MultiClusterSpec) -> CompiledSystem:
 
 
 def clear_compile_caches() -> None:
-    """Drop all compiled trees/systems (test isolation hook)."""
+    """Drop all compiled trees/systems, zoo artifacts included."""
     _COMPILED_TREES.clear()
     _COMPILED_SYSTEMS.clear()
+    from repro.topology.zoo.compile import clear_zoo_compile_caches
+
+    clear_zoo_compile_caches()

@@ -42,9 +42,13 @@ from repro.utils.validation import ValidationError
 
 __all__ = [
     "SharedArena",
+    "SharedCompiledGraph",
     "SharedCompiledTree",
+    "attach_graphs",
     "attach_trees",
+    "export_graphs",
     "export_trees",
+    "install_graphs",
     "install_trees",
 ]
 
@@ -297,4 +301,137 @@ def install_trees(manifest: Dict[str, Any]) -> SharedArena:
     arena, shared = attach_trees(manifest)
     for tree in shared:
         _COMPILED_TREES.setdefault((tree.m, tree.n), tree)
+    return arena
+
+
+# --------------------------------------------------------------------------- #
+# Zoo topologies (repro.topology.zoo) over the same arena transport
+# --------------------------------------------------------------------------- #
+class SharedCompiledGraph:
+    """The array surface of a zoo :class:`CompiledGraph`, mapped from an arena.
+
+    Same contract as :class:`SharedCompiledTree`: everything the simulator
+    and the zoo system compiler read crosses the boundary as zero-copy
+    views; the decompile surface (``channels`` / ``channel_ids``) does not
+    and raises loudly.
+    """
+
+    __slots__ = (
+        "token",
+        "num_nodes",
+        "num_switches",
+        "num_channels",
+        "kind_codes",
+        "is_node_channel",
+        "source_ids",
+        "target_ids",
+        "_arena",
+    )
+
+    def __init__(self, meta: Dict[str, Any], arena: SharedArena) -> None:
+        self.token = str(meta["token"])
+        self.num_nodes = int(meta["num_nodes"])
+        self.num_switches = int(meta["num_switches"])
+        self.num_channels = int(meta["num_channels"])
+        self.kind_codes = arena.array(f"{self.token}/kind_codes")
+        self.is_node_channel = arena.array(f"{self.token}/is_node_channel")
+        self.source_ids = arena.array(f"{self.token}/source_ids")
+        self.target_ids = arena.array(f"{self.token}/target_ids")
+        self._arena = arena
+
+    def _no_objects(self, what: str) -> ValidationError:
+        return ValidationError(
+            f"shared compiled graph {self.token!r} has no {what}: channel "
+            "objects do not cross the process boundary — decompile in the "
+            "owning (daemon) process"
+        )
+
+    @property
+    def channels(self):
+        raise self._no_objects("channel objects")
+
+    @property
+    def channel_ids(self):
+        raise self._no_objects("channel-id map")
+
+    def index_of(self, channel) -> int:
+        raise self._no_objects("channel-id map")
+
+    def channel_at(self, cid: int):
+        raise self._no_objects("channel objects")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"SharedCompiledGraph({self.token!r}, channels={self.num_channels}, "
+            f"segment={self._arena.name!r})"
+        )
+
+
+def export_graphs(specs: Iterable[Any]) -> Tuple[SharedArena, Dict[str, Any]]:
+    """Compile (or reuse) every zoo spec and pack its arrays into one arena.
+
+    The zoo counterpart of :func:`export_trees`; entries are keyed by the
+    spec's ``token`` (which encodes kind *and* every parameter, so two
+    families whose sizes collide can never share arena slots), and the
+    manifest carries each spec's ``kind``/``params`` so the attaching
+    process can rebuild the cache key without importing the builder.
+    """
+    # Imported lazily: the zoo package is optional on the import path of
+    # fat-tree-only consumers.
+    from repro.topology.zoo.compile import CompiledGraph, compile_graph
+
+    arrays: Dict[str, np.ndarray] = {}
+    graphs: List[Dict[str, Any]] = []
+    seen: set = set()
+    for spec in specs:
+        if spec.identity in seen:
+            continue
+        seen.add(spec.identity)
+        compiled = compile_graph(spec)
+        if not isinstance(compiled, CompiledGraph):  # pragma: no cover - guard
+            raise ValidationError(
+                f"cannot re-export zoo spec {spec.token!r}: the cache already "
+                "holds a shared view, and only an owning process may export"
+            )
+        arrays[f"{spec.token}/kind_codes"] = compiled.kind_codes
+        arrays[f"{spec.token}/is_node_channel"] = compiled.is_node_channel
+        arrays[f"{spec.token}/source_ids"] = compiled.source_ids
+        arrays[f"{spec.token}/target_ids"] = compiled.target_ids
+        graphs.append(
+            {
+                "token": spec.token,
+                "kind": spec.kind,
+                "params": dict(spec.params),
+                "num_nodes": compiled.num_nodes,
+                "num_switches": compiled.num_switches,
+                "num_channels": compiled.num_channels,
+            }
+        )
+    arena = SharedArena.create(arrays)
+    manifest = dict(arena.manifest())
+    manifest["graphs"] = graphs
+    return arena, manifest
+
+
+def attach_graphs(
+    manifest: Dict[str, Any],
+) -> Tuple[SharedArena, Tuple[SharedCompiledGraph, ...]]:
+    """Map an :func:`export_graphs` manifest into shared graph views."""
+    arena = SharedArena.attach(manifest)
+    return arena, tuple(SharedCompiledGraph(meta, arena) for meta in manifest["graphs"])
+
+
+def install_graphs(manifest: Dict[str, Any]) -> SharedArena:
+    """Attach and publish shared zoo graphs through the zoo compile cache.
+
+    Specs already compiled in this process win (``setdefault`` semantics via
+    :func:`repro.topology.zoo.compile.install_compiled_graph`).  Returns the
+    arena; keep it referenced while the views are in use.
+    """
+    from repro.topology.zoo.compile import install_compiled_graph
+    from repro.topology.zoo.spec import TopologySpec
+
+    arena, shared = attach_graphs(manifest)
+    for meta, graph in zip(manifest["graphs"], shared):
+        install_compiled_graph(TopologySpec(meta["kind"], dict(meta["params"])), graph)
     return arena

@@ -1,0 +1,48 @@
+"""The topology zoo: compiled topologies beyond the paper's fat-tree.
+
+Importing this package registers the built-in families (k-ary pod
+fat-tree, depth/fanout tree, 2-D torus) with the
+:class:`~repro.topology.zoo.spec.TopologySpec` registry.
+"""
+
+from repro.topology.zoo.compile import (
+    CompiledGraph,
+    CompiledZooSystem,
+    ZooSystem,
+    clear_zoo_compile_caches,
+    compile_graph,
+    compile_zoo_system,
+)
+from repro.topology.zoo.graphs import (
+    FanoutTree,
+    GraphSwitch,
+    Host,
+    KAryFatTree,
+    Torus2D,
+    ZooTopology,
+)
+from repro.topology.zoo.spec import (
+    TopologySpec,
+    build_topology,
+    register_topology,
+    zoo_kinds,
+)
+
+__all__ = [
+    "CompiledGraph",
+    "CompiledZooSystem",
+    "FanoutTree",
+    "GraphSwitch",
+    "Host",
+    "KAryFatTree",
+    "Torus2D",
+    "TopologySpec",
+    "ZooSystem",
+    "ZooTopology",
+    "build_topology",
+    "clear_zoo_compile_caches",
+    "compile_graph",
+    "compile_zoo_system",
+    "register_topology",
+    "zoo_kinds",
+]

@@ -1,0 +1,129 @@
+"""Zoo scenarios through the Scenario/engine/store API layer."""
+
+import pytest
+
+from repro import api
+from repro.experiments.compare import model_applicability
+from repro.store import task_key
+from repro.topology.multicluster import MultiClusterSpec
+from repro.topology.zoo import TopologySpec
+from repro.utils.validation import ValidationError
+
+TORUS = TopologySpec("torus", {"rows": 4, "cols": 4})
+TREE = TopologySpec("tree", {"depth": 2, "fanout": 4})
+SYSTEM = MultiClusterSpec(m=4, cluster_heights=(1, 2, 2, 1), name="tiny")
+
+
+def zoo_scenario(spec=TORUS, **overrides):
+    kwargs = dict(topology=spec, offered_traffic=(1e-3,), name="zoo-test")
+    kwargs.update(overrides)
+    return api.Scenario(**kwargs)
+
+
+class TestScenarioValidation:
+    def test_exactly_one_of_system_topology_required(self):
+        with pytest.raises(ValidationError):
+            api.Scenario(offered_traffic=(1e-3,))
+        with pytest.raises(ValidationError):
+            api.Scenario(system=SYSTEM, topology=TORUS, offered_traffic=(1e-3,))
+
+    def test_network_property_returns_whichever_is_set(self):
+        assert zoo_scenario().network is TORUS
+        multicluster = api.Scenario(system=SYSTEM, offered_traffic=(1e-3,))
+        assert multicluster.network is SYSTEM
+
+    def test_spec_label_and_describe_cover_zoo(self):
+        scenario = zoo_scenario()
+        assert scenario.spec_label == "torus(4x4)"
+        assert "torus(4x4)" in scenario.describe()
+
+
+class TestSerialization:
+    def test_multicluster_dict_omits_topology_field(self):
+        """Store task keys hash the scenario dict: multi-cluster dicts (and
+        therefore every pre-zoo content address) must stay byte-identical,
+        which means no ``topology`` key may appear."""
+        data = api.Scenario(system=SYSTEM, offered_traffic=(1e-3,)).to_dict()
+        assert "topology" not in data
+        assert "system" in data
+
+    def test_zoo_dict_omits_system_field(self):
+        data = zoo_scenario().to_dict()
+        assert "system" not in data
+        assert data["topology"] == {"kind": "torus", "params": {"rows": 4, "cols": 4}}
+
+    def test_round_trip(self):
+        scenario = zoo_scenario()
+        rebuilt = api.Scenario.from_dict(scenario.to_dict())
+        assert rebuilt == scenario
+        assert rebuilt.topology == TORUS
+
+    def test_pre_zoo_dict_still_loads(self):
+        """A dict written before the topology field existed loads as-is."""
+        data = api.Scenario(system=SYSTEM, offered_traffic=(1e-3,)).to_dict()
+        rebuilt = api.Scenario.from_dict(data)
+        assert rebuilt.system == SYSTEM
+        assert rebuilt.topology is None
+
+
+class TestStoreKeys:
+    def test_distinct_topologies_never_share_a_cache_entry(self):
+        """Two topologies at the same operating point: distinct content keys."""
+        lam = 1e-3
+        torus = zoo_scenario(TORUS)
+        tree = zoo_scenario(TREE)
+        assert task_key(torus, "sim", lam) != task_key(tree, "sim", lam)
+
+    def test_zoo_and_multicluster_keys_differ(self):
+        lam = 1e-3
+        zoo = zoo_scenario(name="same")
+        system = api.Scenario(system=SYSTEM, offered_traffic=(1e-3,), name="same")
+        assert task_key(zoo, "sim", lam) != task_key(system, "sim", lam)
+
+    def test_equal_specs_share_a_key(self):
+        lam = 1e-3
+        a = zoo_scenario(TopologySpec("torus", {"rows": 4, "cols": 4}))
+        b = zoo_scenario(TopologySpec("torus", {"cols": 4, "rows": 4}))
+        assert task_key(a, "sim", lam) == task_key(b, "sim", lam)
+
+
+class TestEngines:
+    def test_analytical_engine_rejects_zoo_scenarios(self):
+        engine = api.AnalyticalEngine()
+        with pytest.raises(ValidationError, match="does not apply"):
+            engine.evaluate(zoo_scenario(), 1e-3)
+
+    def test_equal_size_engine_rejects_zoo_scenarios(self):
+        engine = api.equal_size_engine()
+        with pytest.raises(ValidationError, match="does not apply"):
+            engine.evaluate(zoo_scenario(), 1e-3)
+
+    def test_simulation_engine_runs_zoo_scenarios(self):
+        scenario = api.scenario(
+            "zoo/tree", points=1, sim=api.simulation_budget("quick", 0)
+        )
+        record = api.SimulationEngine().evaluate(scenario, scenario.offered_traffic[0])
+        assert record.latency > 0
+        assert record.simulation.external_fraction == 0.0
+
+
+class TestApplicability:
+    def test_multicluster_scenario_is_applicable(self):
+        report = model_applicability(api.Scenario(system=SYSTEM, offered_traffic=(1e-3,)))
+        assert report.applicable
+        assert report.topology == "tiny"
+
+    def test_zoo_scenario_is_not_applicable(self):
+        report = model_applicability(zoo_scenario())
+        assert not report.applicable
+        assert "torus(4x4)" in report.reason
+        assert report.summary()["applicable"] is False
+
+
+def test_zoo_registry_scenarios_resolve():
+    for name in ("zoo/fattree4", "zoo/tree", "zoo/torus"):
+        assert name in api.scenario_names()
+        scenario = api.scenario(name, points=2)
+        assert scenario.system is None
+        assert scenario.topology is not None
+        assert len(scenario.offered_traffic) == 2

@@ -1,0 +1,152 @@
+"""Shared-memory export/attach of compiled zoo topologies and routes.
+
+The in-process tests exercise the codecs directly; the daemon test is the
+real end-to-end check: spawn-started workers inherit none of this
+process's caches, so a zoo campaign on the daemon only works — and only
+stays bit-identical — if the whole compiled graph and its route tables
+cross through shared memory.
+"""
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.campaign import Campaign, CampaignEntry, run_campaign
+from repro.routing.compile import (
+    _GRAPH_ROUTES,
+    clear_route_caches,
+    compile_graph_routes,
+)
+from repro.routing.shm import (
+    SharedGraphRoutes,
+    attach_graph_route_tables,
+    export_graph_route_tables,
+    install_graph_route_tables,
+)
+from repro.service.daemon import PersistentPoolBackend, WorkerDaemon
+from repro.sim.config import SimulationConfig
+from repro.topology.compile import clear_compile_caches
+from repro.topology.shm import (
+    SharedCompiledGraph,
+    attach_graphs,
+    export_graphs,
+    install_graphs,
+)
+from repro.topology.zoo import TopologySpec, compile_graph
+from repro.utils.validation import ValidationError
+
+SPEC = TopologySpec("torus", {"rows": 3, "cols": 3})
+
+
+@pytest.fixture(autouse=True)
+def _fresh_compile_caches():
+    clear_compile_caches()
+    clear_route_caches()
+    yield
+    clear_compile_caches()
+    clear_route_caches()
+
+
+class TestGraphExport:
+    def test_attached_graph_matches_the_compiled_arrays(self):
+        compiled = compile_graph(SPEC)
+        arena, manifest = export_graphs((SPEC,))
+        try:
+            view_arena, (shared,) = attach_graphs(manifest)
+            assert isinstance(shared, SharedCompiledGraph)
+            assert shared.token == SPEC.token
+            assert shared.num_nodes == compiled.num_nodes
+            assert shared.num_switches == compiled.num_switches
+            assert shared.num_channels == compiled.num_channels
+            for attr in ("kind_codes", "is_node_channel", "source_ids", "target_ids"):
+                np.testing.assert_array_equal(
+                    getattr(shared, attr), getattr(compiled, attr)
+                )
+            with pytest.raises(ValidationError):
+                shared.channels
+            view_arena.close()
+        finally:
+            arena.destroy()
+
+    def test_duplicate_specs_export_once(self):
+        arena, manifest = export_graphs((SPEC, TopologySpec("torus", {"rows": 3, "cols": 3})))
+        try:
+            assert len(manifest["graphs"]) == 1
+        finally:
+            arena.destroy()
+
+    def test_install_fills_cache_misses_only(self):
+        local = compile_graph(SPEC)
+        arena, manifest = export_graphs((SPEC,))
+        try:
+            # Already compiled locally: the install must not shadow it.
+            view = install_graphs(manifest)
+            assert compile_graph(SPEC) is local
+            view.close()
+            # Cleared cache: the install fills the miss with the shared view.
+            clear_compile_caches()
+            view = install_graphs(manifest)
+            installed = compile_graph(SPEC)
+            assert isinstance(installed, SharedCompiledGraph)
+            view.close()
+        finally:
+            arena.destroy()
+
+
+class TestGraphRouteExport:
+    def test_attached_tables_match_the_compiled_routes(self):
+        shape = compile_graph_routes(SPEC)
+        shape.ensure_complete()
+        arena, manifest = export_graph_route_tables((SPEC,))
+        try:
+            view_arena, (shared,) = attach_graph_route_tables(manifest)
+            assert isinstance(shared, SharedGraphRoutes)
+            assert shared.num_nodes == shape.num_nodes
+            pairs = shape.num_nodes * shape.num_nodes
+            for pair in range(pairs):
+                assert shared.full[pair] == shape.full[pair]
+                assert bool(shared.full_has_switch[pair]) == shape.full_has_switch[pair]
+            view_arena.close()
+        finally:
+            arena.destroy()
+
+    def test_install_fills_cache_misses_only(self):
+        local = compile_graph_routes(SPEC)
+        arena, manifest = export_graph_route_tables((SPEC,))
+        try:
+            view = install_graph_route_tables(manifest)
+            assert compile_graph_routes(SPEC) is local
+            view.close()
+            clear_route_caches()
+            view = install_graph_route_tables(manifest)
+            assert isinstance(_GRAPH_ROUTES[SPEC.identity], SharedGraphRoutes)
+            view.close()
+        finally:
+            arena.destroy()
+
+
+class TestZooDaemon:
+    def test_zoo_campaign_on_daemon_is_bit_identical(self):
+        sim = SimulationConfig(
+            measured_messages=300, warmup_messages=30, drain_messages=30, seed=3
+        )
+        scenario = api.scenario("zoo/torus", points=2, sim=sim)
+        campaign = Campaign(
+            entries=(CampaignEntry(scenario=scenario, engines=("sim",)),),
+            name="zoo",
+        )
+        sequential = run_campaign(campaign, parallel=False, store=None)
+        with WorkerDaemon(2) as daemon:
+            parallel = run_campaign(
+                campaign,
+                parallel=True,
+                max_workers=daemon.max_workers,
+                backend=PersistentPoolBackend(daemon),
+                store=None,
+            )
+            # The zoo export produced segments (graph + route arenas).
+            assert len(daemon.segment_names()) == 2
+            assert daemon.tasks_dispatched > 0
+        expected = [record.latency for record in sequential.runsets[0].records]
+        actual = [record.latency for record in parallel.runsets[0].records]
+        assert actual == expected
